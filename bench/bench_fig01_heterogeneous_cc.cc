@@ -1,0 +1,76 @@
+// Figure 1: "Different congestion controls lead to unfairness."
+//  (a) five flows with five different host stacks (CUBIC, Illinois,
+//      HighSpeed, New Reno, Vegas) share the Fig. 7a dumbbell;
+//  (b) baseline with all five flows running CUBIC.
+// Ten repeats; per-flow throughput and the max/min/mean/median of (b).
+//
+// Paper shape: in (a) the aggressive stacks (Illinois, HighSpeed) take most
+// of the bandwidth; in (b) the spread is much narrower.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace acdc;
+using namespace acdc::bench;
+
+int main() {
+  const std::vector<std::string> stacks = {"cubic", "illinois", "highspeed",
+                                           "reno", "vegas"};
+  std::printf("Fig. 1 — heterogeneous host stacks are unfair "
+              "(no AC/DC, no switch ECN)\n");
+  std::printf("Paper (Fig. 1a): Illinois/HighSpeed ~2.5-3.5 Gbps, "
+              "Vegas/Reno ~0.5-1.5 Gbps.\n");
+
+  stats::Table fig1a({"test", "cubic", "illinois", "highspeed", "reno",
+                      "vegas", "jain"});
+  std::vector<stats::Sampler> per_flow_a(stacks.size());
+  for (int test = 1; test <= 10; ++test) {
+    RunConfig cfg;
+    cfg.mode = exp::Mode::kCubic;  // plain vSwitch, no ECN
+    cfg.seed = static_cast<std::uint64_t>(test);
+    cfg.duration = sim::seconds(3);
+    cfg.measure_from = sim::seconds(1);
+    cfg.start_jitter = sim::microseconds(500);
+    cfg.rtt_probe = false;
+    std::vector<FlowSpec> flows;
+    for (const auto& cc : stacks) flows.push_back(FlowSpec{cc, 1.0, 0, -1});
+    const RunResult r = run_dumbbell(cfg, flows);
+    std::vector<std::string> row{std::to_string(test)};
+    for (std::size_t i = 0; i < stacks.size(); ++i) {
+      row.push_back(gbps(r.goodputs_gbps[i]));
+      per_flow_a[i].add(r.goodputs_gbps[i]);
+    }
+    row.push_back(stats::Table::num(r.jain));
+    fig1a.add_row(row);
+  }
+  fig1a.print("Fig. 1a — five different CCs, per-flow goodput (Gbps)");
+
+  stats::Table fig1b({"test", "max", "min", "mean", "median", "jain"});
+  stats::Sampler jain_b;
+  for (int test = 1; test <= 10; ++test) {
+    RunConfig cfg;
+    cfg.mode = exp::Mode::kCubic;
+    cfg.seed = static_cast<std::uint64_t>(test);
+    cfg.duration = sim::seconds(3);
+    cfg.measure_from = sim::seconds(1);
+    cfg.start_jitter = sim::microseconds(500);
+    cfg.rtt_probe = false;
+    std::vector<FlowSpec> flows(5);
+    const RunResult r = run_dumbbell(cfg, flows);
+    stats::Sampler s;
+    for (double g : r.goodputs_gbps) s.add(g);
+    fig1b.add_row({std::to_string(test), gbps(s.max()), gbps(s.min()),
+                   gbps(s.mean()), gbps(s.median()),
+                   stats::Table::num(r.jain)});
+    jain_b.add(r.jain);
+  }
+  fig1b.print("Fig. 1b — all CUBIC, throughput spread (Gbps)");
+
+  std::printf("\nSummary: mean goodput by stack across 10 tests (Gbps):\n");
+  for (std::size_t i = 0; i < stacks.size(); ++i) {
+    std::printf("  %-10s %s\n", stacks[i].c_str(),
+                gbps(per_flow_a[i].mean()).c_str());
+  }
+  std::printf("Mean all-CUBIC Jain index: %.3f\n", jain_b.mean());
+  return 0;
+}

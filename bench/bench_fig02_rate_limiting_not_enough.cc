@@ -1,0 +1,60 @@
+// Figure 2: "CDF of RTTs showing CUBIC fills buffers."
+// Five flows on the dumbbell. In the first configuration each CUBIC sender
+// is rate-limited to exactly its 2 Gbps fair share (per-VM token bucket);
+// CUBIC still keeps a window's worth of data queued, so RTTs sit in the
+// milliseconds. DCTCP needs no rate limiting and keeps RTTs low.
+//
+// Paper shape: CUBIC (RL=2Gbps) RTT CDF spans ~1-10ms; DCTCP < ~0.3ms.
+// (In our substrate the standing queue sits mostly in the edge shaper
+// qdisc — the same place Linux HTB queues — not the switch; the conclusion
+// that bandwidth allocation alone cannot bound latency is unchanged.)
+#include <cstdio>
+
+#include "exp/dumbbell.h"
+#include "exp/mode.h"
+#include "stats/percentile.h"
+#include "stats/table.h"
+
+using namespace acdc;
+
+namespace {
+
+stats::Sampler run(bool dctcp) {
+  exp::DumbbellConfig dc;
+  dc.scenario = exp::scenario_config_for(dctcp ? exp::Mode::kDctcp
+                                               : exp::Mode::kCubic);
+  exp::Dumbbell bell(dc);
+  exp::Scenario& s = bell.scenario();
+  const tcp::TcpConfig tcp = s.tcp_config(dctcp ? "dctcp" : "cubic");
+  for (int i = 0; i < bell.pairs(); ++i) {
+    if (!dctcp) {
+      // "Perfect" per-VM allocation: 2 Gbps each.
+      s.attach_shaper(bell.sender(i), sim::gigabits_per_second(2),
+                      64 * 1024);
+    }
+    s.add_bulk_flow(bell.sender(i), bell.receiver(i), tcp, 0);
+  }
+  auto* probe = s.add_rtt_probe(bell.sender(0), bell.receiver(0), tcp,
+                                sim::milliseconds(50), sim::milliseconds(1));
+  s.run_until(sim::seconds(2));
+  return probe->rtt_ms();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 2 — rate limiting alone cannot bound latency\n");
+  const stats::Sampler cubic = run(false);
+  const stats::Sampler dctcp = run(true);
+
+  stats::Table t({"percentile", "CUBIC (RL=2Gbps) RTT ms", "DCTCP RTT ms"});
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    t.add_row({stats::Table::num(p), stats::Table::num(cubic.percentile(p)),
+               stats::Table::num(dctcp.percentile(p))});
+  }
+  t.print("Fig. 2 — RTT CDF (percentiles)");
+  std::printf("Paper: CUBIC(RL) ~1-10 ms across the CDF; DCTCP well under "
+              "1 ms.\nMeasured medians: CUBIC(RL)=%.2f ms, DCTCP=%.3f ms\n",
+              cubic.median(), dctcp.median());
+  return 0;
+}

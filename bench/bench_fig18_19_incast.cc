@@ -1,0 +1,64 @@
+// Figures 18 & 19: many-to-one incast of long-lived flows on a single
+// switch, sweeping the fan-in over {16, 32, 40, 47}.
+//  Fig. 18a: average per-flow throughput  Fig. 18b: Jain's fairness
+//  Fig. 19a: median RTT                   Fig. 19b: 99.9th-pct RTT
+//  Fig. 19c: packet drop rate
+// Paper shape: all schemes share fairly; CUBIC's RTT is ~3.5-4.5 ms with
+// drops up to ~1%; DCTCP's RTT *grows* with fan-in (its 2-packet CWND floor
+// is too high at 9K MTU); AC/DC stays lowest (its RWND floor is 1 MSS) and
+// both keep a 0% drop rate.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace acdc;
+using namespace acdc::bench;
+
+int main() {
+  std::printf("Figs. 18/19 — N-to-1 incast of long flows (9K MTU)\n");
+  const int fanins[] = {16, 32, 40, 47};
+  const exp::Mode modes[] = {exp::Mode::kCubic, exp::Mode::kDctcp,
+                             exp::Mode::kAcdc};
+
+  stats::Table tput({"senders", "CUBIC Mbps", "DCTCP Mbps", "AC/DC Mbps"});
+  stats::Table fair({"senders", "CUBIC", "DCTCP", "AC/DC"});
+  stats::Table p50({"senders", "CUBIC ms", "DCTCP ms", "AC/DC ms"});
+  stats::Table p999({"senders", "CUBIC ms", "DCTCP ms", "AC/DC ms"});
+  stats::Table drops({"senders", "CUBIC %", "DCTCP %", "AC/DC %"});
+
+  for (int n : fanins) {
+    std::vector<std::string> r_tput{std::to_string(n)};
+    std::vector<std::string> r_fair{std::to_string(n)};
+    std::vector<std::string> r_p50{std::to_string(n)};
+    std::vector<std::string> r_p999{std::to_string(n)};
+    std::vector<std::string> r_drop{std::to_string(n)};
+    for (exp::Mode mode : modes) {
+      RunConfig cfg;
+      cfg.mode = mode;
+      cfg.duration = sim::seconds(1.5);
+      cfg.probe_interval = sim::microseconds(500);
+      const RunResult r = run_incast(cfg, n);
+      r_tput.push_back(
+          stats::Table::num(r.total_gbps() * 1000.0 / n));  // Mbps/flow
+      r_fair.push_back(stats::Table::num(r.jain));
+      r_p50.push_back(stats::Table::num(r.rtt_ms.median()));
+      r_p999.push_back(stats::Table::num(r.rtt_ms.percentile(99.9)));
+      r_drop.push_back(stats::Table::num(100.0 * r.drop_rate));
+    }
+    tput.add_row(r_tput);
+    fair.add_row(r_fair);
+    p50.add_row(r_p50);
+    p999.add_row(r_p999);
+    drops.add_row(r_drop);
+  }
+  tput.print("Fig. 18a — average per-flow throughput (Mbps)");
+  fair.print("Fig. 18b — Jain's fairness index");
+  p50.print("Fig. 19a — median RTT (ms)");
+  p999.print("Fig. 19b — 99.9th percentile RTT (ms)");
+  drops.print("Fig. 19c — packet drop rate (%)");
+  std::printf("\nPaper: at 47 senders DCTCP cuts median RTT by 82%% vs "
+              "CUBIC and AC/DC by 97%%; AC/DC < DCTCP because RWND can fall "
+              "below DCTCP's 2-packet CWND floor. DCTCP & AC/DC: 0%% "
+              "drops.\n");
+  return 0;
+}

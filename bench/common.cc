@@ -1,0 +1,132 @@
+#include "common.h"
+
+#include <cstdio>
+
+namespace acdc::bench {
+namespace {
+
+tcp::TcpConfig flow_tcp_config(const exp::Scenario& s, exp::Mode mode,
+                               const FlowSpec& flow) {
+  // kDctcp pins every host stack to DCTCP (the paper's reference column);
+  // the other modes run whatever tenant stack the flow asks for (default
+  // CUBIC) — that heterogeneity is the point of Figs. 1/17 and Table 1.
+  if (mode == exp::Mode::kDctcp) return s.tcp_config("dctcp");
+  return s.tcp_config(flow.cc);
+}
+
+void collect(const RunConfig& cfg, exp::Scenario& s,
+             const std::vector<host::BulkApp*>& apps,
+             const host::EchoApp* probe, RunResult& out) {
+  for (auto* app : apps) {
+    out.goodputs_gbps.push_back(
+        app->goodput_bps(cfg.measure_from, cfg.duration) / 1e9);
+    std::vector<double> series;
+    const auto& ts = app->deliveries();
+    const auto buckets =
+        static_cast<std::size_t>(cfg.duration / ts.interval());
+    for (std::size_t i = 0; i < buckets; ++i) {
+      series.push_back(i < ts.bucket_count() ? ts.bucket_rate_bps(i) / 1e9
+                                             : 0.0);
+    }
+    out.flow_series_gbps.push_back(std::move(series));
+  }
+  out.jain = stats::jain_fairness_index(out.goodputs_gbps);
+  if (probe != nullptr) out.rtt_ms = probe->rtt_ms();
+  const net::QueueStats fabric = s.fabric_stats();
+  out.drop_rate = fabric.drop_rate();
+  out.dropped_packets = fabric.dropped_packets;
+  out.marked_packets = fabric.marked_packets;
+}
+
+}  // namespace
+
+RunResult run_dumbbell(const RunConfig& cfg,
+                       const std::vector<FlowSpec>& flows) {
+  exp::DumbbellConfig dc;
+  dc.scenario = exp::scenario_config_for(cfg.mode, cfg.mtu_bytes, cfg.seed);
+  dc.pairs = static_cast<int>(flows.size());
+  exp::Dumbbell bell(dc);
+  exp::Scenario& s = bell.scenario();
+
+  if (cfg.mode == exp::Mode::kAcdc) {
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      auto* vs = s.attach_acdc(bell.sender(static_cast<int>(i)), cfg.acdc);
+      s.attach_acdc(bell.receiver(static_cast<int>(i)), cfg.acdc);
+      vswitch::FlowPolicy policy = vs->policy().default_policy();
+      policy.beta = flows[i].beta;
+      vs->policy().set_default(policy);
+    }
+  }
+
+  std::vector<host::BulkApp*> apps;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const int idx = static_cast<int>(i);
+    sim::Time start = flows[i].start;
+    if (cfg.start_jitter > 0) {
+      start += s.rng().uniform_int(0, cfg.start_jitter);
+    }
+    auto* app = s.add_bulk_flow(bell.sender(idx), bell.receiver(idx),
+                                flow_tcp_config(s, cfg.mode, flows[i]),
+                                start);
+    if (flows[i].stop != sim::kNoTime) app->stop_at(flows[i].stop);
+    apps.push_back(app);
+  }
+
+  host::EchoApp* probe = nullptr;
+  if (cfg.rtt_probe) {
+    probe = s.add_rtt_probe(bell.sender(0), bell.receiver(0),
+                            flow_tcp_config(s, cfg.mode, flows[0]),
+                            sim::milliseconds(50), cfg.probe_interval);
+  }
+
+  s.run_until(cfg.duration);
+  RunResult out;
+  collect(cfg, s, apps, probe, out);
+  return out;
+}
+
+RunResult run_incast(const RunConfig& cfg, int senders) {
+  exp::StarConfig sc;
+  sc.scenario = exp::scenario_config_for(cfg.mode, cfg.mtu_bytes, cfg.seed);
+  sc.hosts = senders + 2;  // receiver + probe client
+  exp::Star star(sc);
+  exp::Scenario& s = star.scenario();
+
+  std::vector<host::Host*> hosts;
+  for (int i = 0; i < star.host_count(); ++i) hosts.push_back(star.host(i));
+  exp::apply_mode(s, hosts, cfg.mode, cfg.acdc);
+
+  const FlowSpec spec;
+  const tcp::TcpConfig tcp = flow_tcp_config(s, cfg.mode, spec);
+  // The probe connects first (before the fabric saturates); flow starts are
+  // staggered by a millisecond each, like real applications coming up.
+  host::EchoApp* probe = nullptr;
+  if (cfg.rtt_probe) {
+    probe = s.add_rtt_probe(star.host(senders + 1), star.host(0), tcp, 0,
+                            cfg.probe_interval);
+  }
+  std::vector<host::BulkApp*> apps;
+  for (int i = 1; i <= senders; ++i) {
+    apps.push_back(s.add_bulk_flow(star.host(i), star.host(0), tcp,
+                                   sim::milliseconds(10) +
+                                       (i - 1) * sim::milliseconds(1)));
+  }
+  s.run_until(cfg.duration);
+  RunResult out;
+  collect(cfg, s, apps, probe, out);
+  return out;
+}
+
+std::string gbps(double g) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", g);
+  return buf;
+}
+
+std::string ms(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace acdc::bench

@@ -1,0 +1,70 @@
+// Shared harness for the paper-reproduction benches: builds the three §5
+// configurations (CUBIC / DCTCP / AC/DC) on the paper's topologies, runs
+// bulk flows plus an RTT probe, and returns the metrics every figure
+// reports (per-flow goodput, Jain index, RTT percentiles, drop rate).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/dumbbell.h"
+#include "exp/mode.h"
+#include "exp/star.h"
+#include "stats/percentile.h"
+#include "stats/table.h"
+
+namespace acdc::bench {
+
+struct FlowSpec {
+  std::string cc = "cubic";     // host stack (ignored where mode dictates)
+  double beta = 1.0;            // AC/DC QoS priority (Eq. 1)
+  sim::Time start = 0;
+  sim::Time stop = sim::kNoTime;  // for convergence-style runs
+};
+
+struct RunConfig {
+  exp::Mode mode = exp::Mode::kAcdc;
+  std::int64_t mtu_bytes = 9000;
+  std::uint64_t seed = 1;
+  sim::Time duration = sim::seconds(2);
+  sim::Time measure_from = sim::milliseconds(300);
+  // Jitter added to each flow's start time, drawn from the seeded RNG, so
+  // repeated "tests" see different loss-synchronisation patterns (the
+  // drop-tail dynamics are otherwise deterministic).
+  sim::Time start_jitter = 0;
+  bool rtt_probe = true;
+  sim::Time probe_interval = sim::milliseconds(1);
+  // Flow timeseries bucket for convergence plots.
+  sim::Time timeseries_bucket = sim::milliseconds(100);
+  vswitch::AcdcConfig acdc;
+};
+
+struct RunResult {
+  std::vector<double> goodputs_gbps;
+  double jain = 1.0;
+  stats::Sampler rtt_ms;
+  double drop_rate = 0.0;
+  std::int64_t marked_packets = 0;
+  std::int64_t dropped_packets = 0;
+  // Per-flow goodput (Gbps) per timeseries bucket.
+  std::vector<std::vector<double>> flow_series_gbps;
+
+  double total_gbps() const {
+    double t = 0;
+    for (double g : goodputs_gbps) t += g;
+    return t;
+  }
+};
+
+// Runs `flows` across the Fig. 7a dumbbell under the given mode.
+RunResult run_dumbbell(const RunConfig& cfg, const std::vector<FlowSpec>& flows);
+
+// Runs an N-to-1 incast of long flows on a single-switch star (Figs. 18/19);
+// host 0 receives, hosts 1..n send, the probe runs from the last host.
+RunResult run_incast(const RunConfig& cfg, int senders);
+
+// Formatting helpers.
+std::string gbps(double g);
+std::string ms(double v);
+
+}  // namespace acdc::bench

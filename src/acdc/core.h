@@ -1,0 +1,102 @@
+// Shared state of one AC/DC vSwitch instance: configuration, the flow
+// table, the policy engine and counters. SenderModule / ReceiverModule / the
+// vSwitch datapath all operate on this core.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "acdc/flow_table.h"
+#include "acdc/policy.h"
+#include "acdc/virtual_cc.h"
+#include "sim/simulator.h"
+
+namespace acdc::vswitch {
+
+struct AcdcConfig {
+  // Master switch: false = observer mode — compute windows and feedback but
+  // never rewrite RWND (used by Fig. 9's tracking experiment).
+  bool enforce = true;
+  // Mark egress data packets ECT(0) so switches mark instead of drop (§3.2).
+  bool mark_egress_ect = true;
+  // Strip CE/ECT from data before the receiving VM sees it (§3.2).
+  bool strip_ecn_at_receiver = true;
+  // Strip ECN-Echo from ACKs before the sending VM sees it (§3.3: hiding
+  // feedback stops the VM stack from reducing on its own).
+  bool hide_ecn_feedback = true;
+  // Generate PACK/FACK feedback at the receiver module (§3.2).
+  bool generate_feedback = true;
+  // Fabric MTU; a PACK that would push an ACK past this becomes a FACK.
+  std::int64_t mtu_bytes = 9000;
+  // Enforced-window floor; 0 means one MSS.
+  std::int64_t min_rwnd_bytes = 0;
+  // Extra window slack tolerated before the policer drops (in MSS).
+  double police_slack_mss = 4.0;
+  VccConfig vcc;
+  // Inactivity-based timeout inference (§3.1) and flow GC (§4).
+  bool infer_timeouts = true;
+  sim::Time inactivity_scan_interval = sim::milliseconds(10);
+  sim::Time inactivity_timeout = sim::milliseconds(40);
+  // §3.3: on an inferred timeout, generate duplicate ACKs toward the VM to
+  // trigger its fast retransmit (useful when the VM RTO is large).
+  bool inject_dupacks_on_timeout = false;
+  sim::Time gc_interval = sim::seconds(1);
+  sim::Time idle_timeout = sim::seconds(60);
+  sim::Time fin_linger = sim::seconds(1);
+
+  // Fig. 9 methodology: compute windows and run the feedback machinery but
+  // leave the VM's traffic completely untouched (no RWND overwrite, no ECN
+  // masking) — the host stack must drive congestion control itself.
+  static AcdcConfig observer() {
+    AcdcConfig cfg;
+    cfg.enforce = false;
+    cfg.mark_egress_ect = false;
+    cfg.strip_ecn_at_receiver = false;
+    cfg.hide_ecn_feedback = false;
+    return cfg;
+  }
+};
+
+struct AcdcStats {
+  std::int64_t egress_data_packets = 0;
+  std::int64_t ingress_data_packets = 0;
+  std::int64_t acks_processed = 0;
+  std::int64_t packs_attached = 0;
+  std::int64_t facks_sent = 0;
+  std::int64_t facks_consumed = 0;
+  std::int64_t windows_lowered = 0;
+  std::int64_t policed_drops = 0;
+  std::int64_t inferred_timeouts = 0;
+  std::int64_t injected_dupacks = 0;
+  std::int64_t injected_window_updates = 0;
+};
+
+struct AcdcCore {
+  sim::Simulator* sim = nullptr;
+  AcdcConfig config;
+  FlowTable table;
+  PolicyEngine policy;
+  AcdcStats stats;
+
+  // Observability hook: computed enforcement window per processed ACK
+  // (the Fig. 9/10 "log RWND to a file" analogue).
+  std::function<void(const FlowKey&, sim::Time, std::int64_t)> on_window;
+
+  // Looks up or creates the entry for `key`, binding its policy and
+  // initialising the virtual CC on creation.
+  FlowEntry& entry(const FlowKey& key) {
+    const std::size_t before = table.size();
+    FlowEntry& e = table.get_or_create(key, sim->now());
+    if (table.size() != before) {
+      e.policy = policy.lookup(key);
+      virtual_cc_for(e.policy.kind).init(e.snd, config.vcc);
+    }
+    return e;
+  }
+
+  std::int64_t min_rwnd_bytes(const SenderFlowState& s) const {
+    return config.min_rwnd_bytes > 0 ? config.min_rwnd_bytes : s.mss;
+  }
+};
+
+}  // namespace acdc::vswitch

@@ -1,0 +1,37 @@
+#include "acdc/feedback.h"
+
+namespace acdc::vswitch {
+
+bool attach_pack(net::Packet& ack, std::uint32_t total_bytes,
+                 std::uint32_t marked_bytes, std::int64_t mtu_bytes) {
+  net::Packet probe = ack;
+  probe.tcp.options.acdc = net::AcdcFeedback{total_bytes, marked_bytes};
+  if (probe.size_bytes() > mtu_bytes) return false;
+  ack.tcp.options.acdc = net::AcdcFeedback{total_bytes, marked_bytes};
+  return true;
+}
+
+net::PacketPtr make_fack(const net::Packet& ack, std::uint32_t total_bytes,
+                         std::uint32_t marked_bytes) {
+  auto fack = std::make_unique<net::Packet>();
+  fack->ip.src = ack.ip.src;
+  fack->ip.dst = ack.ip.dst;
+  fack->tcp.src_port = ack.tcp.src_port;
+  fack->tcp.dst_port = ack.tcp.dst_port;
+  fack->tcp.seq = ack.tcp.seq;
+  fack->tcp.ack_seq = ack.tcp.ack_seq;
+  fack->tcp.flags.ack = true;
+  fack->tcp.window_raw = ack.tcp.window_raw;
+  fack->tcp.options.acdc = net::AcdcFeedback{total_bytes, marked_bytes};
+  fack->acdc_fack = true;
+  return fack;
+}
+
+std::optional<net::AcdcFeedback> consume_feedback(net::Packet& packet) {
+  if (!packet.tcp.options.acdc) return std::nullopt;
+  const net::AcdcFeedback fb = *packet.tcp.options.acdc;
+  packet.tcp.options.acdc.reset();
+  return fb;
+}
+
+}  // namespace acdc::vswitch

@@ -1,0 +1,27 @@
+// PACK/FACK feedback codec (§3.2): the receiver-side vSwitch reports running
+// totals of received and CE-marked bytes back to the sender-side vSwitch,
+// piggy-backed on ACKs as a TCP option (PACK) or, when the option would not
+// fit the MTU, as a dedicated feedback-only packet (FACK).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/packet.h"
+
+namespace acdc::vswitch {
+
+// Attaches the feedback option to `ack` if the resulting packet still fits
+// `mtu_bytes`. Returns true on success.
+bool attach_pack(net::Packet& ack, std::uint32_t total_bytes,
+                 std::uint32_t marked_bytes, std::int64_t mtu_bytes);
+
+// Builds a FACK: a minimal duplicate of `ack` carrying only the feedback
+// option (no payload), flagged so the sender module consumes it.
+net::PacketPtr make_fack(const net::Packet& ack, std::uint32_t total_bytes,
+                         std::uint32_t marked_bytes);
+
+// Removes and returns the feedback option, if present.
+std::optional<net::AcdcFeedback> consume_feedback(net::Packet& packet);
+
+}  // namespace acdc::vswitch

@@ -1,0 +1,10 @@
+#include "acdc/flow_key.h"
+
+namespace acdc::vswitch {
+
+std::string FlowKey::to_string() const {
+  return net::ip_to_string(src_ip) + ":" + std::to_string(src_port) + "->" +
+         net::ip_to_string(dst_ip) + ":" + std::to_string(dst_port);
+}
+
+}  // namespace acdc::vswitch

@@ -1,0 +1,48 @@
+// Directional 5-tuple flow identity (§4: "flows are hashed on a 5-tuple ...
+// to obtain a flow's state"; the VLAN id of the paper's tuple is constant in
+// our single-tenant simulations and omitted).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "net/packet.h"
+
+namespace acdc::vswitch {
+
+struct FlowKey {
+  net::IpAddr src_ip = 0;
+  net::IpAddr dst_ip = 0;
+  net::TcpPort src_port = 0;
+  net::TcpPort dst_port = 0;
+
+  bool operator==(const FlowKey&) const = default;
+
+  FlowKey reversed() const {
+    return FlowKey{dst_ip, src_ip, dst_port, src_port};
+  }
+
+  static FlowKey from_packet(const net::Packet& p) {
+    return FlowKey{p.ip.src, p.ip.dst, p.tcp.src_port, p.tcp.dst_port};
+  }
+
+  std::string to_string() const;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    // FNV-1a over the tuple fields.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(k.src_ip);
+    mix(k.dst_ip);
+    mix((static_cast<std::uint64_t>(k.src_port) << 16) | k.dst_port);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace acdc::vswitch

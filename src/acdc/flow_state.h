@@ -1,0 +1,87 @@
+// Per-flow connection-tracking state reconstructed by the vSwitch (§3.1,
+// Fig. 4) plus the virtual congestion-control variables (§3.2) and the
+// receiver-side feedback counters. One entry exists per flow *direction*;
+// a TCP connection therefore has two entries, as in the paper (§4).
+//
+// The paper reports 320 bytes of state per entry; this struct is of the same
+// order. All algorithm state is inline (no per-flow heap objects) so the
+// flow table stays cache-friendly — the property the CPU-overhead
+// microbenchmarks probe.
+#pragma once
+
+#include <cstdint>
+
+#include "acdc/policy.h"
+#include "sim/time.h"
+#include "tcp/seq.h"
+
+namespace acdc::vswitch {
+
+// Sender-side (egress data / ingress ACK) state for one flow.
+struct SenderFlowState {
+  // ---- Reconstructed TCP variables (Fig. 4) ----
+  tcp::Seq snd_una = 0;
+  tcp::Seq snd_nxt = 0;
+  bool seq_valid = false;  // set once the first egress segment is seen
+  std::uint32_t dupacks = 0;
+
+  // ---- Handshake-derived parameters (§3.3) ----
+  std::uint32_t mss = 1460;
+  std::uint8_t peer_wscale = 0;  // scale of windows advertised by the peer
+  bool peer_wscale_valid = false;
+  bool vm_requested_ecn = false;  // local VM sent ECN-setup SYN
+  bool vm_ecn_negotiated = false; // both VMs agreed on ECN
+
+  // ---- Feedback accounting (running totals from PACK/FACK, §3.2) ----
+  std::uint32_t fb_total = 0;
+  std::uint32_t fb_marked = 0;
+  bool fb_valid = false;
+
+  // ---- Virtual congestion control ----
+  double cwnd_bytes = 0.0;
+  double ssthresh_bytes = 1e18;
+  double alpha = 1.0;             // DCTCP EWMA
+  std::int64_t win_total = 0;     // feedback bytes in the current window
+  std::int64_t win_marked = 0;
+  tcp::Seq cc_window_end = 0;     // observation-window boundary (one RTT)
+  bool window_boundary_valid = false;
+  bool reduced_this_window = false;
+  // Virtual CUBIC epoch state.
+  double cubic_w_last_max = 0.0;
+  double cubic_k = 0.0;
+  double cubic_origin = 0.0;
+  double cubic_tcp_wnd = 0.0;
+  sim::Time cubic_epoch_start = sim::kNoTime;
+
+  // ---- Enforcement bookkeeping ----
+  std::int64_t last_enforced_rwnd = -1;
+  // Most recent ACK fields seen towards the VM, for §3.3 window-update and
+  // dupACK generation.
+  tcp::Seq last_ack_seq = 0;
+  std::uint16_t last_ack_raw_window = 0;
+  bool ack_seen = false;
+
+  // Inferred-timeout bookkeeping.
+  sim::Time last_timeout_at = sim::kNoTime;
+};
+
+// Receiver-side (ingress data / egress ACK) state for one flow.
+struct ReceiverFlowState {
+  std::uint32_t total_bytes = 0;   // running totals; wrap mod 2^32 on wire
+  std::uint32_t marked_bytes = 0;
+  bool active = false;             // data has been seen for this flow
+  bool vm_ecn_negotiated = false;  // local (receiving) VM negotiated ECN
+  bool sender_vm_requested_ecn = false;  // NS bit from the sender's SYN
+};
+
+struct FlowEntry {
+  FlowKey key;
+  FlowPolicy policy;
+  SenderFlowState snd;
+  ReceiverFlowState rcv;
+  sim::Time created_at = 0;
+  sim::Time last_activity = 0;
+  bool fin_seen = false;
+};
+
+}  // namespace acdc::vswitch

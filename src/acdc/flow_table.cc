@@ -1,0 +1,58 @@
+#include "acdc/flow_table.h"
+
+namespace acdc::vswitch {
+
+FlowEntry* FlowTable::find(const FlowKey& key) {
+  ++stats_.lookups;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  ++stats_.hits;
+  return it->second.get();
+}
+
+FlowEntry& FlowTable::get_or_create(const FlowKey& key, sim::Time now) {
+  ++stats_.lookups;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    return *it->second;
+  }
+  ++stats_.inserts;
+  auto entry = std::make_unique<FlowEntry>();
+  entry->key = key;
+  entry->created_at = now;
+  entry->last_activity = now;
+  FlowEntry& ref = *entry;
+  entries_.emplace(key, std::move(entry));
+  return ref;
+}
+
+bool FlowTable::erase(const FlowKey& key) {
+  if (entries_.erase(key) > 0) {
+    ++stats_.removals;
+    return true;
+  }
+  return false;
+}
+
+std::size_t FlowTable::collect_garbage(sim::Time now, sim::Time idle_timeout,
+                                       sim::Time fin_linger) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const FlowEntry& e = *it->second;
+    const sim::Time idle = now - e.last_activity;
+    const bool expire =
+        (e.fin_seen && idle > fin_linger) || idle > idle_timeout;
+    if (expire) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  stats_.gc_removed += static_cast<std::int64_t>(removed);
+  stats_.removals += static_cast<std::int64_t>(removed);
+  return removed;
+}
+
+}  // namespace acdc::vswitch

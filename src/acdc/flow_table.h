@@ -1,0 +1,51 @@
+// The vSwitch flow table (§4): hash table keyed on the 5-tuple, entries
+// created on SYN (or lazily on first packet for mid-flow adoption), removed
+// by FIN plus a coarse-grained garbage collector. The paper uses RCU hash
+// tables with per-entry spinlocks to make reader-dominated access cheap;
+// the simulator is single-threaded, so this class keeps the same
+// lookup-dominated interface without the synchronisation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "acdc/flow_state.h"
+#include "sim/time.h"
+
+namespace acdc::vswitch {
+
+class FlowTable {
+ public:
+  struct Stats {
+    std::int64_t lookups = 0;
+    std::int64_t hits = 0;
+    std::int64_t inserts = 0;
+    std::int64_t removals = 0;
+    std::int64_t gc_removed = 0;
+  };
+
+  FlowEntry* find(const FlowKey& key);
+  FlowEntry& get_or_create(const FlowKey& key, sim::Time now);
+  bool erase(const FlowKey& key);
+
+  // Removes entries idle for longer than `idle_timeout`, and FIN-marked
+  // entries idle for longer than `fin_linger`.
+  std::size_t collect_garbage(sim::Time now, sim::Time idle_timeout,
+                              sim::Time fin_linger);
+
+  std::size_t size() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& [key, entry] : entries_) fn(*entry);
+  }
+
+ private:
+  std::unordered_map<FlowKey, std::unique_ptr<FlowEntry>, FlowKeyHash>
+      entries_;
+  Stats stats_;
+};
+
+}  // namespace acdc::vswitch

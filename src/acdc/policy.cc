@@ -1,0 +1,44 @@
+#include "acdc/policy.h"
+
+namespace acdc::vswitch {
+
+const char* to_string(VccKind kind) {
+  switch (kind) {
+    case VccKind::kDctcp:
+      return "dctcp";
+    case VccKind::kReno:
+      return "reno";
+    case VccKind::kCubic:
+      return "cubic";
+  }
+  return "?";
+}
+
+void PolicyEngine::add_dst_subnet_rule(net::IpAddr prefix, net::IpAddr mask,
+                                       const FlowPolicy& policy) {
+  Rule r;
+  r.match_subnet = true;
+  r.prefix = prefix & mask;
+  r.mask = mask;
+  r.policy = policy;
+  rules_.push_back(r);
+}
+
+void PolicyEngine::add_dst_port_rule(net::TcpPort port,
+                                     const FlowPolicy& policy) {
+  Rule r;
+  r.match_port = true;
+  r.port = port;
+  r.policy = policy;
+  rules_.push_back(r);
+}
+
+FlowPolicy PolicyEngine::lookup(const FlowKey& key) const {
+  for (const Rule& r : rules_) {
+    if (r.match_subnet && (key.dst_ip & r.mask) == r.prefix) return r.policy;
+    if (r.match_port && key.dst_port == r.port) return r.policy;
+  }
+  return default_;
+}
+
+}  // namespace acdc::vswitch

@@ -1,0 +1,61 @@
+// Per-flow congestion-control policy (§2.2, §3.4): which virtual algorithm a
+// flow runs, its QoS priority beta (Eq. 1), an optional RWND cap (bandwidth
+// upper bound), and whether non-conforming senders are policed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "acdc/flow_key.h"
+
+namespace acdc::vswitch {
+
+enum class VccKind : std::uint8_t {
+  kDctcp,  // the paper's vSwitch algorithm (Fig. 5 / Eq. 1)
+  kReno,   // virtual NewReno (shows §3.1 generalises)
+  kCubic,  // e.g. for WAN-bound flows (§3.4)
+};
+
+const char* to_string(VccKind kind);
+
+struct FlowPolicy {
+  VccKind kind = VccKind::kDctcp;
+  // QoS priority in [0, 1]; 1.0 degenerates to plain DCTCP (Eq. 1).
+  double beta = 1.0;
+  // Static upper bound on the enforced window; 0 = none (Fig. 6).
+  std::int64_t max_rwnd_bytes = 0;
+  // Drop packets sent beyond the enforced window (§3.3 policing).
+  bool police = false;
+};
+
+// First-match rule list over the flow's destination, with a default policy.
+// The paper's example: WAN-destined flows get CUBIC, intra-DC flows DCTCP.
+class PolicyEngine {
+ public:
+  void set_default(const FlowPolicy& policy) { default_ = policy; }
+  const FlowPolicy& default_policy() const { return default_; }
+
+  // Matches (dst_ip & mask) == prefix.
+  void add_dst_subnet_rule(net::IpAddr prefix, net::IpAddr mask,
+                           const FlowPolicy& policy);
+  void add_dst_port_rule(net::TcpPort port, const FlowPolicy& policy);
+
+  FlowPolicy lookup(const FlowKey& key) const;
+
+  std::size_t rule_count() const { return rules_.size(); }
+
+ private:
+  struct Rule {
+    bool match_subnet = false;
+    net::IpAddr prefix = 0;
+    net::IpAddr mask = 0;
+    bool match_port = false;
+    net::TcpPort port = 0;
+    FlowPolicy policy;
+  };
+
+  FlowPolicy default_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace acdc::vswitch

@@ -1,0 +1,66 @@
+#include "acdc/receiver_module.h"
+
+#include "acdc/feedback.h"
+
+namespace acdc::vswitch {
+
+void ReceiverModule::process_ingress_data(net::Packet& packet) {
+  FlowEntry& entry = core_.entry(FlowKey::from_packet(packet));
+  entry.last_activity = core_.sim->now();
+  ReceiverFlowState& r = entry.rcv;
+
+  if (packet.tcp.flags.syn) {
+    // The sender vSwitch recorded whether its VM negotiated ECN in the
+    // reserved bit (§3.2); remember it and hide the bit from the VM.
+    r.sender_vm_requested_ecn = packet.tcp.reserved_vm_ecn;
+    packet.tcp.reserved_vm_ecn = false;
+  }
+  if (packet.tcp.flags.fin) entry.fin_seen = true;
+
+  if (packet.payload_bytes <= 0) return;
+  ++core_.stats.ingress_data_packets;
+  r.active = true;
+  r.total_bytes += static_cast<std::uint32_t>(packet.payload_bytes);
+  if (packet.ip.ecn == net::Ecn::kCe) {
+    r.marked_bytes += static_cast<std::uint32_t>(packet.payload_bytes);
+  }
+
+  if (core_.config.strip_ecn_at_receiver) {
+    // Hide congestion marks from the VM: an ECN-capable VM keeps seeing
+    // ECT(0) (so its own stack never reacts, §3.2); a non-ECN VM sees the
+    // original Not-ECT.
+    if (r.vm_ecn_negotiated) {
+      if (packet.ip.ecn == net::Ecn::kCe) packet.ip.ecn = net::Ecn::kEct0;
+    } else {
+      packet.ip.ecn = net::Ecn::kNotEct;
+    }
+  }
+}
+
+void ReceiverModule::process_egress_ack(
+    net::Packet& ack, const std::function<void(net::PacketPtr)>& emit) {
+  if (!core_.config.generate_feedback) return;
+  // The ACK acknowledges the reverse flow — the data direction we count.
+  FlowEntry* entry = core_.table.find(FlowKey::from_packet(ack).reversed());
+  if (entry == nullptr) return;
+  entry->last_activity = core_.sim->now();
+  const ReceiverFlowState& r = entry->rcv;
+
+  // Record the local VM's ECN acceptance from its SYN-ACK as it passes.
+  if (ack.tcp.flags.syn) {
+    entry->rcv.vm_ecn_negotiated =
+        r.sender_vm_requested_ecn && ack.tcp.flags.ece;
+    return;  // no feedback on handshake packets
+  }
+  if (!r.active) return;
+
+  if (attach_pack(ack, r.total_bytes, r.marked_bytes,
+                  core_.config.mtu_bytes)) {
+    ++core_.stats.packs_attached;
+  } else {
+    ++core_.stats.facks_sent;
+    emit(make_fack(ack, r.total_bytes, r.marked_bytes));
+  }
+}
+
+}  // namespace acdc::vswitch

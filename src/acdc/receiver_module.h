@@ -1,0 +1,30 @@
+// The AC/DC receiver module (§3, right side of Fig. 3): on ingress data it
+// counts total and CE-marked bytes and strips ECN bits before the VM sees
+// them; on egress ACKs it piggy-backs the running totals as a PACK option
+// or emits a dedicated FACK when the option would not fit the MTU (§3.2).
+#pragma once
+
+#include <functional>
+
+#include "acdc/core.h"
+#include "net/packet.h"
+
+namespace acdc::vswitch {
+
+class ReceiverModule {
+ public:
+  explicit ReceiverModule(AcdcCore& core) : core_(core) {}
+
+  // Ingress packets in the data direction.
+  void process_ingress_data(net::Packet& packet);
+
+  // Egress ACKs for data we received. `emit` transmits an extra packet
+  // (the FACK) toward the wire.
+  void process_egress_ack(net::Packet& ack,
+                          const std::function<void(net::PacketPtr)>& emit);
+
+ private:
+  AcdcCore& core_;
+};
+
+}  // namespace acdc::vswitch

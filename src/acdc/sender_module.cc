@@ -1,0 +1,219 @@
+#include "acdc/sender_module.h"
+
+#include <algorithm>
+
+#include "acdc/feedback.h"
+#include "tcp/seq.h"
+
+namespace acdc::vswitch {
+
+using tcp::seq_ge;
+using tcp::seq_gt;
+using tcp::seq_lt;
+using tcp::seq_max;
+
+void SenderModule::learn_from_egress_syn(FlowEntry& entry,
+                                         const net::Packet& syn) {
+  SenderFlowState& s = entry.snd;
+  if (syn.tcp.options.mss) {
+    s.mss = *syn.tcp.options.mss;
+    virtual_cc_for(entry.policy.kind).init(s, core_.config.vcc);
+  }
+  s.vm_requested_ecn = syn.tcp.flags.ece && syn.tcp.flags.cwr;
+}
+
+void SenderModule::learn_from_ingress_synack(FlowEntry& entry,
+                                             const net::Packet& synack) {
+  SenderFlowState& s = entry.snd;
+  if (synack.tcp.options.window_scale) {
+    s.peer_wscale = *synack.tcp.options.window_scale;
+    s.peer_wscale_valid = true;
+  }
+  if (synack.tcp.options.mss) {
+    s.mss = std::min<std::uint32_t>(s.mss, *synack.tcp.options.mss);
+    virtual_cc_for(entry.policy.kind).init(s, core_.config.vcc);
+  }
+  s.vm_ecn_negotiated = s.vm_requested_ecn && synack.tcp.flags.ece;
+}
+
+void SenderModule::track_sequences(FlowEntry& entry,
+                                   const net::Packet& packet) {
+  SenderFlowState& s = entry.snd;
+  const std::uint32_t span =
+      static_cast<std::uint32_t>(packet.payload_bytes) +
+      (packet.tcp.flags.syn ? 1 : 0) + (packet.tcp.flags.fin ? 1 : 0);
+  if (span == 0) return;
+  const tcp::Seq seq_end = packet.tcp.seq + span;
+  if (!s.seq_valid) {
+    s.snd_una = packet.tcp.seq;
+    s.snd_nxt = seq_end;
+    s.seq_valid = true;
+  } else {
+    s.snd_nxt = seq_max(s.snd_nxt, seq_end);
+  }
+}
+
+std::int64_t SenderModule::enforced_window_bytes(
+    const FlowEntry& entry) const {
+  std::int64_t wnd = static_cast<std::int64_t>(entry.snd.cwnd_bytes);
+  if (entry.policy.max_rwnd_bytes > 0) {
+    wnd = std::min(wnd, entry.policy.max_rwnd_bytes);
+  }
+  return std::max(wnd, core_.min_rwnd_bytes(entry.snd));
+}
+
+bool SenderModule::police(FlowEntry& entry, const net::Packet& packet) {
+  if (!entry.policy.police || !core_.config.enforce) return true;
+  const SenderFlowState& s = entry.snd;
+  if (!s.seq_valid || packet.payload_bytes == 0) return true;
+  const std::uint32_t span = static_cast<std::uint32_t>(packet.payload_bytes);
+  const tcp::Seq seq_end = packet.tcp.seq + span;
+  // Retransmissions (at or below snd_nxt) are always allowed.
+  if (tcp::seq_le(seq_end, s.snd_nxt)) return true;
+  const std::int64_t slack = static_cast<std::int64_t>(
+      core_.config.police_slack_mss * static_cast<double>(s.mss));
+  const std::int64_t allowed =
+      std::max<std::int64_t>(enforced_window_bytes(entry) + slack,
+                             static_cast<std::int64_t>(
+                                 core_.config.vcc.initial_cwnd_packets *
+                                 static_cast<double>(s.mss)));
+  const tcp::Seq allowed_end =
+      s.snd_una + static_cast<std::uint32_t>(allowed);
+  if (seq_gt(seq_end, allowed_end)) {
+    ++core_.stats.policed_drops;
+    return false;
+  }
+  return true;
+}
+
+bool SenderModule::process_egress(net::Packet& packet) {
+  FlowEntry& entry = core_.entry(FlowKey::from_packet(packet));
+  entry.last_activity = core_.sim->now();
+
+  if (packet.tcp.flags.syn) {
+    learn_from_egress_syn(entry, packet);
+    // Repurposed reserved bit: tell the remote vSwitch whether this VM's
+    // stack itself negotiated ECN (§3.2).
+    packet.tcp.reserved_vm_ecn = entry.snd.vm_requested_ecn;
+  }
+  if (packet.tcp.flags.fin) entry.fin_seen = true;
+
+  // Police against the window *before* admitting the packet's sequence
+  // range into snd_nxt (otherwise everything looks like a retransmission).
+  if (!police(entry, packet)) return false;
+
+  track_sequences(entry, packet);
+
+  if (packet.payload_bytes > 0) ++core_.stats.egress_data_packets;
+  return true;
+}
+
+bool SenderModule::process_ingress_ack(net::Packet& packet) {
+  // This ACK acknowledges the reverse flow: data we sent.
+  FlowEntry& entry = core_.entry(FlowKey::from_packet(packet).reversed());
+  entry.last_activity = core_.sim->now();
+  SenderFlowState& s = entry.snd;
+  ++core_.stats.acks_processed;
+
+  if (packet.tcp.flags.syn) {
+    learn_from_ingress_synack(entry, packet);
+  }
+
+  // ---- Feedback extraction (PACK strip / FACK consume, §3.2) ----
+  std::int64_t fb_total_delta = 0;
+  std::int64_t fb_marked_delta = 0;
+  if (auto fb = consume_feedback(packet)) {
+    fb_total_delta = static_cast<std::uint32_t>(fb->total_bytes - s.fb_total);
+    fb_marked_delta =
+        static_cast<std::uint32_t>(fb->marked_bytes - s.fb_marked);
+    s.fb_total = fb->total_bytes;
+    s.fb_marked = fb->marked_bytes;
+    s.fb_valid = true;
+  }
+
+  // ---- Connection-tracking update (§3.1) ----
+  VccEvent ev;
+  ev.now = core_.sim->now();
+  ev.fb_total_delta = fb_total_delta;
+  ev.fb_marked_delta = fb_marked_delta;
+  const tcp::Seq ack = packet.tcp.ack_seq;
+  if (!s.seq_valid) {
+    // Mid-flow adoption: bootstrap from the ACK itself.
+    s.snd_una = ack;
+    s.snd_nxt = seq_max(s.snd_nxt, ack);
+    s.seq_valid = true;
+  } else if (seq_gt(ack, s.snd_una) && tcp::seq_le(ack, s.snd_nxt)) {
+    ev.acked_bytes = static_cast<std::uint32_t>(ack - s.snd_una);
+    s.snd_una = ack;
+    s.dupacks = 0;
+  } else if (ack == s.snd_una && s.snd_nxt != s.snd_una &&
+             packet.is_pure_ack() && !packet.acdc_fack) {
+    ++s.dupacks;
+    ev.dupack = true;
+    ev.dupacks = s.dupacks;
+  }
+
+  // ---- Virtual congestion control (Fig. 5) ----
+  if (!packet.tcp.flags.syn) {
+    virtual_cc_for(entry.policy.kind)
+        .on_ack(s, entry.policy, core_.config.vcc, ev);
+  }
+
+  if (packet.acdc_fack) {
+    ++core_.stats.facks_consumed;
+    return false;  // FACKs never reach the VM
+  }
+
+  // ---- Enforcement (§3.3) ----
+  if (!packet.tcp.flags.syn) enforce_window(entry, packet);
+
+  if (core_.config.hide_ecn_feedback) packet.tcp.flags.ece = false;
+
+  // Template for §3.3 injection; SYN-ACK windows have different (unscaled)
+  // semantics, so only real ACKs qualify.
+  if (!packet.tcp.flags.syn) {
+    s.last_ack_seq = packet.tcp.ack_seq;
+    s.last_ack_raw_window = packet.tcp.window_raw;
+    s.ack_seen = true;
+  }
+  return true;
+}
+
+void SenderModule::enforce_window(FlowEntry& entry, net::Packet& ack) {
+  const std::int64_t wnd = enforced_window_bytes(entry);
+  entry.snd.last_enforced_rwnd = wnd;
+  if (core_.on_window) {
+    core_.on_window(entry.key, core_.sim->now(), wnd);
+  }
+  if (!core_.config.enforce) return;
+  const std::uint8_t scale =
+      entry.snd.peer_wscale_valid ? entry.snd.peer_wscale : 0;
+  // Round up so the effective window never falls below the computed one
+  // (flooring could leave the VM unable to send even a single MSS).
+  std::int64_t raw = (wnd + (std::int64_t{1} << scale) - 1) >> scale;
+  if (raw == 0) raw = 1;  // never freeze the flow entirely
+  if (raw < static_cast<std::int64_t>(ack.tcp.window_raw)) {
+    ack.tcp.window_raw = static_cast<std::uint16_t>(raw);
+    ++core_.stats.windows_lowered;
+  }
+}
+
+int SenderModule::infer_timeouts(sim::Time now) {
+  int fired = 0;
+  core_.table.for_each([&](FlowEntry& entry) {
+    SenderFlowState& s = entry.snd;
+    if (!s.seq_valid || !seq_lt(s.snd_una, s.snd_nxt)) return;
+    if (now - entry.last_activity < core_.config.inactivity_timeout) return;
+    if (s.last_timeout_at != sim::kNoTime &&
+        s.last_timeout_at >= entry.last_activity) {
+      return;  // already reacted to this stall
+    }
+    s.last_timeout_at = now;
+    virtual_cc_for(entry.policy.kind).on_timeout(s, core_.config.vcc);
+    ++core_.stats.inferred_timeouts;
+    ++fired;
+  });
+  return fired;
+}
+
+}  // namespace acdc::vswitch

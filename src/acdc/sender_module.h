@@ -1,0 +1,40 @@
+// The AC/DC sender module (§3, left side of Fig. 3): on egress data it
+// reconstructs sequence state, marks packets ECT and polices non-conforming
+// flows; on ingress ACKs it extracts PACK/FACK feedback, updates the
+// reconstructed connection variables, runs the virtual congestion control
+// (Fig. 5) and enforces the result by overwriting RWND (§3.3).
+#pragma once
+
+#include "acdc/core.h"
+#include "net/packet.h"
+
+namespace acdc::vswitch {
+
+class SenderModule {
+ public:
+  explicit SenderModule(AcdcCore& core) : core_(core) {}
+
+  // Egress packets in the data direction (payload/SYN/FIN). Returns false
+  // when the policer consumed the packet.
+  bool process_egress(net::Packet& packet);
+
+  // Ingress packets carrying an ACK for our data direction. Returns false
+  // when the packet was consumed (FACK).
+  bool process_ingress_ack(net::Packet& packet);
+
+  // Periodic inactivity scan: infers RTOs (§3.1). Returns the number of
+  // flows whose virtual CC was reset.
+  int infer_timeouts(sim::Time now);
+
+ private:
+  void learn_from_egress_syn(FlowEntry& entry, const net::Packet& syn);
+  void learn_from_ingress_synack(FlowEntry& entry, const net::Packet& synack);
+  void track_sequences(FlowEntry& entry, const net::Packet& packet);
+  bool police(FlowEntry& entry, const net::Packet& packet);
+  void enforce_window(FlowEntry& entry, net::Packet& ack);
+  std::int64_t enforced_window_bytes(const FlowEntry& entry) const;
+
+  AcdcCore& core_;
+};
+
+}  // namespace acdc::vswitch

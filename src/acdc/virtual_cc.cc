@@ -1,0 +1,217 @@
+#include "acdc/virtual_cc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acdc::vswitch {
+
+void VirtualCc::init(SenderFlowState& s, const VccConfig& cfg) const {
+  s.cwnd_bytes = cfg.initial_cwnd_packets * s.mss;
+  s.ssthresh_bytes = 1e18;
+  s.alpha = 1.0;
+  s.win_total = 0;
+  s.win_marked = 0;
+  s.window_boundary_valid = false;
+  s.reduced_this_window = false;
+}
+
+double VirtualCc::min_cwnd_bytes(const SenderFlowState& s) {
+  // The enforced window may fall to a single MSS — below host DCTCP's
+  // two-packet floor, which is why AC/DC beats host DCTCP at high incast
+  // fan-in (Fig. 19a).
+  return static_cast<double>(s.mss);
+}
+
+bool VirtualCc::window_rolled(SenderFlowState& s) {
+  if (!s.window_boundary_valid || tcp::seq_ge(s.snd_una, s.cc_window_end)) {
+    s.cc_window_end = s.snd_nxt;
+    s.window_boundary_valid = true;
+    s.reduced_this_window = false;
+    return true;
+  }
+  return false;
+}
+
+void VirtualCc::reno_grow(SenderFlowState& s, std::int64_t acked_bytes) {
+  if (acked_bytes <= 0) return;
+  if (s.cwnd_bytes < s.ssthresh_bytes) {
+    s.cwnd_bytes += static_cast<double>(acked_bytes);  // slow start
+  } else {
+    // +1 MSS per cwnd of ACKed data.
+    s.cwnd_bytes +=
+        static_cast<double>(s.mss) * static_cast<double>(acked_bytes) /
+        std::max(1.0, s.cwnd_bytes);
+  }
+}
+
+void VirtualCc::on_timeout(SenderFlowState& s, const VccConfig& cfg) const {
+  (void)cfg;
+  s.ssthresh_bytes = std::max(min_cwnd_bytes(s), s.cwnd_bytes / 2.0);
+  s.cwnd_bytes = min_cwnd_bytes(s);
+  s.window_boundary_valid = false;
+}
+
+// ------------------------------------------------------------------- DCTCP
+
+double VirtualDctcp::reduction_factor(double alpha, double beta) {
+  // Eq. 1: rwnd = rwnd * (1 - (alpha - alpha*beta/2)).
+  const double cut = alpha - alpha * beta / 2.0;
+  return std::clamp(1.0 - cut, 0.0, 1.0);
+}
+
+void VirtualDctcp::on_ack(SenderFlowState& s, const FlowPolicy& policy,
+                          const VccConfig& cfg, const VccEvent& ev) const {
+  // Track the fraction of CE-marked bytes reported by the receiver module.
+  s.win_total += ev.fb_total_delta;
+  s.win_marked += ev.fb_marked_delta;
+
+  // Update alpha once per window of data (≈ once per RTT, Fig. 5).
+  if (window_rolled(s) && s.win_total > 0) {
+    const double fraction = static_cast<double>(s.win_marked) /
+                            static_cast<double>(s.win_total);
+    s.alpha = (1.0 - cfg.g) * s.alpha + cfg.g * fraction;
+    s.win_total = 0;
+    s.win_marked = 0;
+  }
+
+  const bool loss = ev.dupack && ev.dupacks >= cfg.loss_dupacks;
+  const bool congestion = ev.fb_marked_delta > 0;
+
+  if (loss) {
+    // Fig. 5: loss implies maximal alpha, then the window is cut (at most
+    // once per window). Retransmission itself is the VM's job.
+    s.alpha = 1.0;
+  }
+  if (loss || congestion) {
+    if (!s.reduced_this_window) {
+      s.reduced_this_window = true;
+      s.cc_window_end = s.snd_nxt;
+      s.window_boundary_valid = true;
+      s.cwnd_bytes = std::max(
+          min_cwnd_bytes(s),
+          s.cwnd_bytes * reduction_factor(s.alpha, policy.beta));
+      s.ssthresh_bytes = std::max(min_cwnd_bytes(s), s.cwnd_bytes);
+      return;
+    }
+    // Already cut in this window: keep growing like the host stack, which
+    // runs tcp_cong_avoid() on every ACK outside the reduction itself.
+  }
+  if (!ev.dupack) reno_grow(s, ev.acked_bytes);  // tcp_cong_avoid()
+}
+
+void VirtualDctcp::on_timeout(SenderFlowState& s, const VccConfig& cfg) const {
+  (void)cfg;
+  s.alpha = 1.0;
+  s.ssthresh_bytes = std::max(min_cwnd_bytes(s), s.cwnd_bytes / 2.0);
+  s.cwnd_bytes = min_cwnd_bytes(s);
+  s.window_boundary_valid = false;
+}
+
+// -------------------------------------------------------------------- Reno
+
+void VirtualReno::on_ack(SenderFlowState& s, const FlowPolicy& policy,
+                         const VccConfig& cfg, const VccEvent& ev) const {
+  (void)policy;
+  window_rolled(s);
+  const bool loss = ev.dupack && ev.dupacks >= cfg.loss_dupacks;
+  const bool congestion = ev.fb_marked_delta > 0;
+  if (loss || congestion) {
+    if (!s.reduced_this_window) {
+      s.reduced_this_window = true;
+      s.cc_window_end = s.snd_nxt;
+      s.window_boundary_valid = true;
+      s.cwnd_bytes = std::max(min_cwnd_bytes(s), s.cwnd_bytes / 2.0);
+      s.ssthresh_bytes = std::max(min_cwnd_bytes(s), s.cwnd_bytes);
+    }
+    return;
+  }
+  if (!ev.dupack) reno_grow(s, ev.acked_bytes);
+}
+
+// ------------------------------------------------------------------- CUBIC
+
+void VirtualCubic::cut(SenderFlowState& s) const {
+  const double w = s.cwnd_bytes;
+  s.cubic_w_last_max = w < s.cubic_w_last_max ? w * (2.0 - kBeta) / 2.0 : w;
+  s.cwnd_bytes = std::max(min_cwnd_bytes(s), w * kBeta);
+  s.ssthresh_bytes = std::max(min_cwnd_bytes(s), s.cwnd_bytes);
+  s.cubic_epoch_start = sim::kNoTime;
+}
+
+void VirtualCubic::grow(SenderFlowState& s, const VccEvent& ev) const {
+  if (s.cwnd_bytes < s.ssthresh_bytes) {
+    s.cwnd_bytes += static_cast<double>(ev.acked_bytes);
+    return;
+  }
+  const double mss = static_cast<double>(s.mss);
+  if (s.cubic_epoch_start == sim::kNoTime) {
+    s.cubic_epoch_start = ev.now;
+    const double w_pkts = s.cwnd_bytes / mss;
+    const double wmax_pkts = s.cubic_w_last_max / mss;
+    if (w_pkts < wmax_pkts) {
+      s.cubic_k = std::cbrt((wmax_pkts - w_pkts) / kC);
+      s.cubic_origin = wmax_pkts;
+    } else {
+      s.cubic_k = 0.0;
+      s.cubic_origin = w_pkts;
+    }
+    s.cubic_tcp_wnd = w_pkts;
+  }
+  const double t = sim::to_seconds(ev.now - s.cubic_epoch_start);
+  const double delta = t - s.cubic_k;
+  const double target_pkts = s.cubic_origin + kC * delta * delta * delta;
+  const double w_pkts = s.cwnd_bytes / mss;
+  const double acked_pkts =
+      static_cast<double>(ev.acked_bytes) / std::max(1.0, mss);
+  double next_pkts = w_pkts;
+  if (target_pkts > w_pkts) {
+    next_pkts += (target_pkts - w_pkts) / w_pkts * acked_pkts;
+  } else {
+    next_pkts += 0.01 * acked_pkts / w_pkts;
+  }
+  s.cubic_tcp_wnd += 3.0 * (1.0 - kBeta) / (1.0 + kBeta) * acked_pkts / w_pkts;
+  next_pkts = std::max(next_pkts, s.cubic_tcp_wnd);
+  s.cwnd_bytes = next_pkts * mss;
+}
+
+void VirtualCubic::on_ack(SenderFlowState& s, const FlowPolicy& policy,
+                          const VccConfig& cfg, const VccEvent& ev) const {
+  (void)policy;
+  window_rolled(s);
+  const bool loss = ev.dupack && ev.dupacks >= cfg.loss_dupacks;
+  const bool congestion = ev.fb_marked_delta > 0;
+  if (loss || congestion) {
+    if (!s.reduced_this_window) {
+      s.reduced_this_window = true;
+      s.cc_window_end = s.snd_nxt;
+      s.window_boundary_valid = true;
+      cut(s);
+    }
+    return;
+  }
+  if (!ev.dupack) grow(s, ev);
+}
+
+void VirtualCubic::on_timeout(SenderFlowState& s, const VccConfig& cfg) const {
+  VirtualCc::on_timeout(s, cfg);
+  s.cubic_epoch_start = sim::kNoTime;
+}
+
+// ----------------------------------------------------------------- Registry
+
+const VirtualCc& virtual_cc_for(VccKind kind) {
+  static const VirtualDctcp dctcp;
+  static const VirtualReno reno;
+  static const VirtualCubic cubic;
+  switch (kind) {
+    case VccKind::kReno:
+      return reno;
+    case VccKind::kCubic:
+      return cubic;
+    case VccKind::kDctcp:
+      break;
+  }
+  return dctcp;
+}
+
+}  // namespace acdc::vswitch

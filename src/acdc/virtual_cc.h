@@ -1,0 +1,98 @@
+// Virtual congestion control: the algorithms AC/DC runs *in the vSwitch*
+// over reconstructed per-flow state. The flagship is the paper's
+// priority-extended DCTCP (Fig. 5 + Eq. 1); virtual NewReno and CUBIC show
+// the §3.1 machinery supports canonical algorithms and back the per-flow
+// policy engine (§3.4).
+//
+// Algorithms are stateless singletons: all per-flow state lives inline in
+// SenderFlowState so the flow table stays compact (§4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "acdc/flow_state.h"
+#include "sim/time.h"
+
+namespace acdc::vswitch {
+
+// What the sender module observed on one ingress ACK (or inferred event).
+struct VccEvent {
+  std::int64_t acked_bytes = 0;     // snd_una advance
+  std::int64_t fb_total_delta = 0;  // feedback: bytes newly covered
+  std::int64_t fb_marked_delta = 0; // feedback: CE-marked bytes among them
+  bool dupack = false;
+  std::uint32_t dupacks = 0;  // current duplicate-ACK count
+  sim::Time now = 0;
+};
+
+struct VccConfig {
+  double g = 1.0 / 16.0;           // DCTCP EWMA gain
+  double initial_cwnd_packets = 10;  // RFC 6928 (§3.1)
+  std::uint32_t loss_dupacks = 3;
+};
+
+class VirtualCc {
+ public:
+  virtual ~VirtualCc() = default;
+  virtual std::string_view name() const = 0;
+
+  // Prepares a fresh entry (initial window etc.).
+  void init(SenderFlowState& s, const VccConfig& cfg) const;
+
+  // Updates s.cwnd_bytes from one ACK's worth of evidence. Fig. 5 flow:
+  // congestion? loss? -> reduce (at most once per window) else grow.
+  virtual void on_ack(SenderFlowState& s, const FlowPolicy& policy,
+                      const VccConfig& cfg, const VccEvent& ev) const = 0;
+
+  // Inferred retransmission timeout (§3.1 inactivity timer).
+  virtual void on_timeout(SenderFlowState& s, const VccConfig& cfg) const;
+
+ protected:
+  // Shared helpers -------------------------------------------------------
+  // True when snd_una has passed the recorded window boundary; rolls the
+  // window forward (one boundary per RTT worth of data).
+  static bool window_rolled(SenderFlowState& s);
+  // Reno-style growth in bytes (slow start + congestion avoidance), used by
+  // DCTCP and NewReno.
+  static void reno_grow(SenderFlowState& s, std::int64_t acked_bytes);
+  static double min_cwnd_bytes(const SenderFlowState& s);
+};
+
+class VirtualDctcp : public VirtualCc {
+ public:
+  std::string_view name() const override { return "vdctcp"; }
+  void on_ack(SenderFlowState& s, const FlowPolicy& policy,
+              const VccConfig& cfg, const VccEvent& ev) const override;
+  void on_timeout(SenderFlowState& s, const VccConfig& cfg) const override;
+
+  // Eq. 1: w *= 1 - (alpha - alpha*beta/2); beta = 1 is plain DCTCP.
+  static double reduction_factor(double alpha, double beta);
+};
+
+class VirtualReno : public VirtualCc {
+ public:
+  std::string_view name() const override { return "vreno"; }
+  void on_ack(SenderFlowState& s, const FlowPolicy& policy,
+              const VccConfig& cfg, const VccEvent& ev) const override;
+};
+
+class VirtualCubic : public VirtualCc {
+ public:
+  std::string_view name() const override { return "vcubic"; }
+  void on_ack(SenderFlowState& s, const FlowPolicy& policy,
+              const VccConfig& cfg, const VccEvent& ev) const override;
+  void on_timeout(SenderFlowState& s, const VccConfig& cfg) const override;
+
+ private:
+  static constexpr double kC = 0.4;
+  static constexpr double kBeta = 0.7;
+  void cut(SenderFlowState& s) const;
+  void grow(SenderFlowState& s, const VccEvent& ev) const;
+};
+
+// Returns the singleton algorithm for a policy kind.
+const VirtualCc& virtual_cc_for(VccKind kind);
+
+}  // namespace acdc::vswitch

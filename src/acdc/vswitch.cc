@@ -1,0 +1,133 @@
+#include "acdc/vswitch.h"
+
+#include <utility>
+
+namespace acdc::vswitch {
+
+AcdcVswitch::AcdcVswitch(sim::Simulator* sim, AcdcConfig config)
+    : sender_(core_), receiver_(core_) {
+  core_.sim = sim;
+  core_.config = config;
+}
+
+void AcdcVswitch::ensure_timers() {
+  if (core_.config.infer_timeouts && !scan_armed_) {
+    scan_armed_ = true;
+    core_.sim->schedule(core_.config.inactivity_scan_interval,
+                        [this] { run_inactivity_scan(); });
+  }
+  if (!gc_armed_) {
+    gc_armed_ = true;
+    core_.sim->schedule(core_.config.gc_interval, [this] { run_gc(); });
+  }
+}
+
+void AcdcVswitch::run_inactivity_scan() {
+  scan_armed_ = false;
+  const int fired = sender_.infer_timeouts(core_.sim->now());
+  if (fired > 0 && core_.config.inject_dupacks_on_timeout) {
+    core_.table.for_each([this](FlowEntry& entry) {
+      if (entry.snd.last_timeout_at == core_.sim->now()) {
+        send_dupacks(entry.key, 3);
+      }
+    });
+  }
+  if (core_.table.size() > 0) {
+    scan_armed_ = true;
+    core_.sim->schedule(core_.config.inactivity_scan_interval,
+                        [this] { run_inactivity_scan(); });
+  }
+}
+
+void AcdcVswitch::run_gc() {
+  gc_armed_ = false;
+  core_.table.collect_garbage(core_.sim->now(), core_.config.idle_timeout,
+                              core_.config.fin_linger);
+  if (core_.table.size() > 0) {
+    gc_armed_ = true;
+    core_.sim->schedule(core_.config.gc_interval, [this] { run_gc(); });
+  }
+}
+
+void AcdcVswitch::handle_egress(net::PacketPtr packet) {
+  ensure_timers();
+  const bool data_direction = packet->payload_bytes > 0 ||
+                              packet->tcp.flags.syn || packet->tcp.flags.fin;
+  if (data_direction && !sender_.process_egress(*packet)) {
+    return;  // policed
+  }
+  if (packet->tcp.flags.ack) {
+    receiver_.process_egress_ack(
+        *packet, [this](net::PacketPtr fack) { send_down(std::move(fack)); });
+  }
+  // §3.2: ALL egress packets are marked ECN-capable — including SYNs and
+  // pure ACKs — so no packet of a managed flow is WRED-dropped where it
+  // could have been marked. The peer's receiver module strips the bits.
+  if (core_.config.mark_egress_ect &&
+      packet->ip.ecn == net::Ecn::kNotEct) {
+    packet->ip.ecn = net::Ecn::kEct0;
+  }
+  send_down(std::move(packet));
+}
+
+void AcdcVswitch::handle_ingress(net::PacketPtr packet) {
+  ensure_timers();
+  const bool data_direction = packet->payload_bytes > 0 ||
+                              packet->tcp.flags.syn || packet->tcp.flags.fin;
+  if (data_direction) {
+    receiver_.process_ingress_data(*packet);
+  }
+  if (packet->tcp.flags.ack || packet->acdc_fack) {
+    if (!sender_.process_ingress_ack(*packet)) {
+      return;  // FACK consumed
+    }
+  }
+  send_up(std::move(packet));
+}
+
+net::PacketPtr AcdcVswitch::craft_ack_toward_vm(const FlowEntry& entry) const {
+  // Build an ACK as the remote end would have sent it for data flow
+  // entry.key (so it arrives "from" the receiver).
+  auto p = std::make_unique<net::Packet>();
+  p->ip.src = entry.key.dst_ip;
+  p->ip.dst = entry.key.src_ip;
+  p->tcp.src_port = entry.key.dst_port;
+  p->tcp.dst_port = entry.key.src_port;
+  p->tcp.flags.ack = true;
+  p->tcp.seq = 0;  // pure ACK; sequence is not meaningful for window updates
+  p->tcp.ack_seq = entry.snd.last_ack_seq;
+  p->tcp.window_raw = entry.snd.last_ack_raw_window;
+  return p;
+}
+
+bool AcdcVswitch::send_window_update(const FlowKey& key) {
+  FlowEntry* entry = core_.table.find(key);
+  if (entry == nullptr || !entry->snd.ack_seen) return false;
+  net::PacketPtr p = craft_ack_toward_vm(*entry);
+  const std::uint8_t scale =
+      entry->snd.peer_wscale_valid ? entry->snd.peer_wscale : 0;
+  std::int64_t raw = entry->snd.last_enforced_rwnd >= 0
+                         ? entry->snd.last_enforced_rwnd >> scale
+                         : entry->snd.last_ack_raw_window;
+  if (raw <= 0) raw = 1;
+  p->tcp.window_raw =
+      static_cast<std::uint16_t>(std::min<std::int64_t>(raw, 65535));
+  ++core_.stats.injected_window_updates;
+  send_up(std::move(p));
+  return true;
+}
+
+bool AcdcVswitch::send_dupacks(const FlowKey& key, int count) {
+  FlowEntry* entry = core_.table.find(key);
+  if (entry == nullptr || !entry->snd.ack_seen) return false;
+  for (int i = 0; i < count; ++i) {
+    net::PacketPtr p = craft_ack_toward_vm(*entry);
+    // A dupACK must repeat snd_una and the last advertised window exactly.
+    p->tcp.ack_seq = entry->snd.snd_una;
+    ++core_.stats.injected_dupacks;
+    send_up(std::move(p));
+  }
+  return true;
+}
+
+}  // namespace acdc::vswitch

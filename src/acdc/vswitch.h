@@ -1,0 +1,67 @@
+// The AC/DC vSwitch datapath: a DuplexFilter sitting between the tenant TCP
+// stack and the NIC (Fig. 3). Every packet is matched against the flow
+// table; the sender and receiver modules implement §3's design:
+//
+//   egress:  [sender] track seqs, mark ECT, police  ->
+//            [receiver] attach PACK / emit FACK      -> NIC
+//   ingress: [receiver] count + strip ECN            ->
+//            [sender] feedback, virtual CC, RWND enforcement -> VM
+//
+// Also hosts the periodic inactivity scan (timeout inference, §3.1), the
+// flow-table garbage collector (§4) and the §3.3 flexibility features
+// (vSwitch-generated window updates and duplicate ACKs).
+#pragma once
+
+#include <memory>
+
+#include "acdc/core.h"
+#include "acdc/receiver_module.h"
+#include "acdc/sender_module.h"
+#include "net/datapath.h"
+#include "sim/simulator.h"
+
+namespace acdc::vswitch {
+
+class AcdcVswitch : public net::DuplexFilter {
+ public:
+  AcdcVswitch(sim::Simulator* sim, AcdcConfig config);
+
+  AcdcCore& core() { return core_; }
+  const AcdcConfig& config() const { return core_.config; }
+  PolicyEngine& policy() { return core_.policy; }
+  FlowTable& flows() { return core_.table; }
+  const AcdcStats& stats() const { return core_.stats; }
+
+  // Observability: computed enforcement window per processed ACK.
+  void set_window_observer(
+      std::function<void(const FlowKey&, sim::Time, std::int64_t)> fn) {
+    core_.on_window = std::move(fn);
+  }
+
+  // ---- §3.3 flexibility features ----
+  // Crafts a TCP window update toward the VM for data flow `key`
+  // (key = the VM's data direction), advertising the current enforced
+  // window without waiting for an ACK from the receiver.
+  bool send_window_update(const FlowKey& key);
+  // Generates `count` duplicate ACKs toward the VM to trigger its fast
+  // retransmit (e.g. when the VM's RTO is much larger than AC/DC's).
+  bool send_dupacks(const FlowKey& key, int count);
+
+ protected:
+  void handle_egress(net::PacketPtr packet) override;
+  void handle_ingress(net::PacketPtr packet) override;
+
+ private:
+  void ensure_timers();
+  void run_inactivity_scan();
+  void run_gc();
+  net::PacketPtr craft_ack_toward_vm(const FlowEntry& entry) const;
+
+  AcdcCore core_;
+  SenderModule sender_;
+  ReceiverModule receiver_;
+  bool scan_armed_ = false;
+  bool gc_armed_ = false;
+};
+
+}  // namespace acdc::vswitch

@@ -1,0 +1,41 @@
+// Fig. 7a: the dumbbell — N sender/receiver pairs across one bottleneck
+// trunk between two switches, all links 10G.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exp/scenario.h"
+
+namespace acdc::exp {
+
+struct DumbbellConfig {
+  ScenarioConfig scenario;
+  int pairs = 5;
+};
+
+class Dumbbell {
+ public:
+  explicit Dumbbell(const DumbbellConfig& config);
+
+  Scenario& scenario() { return scenario_; }
+  host::Host* sender(int i) { return senders_[static_cast<std::size_t>(i)]; }
+  host::Host* receiver(int i) {
+    return receivers_[static_cast<std::size_t>(i)];
+  }
+  int pairs() const { return static_cast<int>(senders_.size()); }
+  // The bottleneck egress port (left switch -> right switch).
+  net::Port* bottleneck() { return bottleneck_; }
+  net::Switch* left() { return left_; }
+  net::Switch* right() { return right_; }
+
+ private:
+  Scenario scenario_;
+  std::vector<host::Host*> senders_;
+  std::vector<host::Host*> receivers_;
+  net::Switch* left_ = nullptr;
+  net::Switch* right_ = nullptr;
+  net::Port* bottleneck_ = nullptr;
+};
+
+}  // namespace acdc::exp

@@ -1,0 +1,39 @@
+#include "exp/mode.h"
+
+namespace acdc::exp {
+
+ScenarioConfig scenario_config_for(Mode mode, std::int64_t mtu_bytes,
+                                   std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.mtu_bytes = mtu_bytes;
+  cfg.seed = seed;
+  cfg.red_enabled = mode != Mode::kCubic;
+  return cfg;
+}
+
+tcp::TcpConfig host_tcp_config(const Scenario& scenario, Mode mode,
+                               const std::string& host_cc) {
+  switch (mode) {
+    case Mode::kCubic:
+      return scenario.tcp_config("cubic");
+    case Mode::kDctcp:
+      return scenario.tcp_config("dctcp");
+    case Mode::kAcdc:
+      return scenario.tcp_config(host_cc);
+  }
+  return scenario.tcp_config("cubic");
+}
+
+std::vector<vswitch::AcdcVswitch*> apply_mode(
+    Scenario& scenario, const std::vector<host::Host*>& hosts, Mode mode,
+    const vswitch::AcdcConfig& acdc_config) {
+  std::vector<vswitch::AcdcVswitch*> switches;
+  if (mode != Mode::kAcdc) return switches;
+  switches.reserve(hosts.size());
+  for (host::Host* h : hosts) {
+    switches.push_back(scenario.attach_acdc(h, acdc_config));
+  }
+  return switches;
+}
+
+}  // namespace acdc::exp

@@ -1,0 +1,32 @@
+// The paper's three experiment configurations (§5 "Experiment details"):
+//   CUBIC : host CUBIC stacks, plain vSwitch, switch WRED/ECN off.
+//   DCTCP : host DCTCP stacks, plain vSwitch, switch WRED/ECN on.
+//   AC/DC : host CUBIC (default) + AC/DC vSwitch, switch WRED/ECN on.
+// These helpers apply a Mode to a Scenario uniformly so every bench/test
+// builds the same three columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/scenario.h"
+
+namespace acdc::exp {
+
+// Scenario config with WRED/ECN set correctly for the mode.
+ScenarioConfig scenario_config_for(Mode mode, std::int64_t mtu_bytes = 9000,
+                                   std::uint64_t seed = 1);
+
+// The host TCP stack config for this mode (`host_cc` only affects kAcdc,
+// whose point is that the tenant stack is arbitrary — Table 1).
+tcp::TcpConfig host_tcp_config(const Scenario& scenario, Mode mode,
+                               const std::string& host_cc = "cubic");
+
+// Installs AC/DC vSwitches on the given hosts when the mode requires it.
+// Returns the vswitches (empty for other modes). Call before opening
+// connections.
+std::vector<vswitch::AcdcVswitch*> apply_mode(
+    Scenario& scenario, const std::vector<host::Host*>& hosts, Mode mode,
+    const vswitch::AcdcConfig& acdc_config = {});
+
+}  // namespace acdc::exp

@@ -1,0 +1,46 @@
+#include "exp/parking_lot.h"
+
+namespace acdc::exp {
+
+ParkingLot::ParkingLot(const ParkingLotConfig& config)
+    : scenario_(config.scenario) {
+  const int n_switches = config.segments + 1;
+  for (int i = 0; i < n_switches; ++i) {
+    switches_.push_back(scenario_.add_switch("sw" + std::to_string(i)));
+  }
+
+  // Hosts first, so routes can be installed per trunk below.
+  long_sender_ = scenario_.add_host("L-src");
+  long_receiver_ = scenario_.add_host("L-dst");
+  scenario_.attach(long_sender_, switches_.front());
+  scenario_.attach(long_receiver_, switches_.back());
+  for (int i = 0; i < config.segments; ++i) {
+    host::Host* cs = scenario_.add_host("x-src" + std::to_string(i));
+    host::Host* cr = scenario_.add_host("x-dst" + std::to_string(i));
+    scenario_.attach(cs, switches_[static_cast<std::size_t>(i)]);
+    scenario_.attach(cr, switches_[static_cast<std::size_t>(i) + 1]);
+    cross_senders_.push_back(cs);
+    cross_receivers_.push_back(cr);
+  }
+
+  for (int i = 0; i < config.segments; ++i) {
+    auto [lr, rl] = scenario_.trunk(switches_[static_cast<std::size_t>(i)],
+                                    switches_[static_cast<std::size_t>(i) + 1]);
+    trunks_.push_back(lr);
+    // Rightward routes: everything attached at or beyond switch i+1.
+    switches_[static_cast<std::size_t>(i)]->set_default_route(lr);
+    // Leftward routes: reply traffic to hosts left of the trunk.
+    switches_[static_cast<std::size_t>(i) + 1]->add_route(long_sender_->ip(),
+                                                          rl);
+    for (int j = 0; j <= i; ++j) {
+      switches_[static_cast<std::size_t>(i) + 1]->add_route(
+          cross_senders_[static_cast<std::size_t>(j)]->ip(), rl);
+      if (j < i) {
+        switches_[static_cast<std::size_t>(i) + 1]->add_route(
+            cross_receivers_[static_cast<std::size_t>(j)]->ip(), rl);
+      }
+    }
+  }
+}
+
+}  // namespace acdc::exp

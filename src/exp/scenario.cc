@@ -1,0 +1,153 @@
+#include "exp/scenario.h"
+
+#include <cassert>
+
+namespace acdc::exp {
+
+const char* to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kCubic:
+      return "CUBIC";
+    case Mode::kDctcp:
+      return "DCTCP";
+    case Mode::kAcdc:
+      return "AC/DC";
+  }
+  return "?";
+}
+
+Scenario::Scenario(const ScenarioConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+host::Host* Scenario::add_host(const std::string& name) {
+  host::HostConfig hc;
+  hc.link_rate = config_.link_rate;
+  hc.link_delay = config_.host_link_delay;
+  const net::IpAddr ip = net::make_ip(10, 0, 0, next_host_id_++);
+  hosts_.push_back(std::make_unique<host::Host>(&sim_, name, ip, hc));
+  return hosts_.back().get();
+}
+
+net::SwitchConfig Scenario::switch_config(bool red_enabled) const {
+  net::SwitchConfig sc;
+  sc.shared_buffer_bytes = config_.switch_buffer_bytes;
+  sc.buffer_alpha = config_.switch_buffer_alpha;
+  if (red_enabled) {
+    sc.red_min_bytes = config_.derived_red_k();
+    sc.red_max_bytes = config_.derived_red_k();
+    sc.red_max_probability = 1.0;
+  }
+  return sc;
+}
+
+net::Switch* Scenario::add_switch(const std::string& name) {
+  return add_switch(name, config_.red_enabled);
+}
+
+net::Switch* Scenario::add_switch(const std::string& name, bool red_enabled) {
+  switches_.push_back(std::make_unique<net::Switch>(
+      &sim_, name, switch_config(red_enabled), &rng_));
+  return switches_.back().get();
+}
+
+void Scenario::attach(host::Host* h, net::Switch* sw) {
+  // Host -> switch direction.
+  h->nic().tx_port().set_peer(sw);
+  // Switch -> host direction.
+  net::Port* to_host =
+      sw->add_port(config_.link_rate, config_.host_link_delay);
+  to_host->set_peer(&h->nic());
+  sw->add_route(h->ip(), to_host);
+}
+
+std::pair<net::Port*, net::Port*> Scenario::trunk(net::Switch* a,
+                                                  net::Switch* b) {
+  net::Port* ab = a->add_port(config_.link_rate, config_.switch_link_delay);
+  ab->set_peer(b);
+  net::Port* ba = b->add_port(config_.link_rate, config_.switch_link_delay);
+  ba->set_peer(a);
+  return {ab, ba};
+}
+
+vswitch::AcdcVswitch* Scenario::attach_acdc(
+    host::Host* h, const vswitch::AcdcConfig& config) {
+  vswitch::AcdcConfig cfg = config;
+  if (cfg.mtu_bytes == 9000) cfg.mtu_bytes = config_.mtu_bytes;
+  auto vs = std::make_unique<vswitch::AcdcVswitch>(&sim_, cfg);
+  vswitch::AcdcVswitch* raw = vs.get();
+  filters_.push_back(std::move(vs));
+  h->add_filter(raw);
+  return raw;
+}
+
+net::TokenBucketShaper* Scenario::attach_shaper(
+    host::Host* h, sim::Rate rate, std::int64_t burst_bytes,
+    std::int64_t backlog_limit_bytes) {
+  auto shaper = std::make_unique<net::TokenBucketShaper>(
+      &sim_, rate, burst_bytes, backlog_limit_bytes);
+  net::TokenBucketShaper* raw = shaper.get();
+  filters_.push_back(std::move(shaper));
+  h->add_filter(raw);
+  return raw;
+}
+
+tcp::TcpConfig Scenario::tcp_config(const std::string& cc) const {
+  tcp::TcpConfig cfg;
+  cfg.mss = config_.mss();
+  cfg.cc = cc;
+  cfg.min_rto = sim::milliseconds(10);  // paper §5 system settings
+  cfg.sack = true;
+  cfg.ecn = cc == "dctcp";  // DCTCP requires ECN; others default off
+  // Deployed DCTCP marks control packets ECT too, so handshakes survive
+  // saturated marking queues (see TcpConfig::ect_on_control).
+  cfg.ect_on_control = cfg.ecn;
+  return cfg;
+}
+
+host::BulkApp* Scenario::add_bulk_flow(host::Host* sender,
+                                       host::Host* receiver,
+                                       const tcp::TcpConfig& cfg,
+                                       sim::Time start,
+                                       std::int64_t total_bytes) {
+  tcp::TcpConfig receiver_cfg = cfg;
+  bulk_apps_.push_back(std::make_unique<host::BulkApp>(
+      &sim_, sender, receiver, next_port_++, cfg, receiver_cfg, start,
+      total_bytes));
+  return bulk_apps_.back().get();
+}
+
+host::EchoApp* Scenario::add_rtt_probe(host::Host* client, host::Host* server,
+                                       const tcp::TcpConfig& cfg,
+                                       sim::Time start, sim::Time interval) {
+  echo_apps_.push_back(std::make_unique<host::EchoApp>(
+      &sim_, client, server, next_port_++, cfg, cfg, start, interval));
+  return echo_apps_.back().get();
+}
+
+host::MessageApp* Scenario::add_message_app(host::Host* sender,
+                                            host::Host* receiver,
+                                            const tcp::TcpConfig& cfg,
+                                            sim::Time start,
+                                            sim::Time interval,
+                                            std::int64_t bytes,
+                                            stats::FctCollector* collector) {
+  message_apps_.push_back(std::make_unique<host::MessageApp>(
+      &sim_, sender, receiver, next_port_++, cfg, cfg, start, interval, bytes,
+      collector));
+  return message_apps_.back().get();
+}
+
+net::QueueStats Scenario::fabric_stats() const {
+  net::QueueStats total;
+  for (const auto& sw : switches_) {
+    const net::QueueStats s = sw->total_stats();
+    total.enqueued_packets += s.enqueued_packets;
+    total.enqueued_bytes += s.enqueued_bytes;
+    total.dropped_packets += s.dropped_packets;
+    total.dropped_bytes += s.dropped_bytes;
+    total.marked_packets += s.marked_packets;
+  }
+  return total;
+}
+
+}  // namespace acdc::exp

@@ -1,0 +1,122 @@
+// Experiment scaffolding shared by benches, examples and integration tests:
+// owns the simulator, RNG, hosts, switches, datapath filters and apps, and
+// provides the paper's standard configurations (10G links, 9MB shared
+// switch buffers, WRED/ECN marking thresholds, RTOmin = 10ms).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "acdc/vswitch.h"
+#include "host/bulk_app.h"
+#include "host/echo_app.h"
+#include "host/host.h"
+#include "host/message_app.h"
+#include "net/switch.h"
+#include "net/token_bucket.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace acdc::exp {
+
+// Which of the paper's three configurations a host runs (§5 "Experiment
+// details").
+enum class Mode {
+  kCubic,  // host CUBIC, plain vSwitch, no switch ECN
+  kDctcp,  // host DCTCP, plain vSwitch, switch WRED/ECN on
+  kAcdc,   // host CUBIC (by default) + AC/DC vSwitch, switch WRED/ECN on
+};
+
+const char* to_string(Mode mode);
+
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  std::int64_t mtu_bytes = 9000;
+  sim::Rate link_rate = sim::gigabits_per_second(10);
+  sim::Time host_link_delay = sim::microseconds(2);
+  sim::Time switch_link_delay = sim::microseconds(2);
+  std::int64_t switch_buffer_bytes = 9 * 1024 * 1024;
+  double switch_buffer_alpha = 1.0;
+  // DCTCP-style step-marking threshold; the paper-standard K scales with
+  // MTU (65 x 1.5KB-packets' worth of bytes, ~100KB; larger for 9K).
+  std::int64_t red_k_bytes = 0;  // 0 -> derived from MTU
+  bool red_enabled = true;
+
+  std::int64_t derived_red_k() const {
+    if (red_k_bytes > 0) return red_k_bytes;
+    return mtu_bytes >= 9000 ? 20 * 9000 : 65 * 1500;
+  }
+  std::uint32_t mss() const {
+    return static_cast<std::uint32_t>(mtu_bytes - 40);
+  }
+};
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& config);
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::Rng& rng() { return rng_; }
+  const ScenarioConfig& config() const { return config_; }
+
+  // ---- Topology ----
+  host::Host* add_host(const std::string& name);
+  net::Switch* add_switch(const std::string& name);
+  net::Switch* add_switch(const std::string& name, bool red_enabled);
+  // Full-duplex host <-> switch attachment with routes installed.
+  void attach(host::Host* h, net::Switch* sw);
+  // Full-duplex switch <-> switch trunk; returns the two unidirectional
+  // egress ports (a->b, b->a) so callers can install routes/inspect queues.
+  std::pair<net::Port*, net::Port*> trunk(net::Switch* a, net::Switch* b);
+
+  // ---- Datapath ----
+  vswitch::AcdcVswitch* attach_acdc(host::Host* h,
+                                    const vswitch::AcdcConfig& config);
+  net::TokenBucketShaper* attach_shaper(
+      host::Host* h, sim::Rate rate, std::int64_t burst_bytes,
+      std::int64_t backlog_limit_bytes = 2 * 1024 * 1024);
+
+  // ---- TCP configs ----
+  // Paper defaults: RTOmin 10ms, SACK on, window scaling, MSS from MTU.
+  tcp::TcpConfig tcp_config(const std::string& cc) const;
+
+  // ---- Apps (owned by the scenario) ----
+  host::BulkApp* add_bulk_flow(host::Host* sender, host::Host* receiver,
+                               const tcp::TcpConfig& cfg, sim::Time start,
+                               std::int64_t total_bytes = 0);
+  host::EchoApp* add_rtt_probe(host::Host* client, host::Host* server,
+                               const tcp::TcpConfig& cfg, sim::Time start,
+                               sim::Time interval);
+  host::MessageApp* add_message_app(host::Host* sender, host::Host* receiver,
+                                    const tcp::TcpConfig& cfg, sim::Time start,
+                                    sim::Time interval, std::int64_t bytes,
+                                    stats::FctCollector* collector);
+
+  const std::vector<std::unique_ptr<host::BulkApp>>& bulk_flows() const {
+    return bulk_apps_;
+  }
+
+  void run_until(sim::Time t) { sim_.run_until(t); }
+
+  // Aggregate switch queue statistics across all switches.
+  net::QueueStats fabric_stats() const;
+
+ private:
+  net::SwitchConfig switch_config(bool red_enabled) const;
+
+  ScenarioConfig config_;
+  sim::Simulator sim_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  std::vector<std::unique_ptr<net::Switch>> switches_;
+  std::vector<std::unique_ptr<net::DuplexFilter>> filters_;
+  std::vector<std::unique_ptr<host::BulkApp>> bulk_apps_;
+  std::vector<std::unique_ptr<host::EchoApp>> echo_apps_;
+  std::vector<std::unique_ptr<host::MessageApp>> message_apps_;
+  net::TcpPort next_port_ = 5000;
+  std::uint8_t next_host_id_ = 1;
+};
+
+}  // namespace acdc::exp

@@ -1,0 +1,14 @@
+#include "exp/star.h"
+
+namespace acdc::exp {
+
+Star::Star(const StarConfig& config) : scenario_(config.scenario) {
+  hub_ = scenario_.add_switch("hub");
+  for (int i = 0; i < config.hosts; ++i) {
+    host::Host* h = scenario_.add_host("h" + std::to_string(i));
+    scenario_.attach(h, hub_);
+    hosts_.push_back(h);
+  }
+}
+
+}  // namespace acdc::exp

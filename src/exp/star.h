@@ -1,0 +1,32 @@
+// Single-switch star used by the macrobenchmarks (§5.2: "we attach all
+// servers to a single switch") and the incast experiments — the 48-port
+// G8264 analogue.
+#pragma once
+
+#include <vector>
+
+#include "exp/scenario.h"
+
+namespace acdc::exp {
+
+struct StarConfig {
+  ScenarioConfig scenario;
+  int hosts = 17;
+};
+
+class Star {
+ public:
+  explicit Star(const StarConfig& config);
+
+  Scenario& scenario() { return scenario_; }
+  net::Switch* hub() { return hub_; }
+  host::Host* host(int i) { return hosts_[static_cast<std::size_t>(i)]; }
+  int host_count() const { return static_cast<int>(hosts_.size()); }
+
+ private:
+  Scenario scenario_;
+  net::Switch* hub_ = nullptr;
+  std::vector<host::Host*> hosts_;
+};
+
+}  // namespace acdc::exp

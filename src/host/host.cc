@@ -1,0 +1,122 @@
+#include "host/host.h"
+
+#include <cassert>
+#include <utility>
+
+namespace acdc::host {
+
+Host::Host(sim::Simulator* sim, std::string name, net::IpAddr ip,
+           const HostConfig& config)
+    : sim_(sim),
+      name_(std::move(name)),
+      ip_(ip),
+      tsq_limit_bytes_(config.tsq_limit_bytes),
+      nic_(sim, name_, config.link_rate, config.link_delay,
+           config.nic_queue_bytes) {
+  if (tsq_limit_bytes_ > 0) {
+    nic_.tx_port().set_drain_callback([this] { on_nic_drain(); });
+  }
+  rewire();
+}
+
+void Host::on_nic_drain() {
+  if (!tx_blocked_hint_) return;
+  if (nic_.tx_port().queue().byte_length() >= tsq_limit_bytes_) return;
+  tx_blocked_hint_ = false;
+  // Rotate the starting point so connections share the freed budget fairly
+  // (the first poked connection may consume all of it).
+  const std::size_t n = connections_.size();
+  if (n == 0) return;
+  next_poke_ = (next_poke_ + 1) % n;
+  for (std::size_t i = 0; i < n; ++i) {
+    connections_[(next_poke_ + i) % n]->poke();
+  }
+}
+
+void Host::EgressEntry::receive(net::PacketPtr packet) {
+  host_->egress_target_->receive(std::move(packet));
+}
+
+void Host::add_filter(net::DuplexFilter* filter) {
+  assert(connections_.empty() && "install filters before opening connections");
+  filters_.push_back(filter);
+  rewire();
+}
+
+void Host::rewire() {
+  if (filters_.empty()) {
+    egress_target_ = &nic_.tx();
+    nic_.set_up(this);
+    return;
+  }
+  egress_target_ = &filters_.front()->egress_in();
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    filters_[i]->set_down(i + 1 < filters_.size()
+                              ? &filters_[i + 1]->egress_in()
+                              : static_cast<net::PacketSink*>(&nic_.tx()));
+    filters_[i]->set_up(i == 0 ? static_cast<net::PacketSink*>(this)
+                               : &filters_[i - 1]->ingress_in());
+  }
+  nic_.set_up(&filters_.back()->ingress_in());
+}
+
+tcp::TcpConnection* Host::make_connection(const tcp::TcpConfig& config,
+                                          tcp::Endpoint local,
+                                          tcp::Endpoint remote) {
+  auto conn = std::make_unique<tcp::TcpConnection>(sim_, config, local, remote,
+                                                   &egress_entry_);
+  tcp::TcpConnection* raw = conn.get();
+  if (tsq_limit_bytes_ > 0) {
+    raw->tx_gate = [this] {
+      if (nic_.tx_port().queue().byte_length() < tsq_limit_bytes_) {
+        return true;
+      }
+      tx_blocked_hint_ = true;
+      return false;
+    };
+  }
+  connections_.push_back(std::move(conn));
+  demux_[ConnKey{local.port, remote.ip, remote.port}] = raw;
+  return raw;
+}
+
+tcp::TcpConnection* Host::connect(net::IpAddr remote_ip,
+                                  net::TcpPort remote_port,
+                                  const tcp::TcpConfig& config) {
+  const tcp::Endpoint local{ip_, next_ephemeral_++};
+  const tcp::Endpoint remote{remote_ip, remote_port};
+  tcp::TcpConnection* conn = make_connection(config, local, remote);
+  conn->open_active();
+  return conn;
+}
+
+void Host::listen(net::TcpPort port, const tcp::TcpConfig& config,
+                  std::function<void(tcp::TcpConnection*)> on_accept) {
+  listeners_[port] = Listener{config, std::move(on_accept)};
+}
+
+void Host::receive(net::PacketPtr packet) {
+  const ConnKey key{packet->tcp.dst_port, packet->ip.src,
+                    packet->tcp.src_port};
+  auto it = demux_.find(key);
+  if (it != demux_.end()) {
+    it->second->receive(std::move(packet));
+    return;
+  }
+  // No connection: a SYN to a listening port spawns one.
+  if (packet->tcp.flags.syn && !packet->tcp.flags.ack) {
+    auto lit = listeners_.find(packet->tcp.dst_port);
+    if (lit != listeners_.end()) {
+      const tcp::Endpoint local{ip_, packet->tcp.dst_port};
+      const tcp::Endpoint remote{packet->ip.src, packet->tcp.src_port};
+      tcp::TcpConnection* conn =
+          make_connection(lit->second.config, local, remote);
+      conn->open_passive(*packet);
+      if (lit->second.on_accept) lit->second.on_accept(conn);
+      return;
+    }
+  }
+  ++demux_misses_;
+}
+
+}  // namespace acdc::host

@@ -1,0 +1,119 @@
+// A server: TCP connections, a datapath of DuplexFilters (where the AC/DC
+// vSwitch lives), and a NIC. Mirrors the paper's Fig. 3 stack:
+//   apps -> TCP stack -> vSwitch datapath -> NIC -> fabric.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/datapath.h"
+#include "net/nic.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "tcp/tcp_connection.h"
+
+namespace acdc::host {
+
+struct HostConfig {
+  sim::Rate link_rate = sim::gigabits_per_second(10);
+  sim::Time link_delay = sim::microseconds(2);
+  // TX queue between the datapath and the wire. Kept small, as on real
+  // servers where TSO + TCP Small Queues bound a sender's self-queueing;
+  // a multi-MB value here would hide switch-side AQM behind sender-side
+  // bufferbloat.
+  std::int64_t nic_queue_bytes = 512 * 1024;
+  // TCP Small Queues analogue: connections stop emitting new data while
+  // the NIC TX queue holds at least this much, and are poked when it
+  // drains. 0 disables the back-pressure.
+  std::int64_t tsq_limit_bytes = 128 * 1024;
+};
+
+class Host : public net::PacketSink {
+ public:
+  Host(sim::Simulator* sim, std::string name, net::IpAddr ip,
+       const HostConfig& config);
+
+  const std::string& name() const { return name_; }
+  net::IpAddr ip() const { return ip_; }
+  net::Nic& nic() { return nic_; }
+
+  // Adds a datapath filter (non-owning). Filters see egress packets in
+  // insertion order and ingress packets in reverse order. Install filters
+  // before opening connections.
+  void add_filter(net::DuplexFilter* filter);
+
+  // Active open to a remote host; allocates an ephemeral local port.
+  tcp::TcpConnection* connect(net::IpAddr remote_ip, net::TcpPort remote_port,
+                              const tcp::TcpConfig& config);
+
+  // Passive open: SYNs to `port` spawn connections with `config`.
+  void listen(net::TcpPort port, const tcp::TcpConfig& config,
+              std::function<void(tcp::TcpConnection*)> on_accept = {});
+
+  // Ingress from the datapath (post-filters) — demultiplexes to connections.
+  void receive(net::PacketPtr packet) override;
+
+  const std::vector<std::unique_ptr<tcp::TcpConnection>>& connections() const {
+    return connections_;
+  }
+  std::int64_t demux_misses() const { return demux_misses_; }
+
+ private:
+  struct ConnKey {
+    net::TcpPort local_port = 0;
+    net::IpAddr remote_ip = 0;
+    net::TcpPort remote_port = 0;
+
+    bool operator==(const ConnKey&) const = default;
+  };
+  struct ConnKeyHash {
+    std::size_t operator()(const ConnKey& k) const {
+      std::size_t h = k.remote_ip;
+      h = h * 1000003u + k.local_port;
+      h = h * 1000003u + k.remote_port;
+      return h;
+    }
+  };
+  struct Listener {
+    tcp::TcpConfig config;
+    std::function<void(tcp::TcpConnection*)> on_accept;
+  };
+
+  // Entry point connections transmit into; forwards to the datapath head.
+  class EgressEntry : public net::PacketSink {
+   public:
+    explicit EgressEntry(Host* host) : host_(host) {}
+    void receive(net::PacketPtr packet) override;
+
+   private:
+    Host* host_;
+  };
+
+  void rewire();
+  tcp::TcpConnection* make_connection(const tcp::TcpConfig& config,
+                                      tcp::Endpoint local,
+                                      tcp::Endpoint remote);
+  void on_nic_drain();
+
+  sim::Simulator* sim_;
+  std::string name_;
+  net::IpAddr ip_;
+  std::int64_t tsq_limit_bytes_;
+  net::Nic nic_;
+  bool tx_blocked_hint_ = false;
+  std::size_t next_poke_ = 0;
+  EgressEntry egress_entry_{this};
+  net::PacketSink* egress_target_ = nullptr;  // head of the egress chain
+  std::vector<net::DuplexFilter*> filters_;
+  std::vector<std::unique_ptr<tcp::TcpConnection>> connections_;
+  std::unordered_map<ConnKey, tcp::TcpConnection*, ConnKeyHash> demux_;
+  std::unordered_map<net::TcpPort, Listener> listeners_;
+  net::TcpPort next_ephemeral_ = 40'000;
+  std::int64_t demux_misses_ = 0;
+};
+
+}  // namespace acdc::host

@@ -1,0 +1,70 @@
+#include "host/message_app.h"
+
+#include <cassert>
+#include <utility>
+
+namespace acdc::host {
+
+MessageApp::MessageApp(sim::Simulator* sim, Host* sender, Host* receiver,
+                       net::TcpPort port, const tcp::TcpConfig& sender_config,
+                       const tcp::TcpConfig& receiver_config,
+                       sim::Time start_time, sim::Time interval,
+                       std::int64_t message_bytes,
+                       stats::FctCollector* collector)
+    : sim_(sim),
+      sender_(sender),
+      receiver_(receiver),
+      port_(port),
+      sender_config_(sender_config),
+      interval_(interval),
+      message_bytes_(message_bytes),
+      collector_(collector),
+      periodic_(interval > 0) {
+  receiver_->listen(port_, receiver_config);
+  sim_->schedule_at(start_time, [this] { start(); });
+}
+
+void MessageApp::start() {
+  conn_ = sender_->connect(receiver_->ip(), port_, sender_config_);
+  conn_->on_established = [this] {
+    established_ = true;
+    if (on_established) on_established();
+    if (periodic_) tick();
+  };
+  conn_->on_acked = [this](std::int64_t total) { handle_acked(total); };
+}
+
+void MessageApp::tick() {
+  if (stopped_) return;
+  send_message(message_bytes_);
+  sim_->schedule(interval_, [this] { tick(); });
+}
+
+void MessageApp::send_message(std::int64_t bytes,
+                              std::function<void(sim::Time)> on_complete) {
+  assert(established_);
+  assert(bytes > 0);
+  conn_->send(bytes);
+  written_total_ += bytes;
+  ++messages_sent_;
+  outstanding_.push_back(
+      Outstanding{written_total_, bytes, sim_->now(), std::move(on_complete)});
+}
+
+void MessageApp::handle_acked(std::int64_t acked_total) {
+  while (!outstanding_.empty() &&
+         acked_total >= outstanding_.front().target_acked_bytes) {
+    Outstanding done = std::move(outstanding_.front());
+    outstanding_.pop_front();
+    const sim::Time fct = sim_->now() - done.started;
+    ++messages_completed_;
+    if (collector_ != nullptr) collector_->record(done.size, fct);
+    if (done.on_complete) done.on_complete(fct);
+  }
+}
+
+void MessageApp::stop_at(sim::Time t) {
+  sim_->schedule_at(t, [this] { stopped_ = true; });
+}
+
+}  // namespace acdc::host

@@ -1,0 +1,18 @@
+#include "net/nic.h"
+
+#include <utility>
+
+namespace acdc::net {
+
+Nic::Nic(sim::Simulator* sim, std::string name, sim::Rate rate,
+         sim::Time propagation_delay, std::int64_t tx_queue_bytes)
+    : tx_port_(sim, name + ":tx", rate, propagation_delay,
+               std::make_unique<DropTailQueue>(tx_queue_bytes)) {}
+
+void Nic::receive(PacketPtr packet) {
+  ++received_packets_;
+  received_bytes_ += packet->wire_bytes();
+  if (up_ != nullptr) up_->receive(std::move(packet));
+}
+
+}  // namespace acdc::net

@@ -1,0 +1,40 @@
+// Host NIC: an egress transmit port plus the ingress handoff to the host's
+// datapath.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/packet.h"
+#include "net/port.h"
+#include "net/queue.h"
+#include "sim/simulator.h"
+
+namespace acdc::net {
+
+class Nic : public PacketSink {
+ public:
+  Nic(sim::Simulator* sim, std::string name, sim::Rate rate,
+      sim::Time propagation_delay, std::int64_t tx_queue_bytes);
+
+  // Network -> host direction.
+  void receive(PacketPtr packet) override;
+
+  // Host -> network direction (bottom of the datapath chain).
+  PacketSink& tx() { return tx_port_; }
+  Port& tx_port() { return tx_port_; }
+
+  // Where ingress packets are delivered (top of the ingress datapath).
+  void set_up(PacketSink* up) { up_ = up; }
+
+  std::int64_t received_packets() const { return received_packets_; }
+  std::int64_t received_bytes() const { return received_bytes_; }
+
+ private:
+  Port tx_port_;
+  PacketSink* up_ = nullptr;
+  std::int64_t received_packets_ = 0;
+  std::int64_t received_bytes_ = 0;
+};
+
+}  // namespace acdc::net

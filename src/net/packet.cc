@@ -1,0 +1,30 @@
+#include "net/packet.h"
+
+#include <array>
+#include <cstdio>
+
+namespace acdc::net {
+
+std::string ip_to_string(IpAddr addr) {
+  std::array<char, 16> buf{};
+  std::snprintf(buf.data(), buf.size(), "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+  return std::string(buf.data());
+}
+
+std::uint8_t TcpOptions::wire_size() const {
+  std::uint32_t n = 0;
+  if (mss) n += 4;
+  if (window_scale) n += 3;
+  if (sack_permitted) n += 2;
+  if (!sack.empty()) n += 2 + 8 * static_cast<std::uint32_t>(sack.size());
+  if (acdc) n += 10;  // kind + len + two uint32 counters
+  // Pad with NOPs to a 4-byte boundary, as on the wire.
+  return static_cast<std::uint8_t>((n + 3) & ~3u);
+}
+
+PacketPtr clone_packet(const Packet& p) {
+  return std::make_unique<Packet>(p);
+}
+
+}  // namespace acdc::net

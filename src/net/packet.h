@@ -1,0 +1,158 @@
+// Packet model: structured IPv4 + TCP headers, ECN codepoints and the TCP
+// options AC/DC cares about (MSS, window scale, SACK, and the AC/DC PACK
+// congestion-feedback option carried as an experimental TCP option).
+//
+// The simulator moves packets around as unique_ptr<Packet>; payload bytes are
+// synthetic (only the size is tracked). A separate wire codec
+// (net/wire.h) serialises these structures to real RFC-layout bytes with
+// checksums; it backs the datapath microbenchmarks and codec tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace acdc::net {
+
+using IpAddr = std::uint32_t;
+using TcpPort = std::uint16_t;
+
+// Builds an address in dotted-quad order: ip(10,0,0,1) == "10.0.0.1".
+constexpr IpAddr make_ip(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                         std::uint8_t d) {
+  return (static_cast<IpAddr>(a) << 24) | (static_cast<IpAddr>(b) << 16) |
+         (static_cast<IpAddr>(c) << 8) | static_cast<IpAddr>(d);
+}
+
+std::string ip_to_string(IpAddr addr);
+
+// RFC 3168 ECN codepoints in the IP header.
+enum class Ecn : std::uint8_t {
+  kNotEct = 0b00,
+  kEct1 = 0b01,
+  kEct0 = 0b10,
+  kCe = 0b11,
+};
+
+inline bool ecn_capable(Ecn e) { return e != Ecn::kNotEct; }
+
+struct Ipv4Header {
+  IpAddr src = 0;
+  IpAddr dst = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 6;  // TCP
+  std::uint8_t dscp = 0;
+  Ecn ecn = Ecn::kNotEct;
+  std::uint16_t id = 0;
+};
+
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  bool psh = false;
+  bool ece = false;  // ECN-Echo
+  bool cwr = false;  // Congestion Window Reduced
+
+  bool operator==(const TcpFlags&) const = default;
+};
+
+struct SackBlock {
+  std::uint32_t start = 0;  // inclusive
+  std::uint32_t end = 0;    // exclusive
+
+  bool operator==(const SackBlock&) const = default;
+};
+
+// AC/DC congestion feedback (§3.2): running totals of bytes received and
+// bytes received with CE set, maintained by the receiver-side vSwitch and
+// reported back to the sender-side vSwitch. 8 bytes on the wire plus
+// kind/length, carried as experimental TCP option kind 253.
+struct AcdcFeedback {
+  std::uint32_t total_bytes = 0;
+  std::uint32_t marked_bytes = 0;
+
+  bool operator==(const AcdcFeedback&) const = default;
+};
+
+struct TcpOptions {
+  std::optional<std::uint16_t> mss;         // kind 2, SYN only
+  std::optional<std::uint8_t> window_scale; // kind 3, SYN only
+  bool sack_permitted = false;              // kind 4, SYN only
+  std::vector<SackBlock> sack;              // kind 5, up to 4 blocks
+  std::optional<AcdcFeedback> acdc;         // kind 253 (PACK payload)
+
+  // Serialised size in bytes, padded to a multiple of 4.
+  std::uint8_t wire_size() const;
+
+  bool operator==(const TcpOptions&) const = default;
+};
+
+struct TcpHeader {
+  TcpPort src_port = 0;
+  TcpPort dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack_seq = 0;
+  TcpFlags flags;
+  // Raw (unscaled) receive window as it appears in the header. The effective
+  // window is raw << negotiated-scale except on SYN segments.
+  std::uint16_t window_raw = 0;
+  // The NS reserved bit, repurposed by AC/DC to remember whether the VM's
+  // stack itself negotiated ECN (§3.2).
+  bool reserved_vm_ecn = false;
+  TcpOptions options;
+};
+
+inline constexpr std::int64_t kIpv4HeaderBytes = 20;
+inline constexpr std::int64_t kTcpBaseHeaderBytes = 20;
+// Per-frame Ethernet cost: preamble(8) + header(14) + FCS(4) + IFG(12).
+inline constexpr std::int64_t kEthernetOverheadBytes = 38;
+
+struct Packet {
+  Ipv4Header ip;
+  TcpHeader tcp;
+  std::int64_t payload_bytes = 0;
+
+  // A FACK (Fake ACK, §3.2) is a vSwitch-generated feedback-only packet; the
+  // sender-side vSwitch consumes and drops it. On the wire it is just a TCP
+  // ACK carrying the feedback option; this flag models the marker the
+  // modules use to recognise their own packets.
+  bool acdc_fack = false;
+
+  // Simulator bookkeeping (not on the wire).
+  std::uint64_t uid = 0;
+  sim::Time enqueued_at = 0;
+
+  std::int64_t header_bytes() const {
+    return kIpv4HeaderBytes + kTcpBaseHeaderBytes + tcp.options.wire_size();
+  }
+  // IP packet size.
+  std::int64_t size_bytes() const { return header_bytes() + payload_bytes; }
+  // Size including Ethernet framing; what links and queues account.
+  std::int64_t wire_bytes() const {
+    return size_bytes() + kEthernetOverheadBytes;
+  }
+
+  bool is_pure_ack() const {
+    return tcp.flags.ack && !tcp.flags.syn && !tcp.flags.fin &&
+           !tcp.flags.rst && payload_bytes == 0;
+  }
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+PacketPtr clone_packet(const Packet& p);
+
+// Anything that accepts packets (stacks, NICs, switches, queues, filters).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void receive(PacketPtr packet) = 0;
+};
+
+}  // namespace acdc::net

@@ -1,0 +1,49 @@
+#include "net/port.h"
+
+#include <cassert>
+#include <utility>
+
+namespace acdc::net {
+
+Port::Port(sim::Simulator* sim, std::string name, sim::Rate rate,
+           sim::Time propagation_delay, std::unique_ptr<Queue> queue)
+    : sim_(sim),
+      name_(std::move(name)),
+      rate_(rate),
+      propagation_delay_(propagation_delay),
+      queue_(std::move(queue)) {
+  assert(rate_ > 0);
+}
+
+void Port::send(PacketPtr packet) {
+  packet->enqueued_at = sim_->now();
+  if (!queue_->enqueue(std::move(packet))) return;
+  if (!transmitting_) start_transmission();
+}
+
+void Port::start_transmission() {
+  PacketPtr packet = queue_->dequeue();
+  if (packet == nullptr) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  const sim::Time tx = sim::transmission_time(packet->wire_bytes(), rate_);
+  ++transmitted_packets_;
+  transmitted_bytes_ += packet->wire_bytes();
+
+  // Deliver at tx + propagation; free the transmitter at tx.
+  PacketSink* peer = peer_;
+  Packet* raw = packet.release();
+  sim_->schedule(tx + propagation_delay_, [peer, raw] {
+    if (peer != nullptr) {
+      peer->receive(PacketPtr(raw));
+    } else {
+      delete raw;
+    }
+  });
+  sim_->schedule(tx, [this] { start_transmission(); });
+  if (on_drain_) on_drain_();
+}
+
+}  // namespace acdc::net

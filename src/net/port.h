@@ -1,0 +1,58 @@
+// A Port is a unidirectional transmitter: an egress queue drained at link
+// rate, followed by a fixed propagation delay to the peer's receive side.
+// Full-duplex links are a pair of Ports, one per direction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/packet.h"
+#include "net/queue.h"
+#include "sim/simulator.h"
+
+namespace acdc::net {
+
+class Port : public PacketSink {
+ public:
+  Port(sim::Simulator* sim, std::string name, sim::Rate rate,
+       sim::Time propagation_delay, std::unique_ptr<Queue> queue);
+
+  void set_peer(PacketSink* peer) { peer_ = peer; }
+
+  // Queues the packet for transmission (may drop per the queue's policy).
+  void receive(PacketPtr packet) override { send(std::move(packet)); }
+  void send(PacketPtr packet);
+
+  Queue& queue() { return *queue_; }
+  const Queue& queue() const { return *queue_; }
+  const std::string& name() const { return name_; }
+  sim::Rate rate() const { return rate_; }
+  sim::Time propagation_delay() const { return propagation_delay_; }
+
+  std::int64_t transmitted_packets() const { return transmitted_packets_; }
+  std::int64_t transmitted_bytes() const { return transmitted_bytes_; }
+
+  // Invoked after each dequeue; lets a host implement TSQ-style
+  // back-pressure (resume blocked senders when the TX queue drains).
+  void set_drain_callback(std::function<void()> fn) {
+    on_drain_ = std::move(fn);
+  }
+
+ private:
+  void start_transmission();
+
+  sim::Simulator* sim_;
+  std::string name_;
+  sim::Rate rate_;
+  sim::Time propagation_delay_;
+  std::unique_ptr<Queue> queue_;
+  PacketSink* peer_ = nullptr;
+  std::function<void()> on_drain_;
+  bool transmitting_ = false;
+  std::int64_t transmitted_packets_ = 0;
+  std::int64_t transmitted_bytes_ = 0;
+};
+
+}  // namespace acdc::net

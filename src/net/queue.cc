@@ -1,0 +1,40 @@
+#include "net/queue.h"
+
+#include <utility>
+
+namespace acdc::net {
+
+PacketPtr Queue::dequeue() {
+  if (packets_.empty()) return nullptr;
+  PacketPtr p = std::move(packets_.front());
+  packets_.pop_front();
+  bytes_ -= p->wire_bytes();
+  if (pool_ != nullptr) pool_->on_dequeue(p->wire_bytes());
+  return p;
+}
+
+void Queue::accept(PacketPtr packet) {
+  const std::int64_t bytes = packet->wire_bytes();
+  bytes_ += bytes;
+  if (pool_ != nullptr) pool_->on_enqueue(bytes);
+  ++stats_.enqueued_packets;
+  stats_.enqueued_bytes += bytes;
+  packets_.push_back(std::move(packet));
+}
+
+void Queue::drop(const Packet& packet) {
+  ++stats_.dropped_packets;
+  stats_.dropped_bytes += packet.wire_bytes();
+}
+
+bool DropTailQueue::enqueue(PacketPtr packet) {
+  const std::int64_t bytes = packet->wire_bytes();
+  if (bytes_ + bytes > capacity_ || !pool_admits(bytes)) {
+    drop(*packet);
+    return false;
+  }
+  accept(std::move(packet));
+  return true;
+}
+
+}  // namespace acdc::net

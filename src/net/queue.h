@@ -1,0 +1,95 @@
+// Packet queues with byte accounting and drop/mark counters.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "net/packet.h"
+
+namespace acdc::net {
+
+struct QueueStats {
+  std::int64_t enqueued_packets = 0;
+  std::int64_t enqueued_bytes = 0;
+  std::int64_t dropped_packets = 0;
+  std::int64_t dropped_bytes = 0;
+  std::int64_t marked_packets = 0;  // CE marks applied by AQM
+
+  double drop_rate() const {
+    const std::int64_t offered = enqueued_packets + dropped_packets;
+    return offered == 0 ? 0.0
+                        : static_cast<double>(dropped_packets) /
+                              static_cast<double>(offered);
+  }
+};
+
+// A shared memory pool, modelling a switch ASIC's shared packet buffer with
+// dynamic threshold admission (Broadcom-style): a queue may grow while
+// queue_bytes < alpha * (capacity - total_used).
+class SharedBufferPool {
+ public:
+  SharedBufferPool(std::int64_t capacity_bytes, double alpha)
+      : capacity_(capacity_bytes), alpha_(alpha) {}
+
+  bool admit(std::int64_t queue_bytes, std::int64_t packet_bytes) const {
+    if (used_ + packet_bytes > capacity_) return false;
+    const double headroom = static_cast<double>(capacity_ - used_);
+    return static_cast<double>(queue_bytes) < alpha_ * headroom;
+  }
+
+  void on_enqueue(std::int64_t bytes) { used_ += bytes; }
+  void on_dequeue(std::int64_t bytes) { used_ -= bytes; }
+
+  std::int64_t used_bytes() const { return used_; }
+  std::int64_t capacity_bytes() const { return capacity_; }
+
+ private:
+  std::int64_t capacity_;
+  double alpha_;
+  std::int64_t used_ = 0;
+};
+
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  // Takes ownership; returns false (and drops) when the packet is not
+  // admitted.
+  virtual bool enqueue(PacketPtr packet) = 0;
+
+  PacketPtr dequeue();
+
+  bool empty() const { return packets_.empty(); }
+  std::int64_t byte_length() const { return bytes_; }
+  std::size_t packet_length() const { return packets_.size(); }
+  const QueueStats& stats() const { return stats_; }
+
+  // Optional shared pool; admission then also requires pool capacity.
+  void set_shared_pool(SharedBufferPool* pool) { pool_ = pool; }
+
+ protected:
+  bool pool_admits(std::int64_t packet_bytes) const {
+    return pool_ == nullptr || pool_->admit(bytes_, packet_bytes);
+  }
+  void accept(PacketPtr packet);
+  void drop(const Packet& packet);
+
+  std::deque<PacketPtr> packets_;
+  std::int64_t bytes_ = 0;
+  QueueStats stats_;
+  SharedBufferPool* pool_ = nullptr;
+};
+
+class DropTailQueue : public Queue {
+ public:
+  explicit DropTailQueue(std::int64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  bool enqueue(PacketPtr packet) override;
+
+ private:
+  std::int64_t capacity_;
+};
+
+}  // namespace acdc::net

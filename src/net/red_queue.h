@@ -1,0 +1,49 @@
+// WRED/ECN queue as configured on datacenter switches for DCTCP (§5 "In
+// DCTCP and AC/DC, WRED/ECN is configured on the switches").
+//
+// Between min_threshold and max_threshold the mark probability ramps from 0
+// to max_probability; above max_threshold it is 1. DCTCP-style step marking
+// is min == max. The marking decision applies to the instantaneous queue
+// length. ECN-capable (ECT) packets are CE-marked; non-ECT packets are
+// DROPPED instead — this asymmetry is exactly the ECN-coexistence problem of
+// Figs. 15/16.
+#pragma once
+
+#include <cstdint>
+
+#include "net/queue.h"
+#include "sim/rng.h"
+
+namespace acdc::net {
+
+struct RedConfig {
+  std::int64_t capacity_bytes = 0;       // hard limit (per-queue)
+  std::int64_t min_threshold_bytes = 0;  // start of mark/drop ramp
+  std::int64_t max_threshold_bytes = 0;  // end of ramp (prob = 1 above)
+  double max_probability = 1.0;
+
+  static RedConfig dctcp_step(std::int64_t capacity_bytes,
+                              std::int64_t k_bytes) {
+    return RedConfig{capacity_bytes, k_bytes, k_bytes, 1.0};
+  }
+};
+
+class RedQueue : public Queue {
+ public:
+  // `rng` may be null when the config is a deterministic step
+  // (min == max, max_probability == 1).
+  RedQueue(RedConfig config, sim::Rng* rng) : config_(config), rng_(rng) {}
+
+  bool enqueue(PacketPtr packet) override;
+
+  const RedConfig& config() const { return config_; }
+
+ private:
+  // Probability the AQM takes action (mark or drop) at this queue length.
+  double action_probability(std::int64_t queue_bytes) const;
+
+  RedConfig config_;
+  sim::Rng* rng_;
+};
+
+}  // namespace acdc::net

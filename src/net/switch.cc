@@ -1,0 +1,93 @@
+#include "net/switch.h"
+
+#include <utility>
+
+namespace acdc::net {
+
+Switch::Switch(sim::Simulator* sim, std::string name, SwitchConfig config,
+               sim::Rng* rng)
+    : sim_(sim),
+      name_(std::move(name)),
+      config_(config),
+      rng_(rng),
+      pool_(config.shared_buffer_bytes, config.buffer_alpha) {}
+
+std::unique_ptr<Queue> Switch::make_queue() {
+  std::unique_ptr<Queue> q;
+  if (config_.red_enabled()) {
+    RedConfig red;
+    red.capacity_bytes = 0;  // bounded by the shared pool, not per queue
+    red.min_threshold_bytes = config_.red_min_bytes;
+    red.max_threshold_bytes = config_.red_max_bytes;
+    red.max_probability = config_.red_max_probability;
+    q = std::make_unique<RedQueue>(red, rng_);
+  } else {
+    q = std::make_unique<DropTailQueue>(config_.shared_buffer_bytes);
+  }
+  q->set_shared_pool(&pool_);
+  return q;
+}
+
+Port* Switch::add_port(sim::Rate rate, sim::Time propagation_delay) {
+  auto port = std::make_unique<Port>(
+      sim_, name_ + ":p" + std::to_string(ports_.size()), rate,
+      propagation_delay, make_queue());
+  ports_.push_back(std::move(port));
+  return ports_.back().get();
+}
+
+void Switch::add_route(IpAddr dst, Port* port) { routes_[dst] = port; }
+
+void Switch::add_ecmp_route(IpAddr dst, std::vector<Port*> ports) {
+  ecmp_routes_[dst] = std::move(ports);
+}
+
+namespace {
+// Symmetric 5-tuple hash, so both directions of a connection pick
+// consistent (but independent per switch tier) uplinks.
+std::size_t flow_hash(const Packet& p) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(p.ip.src);
+  mix(p.ip.dst);
+  mix((static_cast<std::uint64_t>(p.tcp.src_port) << 16) | p.tcp.dst_port);
+  return static_cast<std::size_t>(h);
+}
+}  // namespace
+
+void Switch::receive(PacketPtr packet) {
+  Port* out = nullptr;
+  if (auto it = routes_.find(packet->ip.dst); it != routes_.end()) {
+    out = it->second;
+  } else if (auto eit = ecmp_routes_.find(packet->ip.dst);
+             eit != ecmp_routes_.end() && !eit->second.empty()) {
+    out = eit->second[flow_hash(*packet) % eit->second.size()];
+  } else if (!default_ecmp_.empty()) {
+    out = default_ecmp_[flow_hash(*packet) % default_ecmp_.size()];
+  } else {
+    out = default_route_;
+  }
+  if (out == nullptr) {
+    ++routing_failures_;
+    return;  // packet dropped
+  }
+  out->send(std::move(packet));
+}
+
+QueueStats Switch::total_stats() const {
+  QueueStats total;
+  for (const auto& port : ports_) {
+    const QueueStats& s = port->queue().stats();
+    total.enqueued_packets += s.enqueued_packets;
+    total.enqueued_bytes += s.enqueued_bytes;
+    total.dropped_packets += s.dropped_packets;
+    total.dropped_bytes += s.dropped_bytes;
+    total.marked_packets += s.marked_packets;
+  }
+  return total;
+}
+
+}  // namespace acdc::net

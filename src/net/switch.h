@@ -1,0 +1,80 @@
+// Output-queued switch with a shared packet buffer and per-port WRED/ECN,
+// modelled on the paper's testbed switches (IBM G8264: 48x10G ports sharing a
+// 9MB buffer).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/port.h"
+#include "net/red_queue.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace acdc::net {
+
+struct SwitchConfig {
+  std::int64_t shared_buffer_bytes = 9 * 1024 * 1024;
+  // Dynamic-threshold alpha: a queue may use up to alpha * free buffer.
+  double buffer_alpha = 1.0;
+  // WRED/ECN marking profile applied to every port queue. A zero
+  // max_threshold disables AQM (plain drop-tail on the shared buffer).
+  std::int64_t red_min_bytes = 0;
+  std::int64_t red_max_bytes = 0;
+  double red_max_probability = 1.0;
+
+  bool red_enabled() const { return red_max_bytes > 0; }
+};
+
+class Switch : public PacketSink {
+ public:
+  Switch(sim::Simulator* sim, std::string name, SwitchConfig config,
+         sim::Rng* rng);
+
+  // Adds an egress port towards some neighbour. The returned Port stays
+  // owned by the Switch.
+  Port* add_port(sim::Rate rate, sim::Time propagation_delay);
+
+  void add_route(IpAddr dst, Port* port);
+  void set_default_route(Port* port) { default_route_ = port; }
+
+  // ECMP: traffic to `dst` is spread over `ports` by a hash of the flow's
+  // 5-tuple, so every packet of one flow takes the same path but different
+  // flows may collide on one uplink (the §2.3 motivation for flow-granular
+  // congestion control).
+  void add_ecmp_route(IpAddr dst, std::vector<Port*> ports);
+  void set_default_ecmp(std::vector<Port*> ports) {
+    default_ecmp_ = std::move(ports);
+  }
+
+  void receive(PacketPtr packet) override;
+
+  const std::string& name() const { return name_; }
+  const SharedBufferPool& buffer_pool() const { return pool_; }
+
+  // Aggregated over all port queues.
+  QueueStats total_stats() const;
+  std::int64_t routing_failures() const { return routing_failures_; }
+  const std::vector<std::unique_ptr<Port>>& ports() const { return ports_; }
+
+ private:
+  std::unique_ptr<Queue> make_queue();
+
+  sim::Simulator* sim_;
+  std::string name_;
+  SwitchConfig config_;
+  sim::Rng* rng_;
+  SharedBufferPool pool_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::unordered_map<IpAddr, Port*> routes_;
+  std::unordered_map<IpAddr, std::vector<Port*>> ecmp_routes_;
+  Port* default_route_ = nullptr;
+  std::vector<Port*> default_ecmp_;
+  std::int64_t routing_failures_ = 0;
+};
+
+}  // namespace acdc::net

@@ -1,0 +1,55 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace acdc::sim {
+
+EventId EventQueue::schedule(Time at, std::function<void()> action) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(action)});
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == kInvalidEventId) return;
+  // Only record ids that may still be pending; ids from the future are bugs.
+  if (id >= next_id_) return;
+  if (cancelled_.insert(id).second && live_count_ > 0) {
+    --live_count_;
+  }
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  // const_cast-free variant: the heap may have cancelled entries at the top;
+  // we must skip them without mutating. Copying the heap would be O(n), so we
+  // keep a mutable view via the non-const overload used by run_next and only
+  // approximate here when the head is cancelled.
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled_head();
+  if (heap_.empty()) return kNoTime;
+  return heap_.top().at;
+}
+
+EventQueue::Next EventQueue::take_next() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  // Move the action out before popping so the entry can be released.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  --live_count_;
+  ++executed_;
+  return Next{entry.at, std::move(entry.action)};
+}
+
+}  // namespace acdc::sim

@@ -1,0 +1,68 @@
+// Binary-heap event queue with cancellable entries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace acdc::sim {
+
+// Identifies a scheduled event so it can be cancelled (e.g. TCP RTO timers).
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  // Schedules `action` at absolute time `at`. Ties are broken by insertion
+  // order so the simulation is deterministic.
+  EventId schedule(Time at, std::function<void()> action);
+
+  // Cancels a pending event. Cancelling an already-fired or invalid id is a
+  // no-op, which keeps timer bookkeeping in callers simple.
+  void cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  // Time of the earliest pending event; kNoTime when empty.
+  Time next_time() const;
+
+  struct Next {
+    Time at = 0;
+    std::function<void()> action;
+  };
+
+  // Pops the earliest event without running it, so the caller can advance
+  // its clock before invoking the action. Precondition: !empty().
+  Next take_next();
+
+  std::uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time at = 0;
+    EventId id = kInvalidEventId;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_cancelled_head();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace acdc::sim

@@ -1,0 +1,46 @@
+#include "sim/rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace acdc::sim {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  assert(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+Time Rng::exponential_gap(Time mean) {
+  return static_cast<Time>(exponential(static_cast<double>(mean)));
+}
+
+std::size_t Rng::pick_cumulative(const std::vector<double>& cumulative) {
+  assert(!cumulative.empty());
+  const double total = cumulative.back();
+  const double x = uniform_real(0.0, total);
+  const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), x);
+  if (it == cumulative.end()) return cumulative.size() - 1;
+  return static_cast<std::size_t>(it - cumulative.begin());
+}
+
+}  // namespace acdc::sim

@@ -1,0 +1,52 @@
+// Deterministic random number generation for reproducible experiments.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace acdc::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  // Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p);
+
+  // Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+
+  // Exponential inter-arrival gap as simulated Time with mean `mean`.
+  Time exponential_gap(Time mean);
+
+  // Index into a discrete distribution given cumulative weights (sorted,
+  // last == total weight).
+  std::size_t pick_cumulative(const std::vector<double>& cumulative);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace acdc::sim

@@ -1,0 +1,40 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace acdc::sim {
+
+EventId Simulator::schedule(Time delay, std::function<void()> action) {
+  assert(delay >= 0);
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_at(Time at, std::function<void()> action) {
+  assert(at >= now_);
+  return queue_.schedule(at, std::move(action));
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  while (!queue_.empty()) {
+    const Time next = queue_.next_time();
+    if (next == kNoTime || next > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  EventQueue::Next next = queue_.take_next();
+  now_ = next.at;
+  next.action();
+  return true;
+}
+
+}  // namespace acdc::sim

@@ -1,0 +1,50 @@
+// The discrete-event simulation driver.
+//
+// A Simulator owns the virtual clock and the event queue. Components keep a
+// non-owning pointer to the Simulator that outlives them (the Simulator is
+// always constructed first in a scenario and destroyed last).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace acdc::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `action` to run `delay` from now (delay >= 0).
+  EventId schedule(Time delay, std::function<void()> action);
+
+  // Schedules `action` at absolute time `at` (at >= now()).
+  EventId schedule_at(Time at, std::function<void()> action);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  // Runs events until the queue drains.
+  void run();
+
+  // Runs events with timestamp <= deadline; the clock ends at
+  // max(now, deadline) so periodic samplers see a full final interval.
+  void run_until(Time deadline);
+
+  // Runs at most one event. Returns false when the queue is empty.
+  bool step();
+
+  std::uint64_t executed_events() const { return queue_.executed_count(); }
+
+ private:
+  Time now_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace acdc::sim

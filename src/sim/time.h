@@ -1,0 +1,44 @@
+// Virtual time for the discrete-event simulator.
+//
+// All simulated time is expressed as int64_t nanoseconds. Rates are bits per
+// second. Helper literals keep experiment code readable and unit-safe.
+#pragma once
+
+#include <cstdint>
+
+namespace acdc::sim {
+
+// Nanoseconds since simulation start.
+using Time = std::int64_t;
+
+inline constexpr Time kNoTime = -1;
+
+constexpr Time nanoseconds(std::int64_t n) { return n; }
+constexpr Time microseconds(std::int64_t n) { return n * 1'000; }
+constexpr Time milliseconds(std::int64_t n) { return n * 1'000'000; }
+constexpr Time seconds(double s) { return static_cast<Time>(s * 1e9); }
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_milliseconds(Time t) {
+  return static_cast<double>(t) * 1e-6;
+}
+constexpr double to_microseconds(Time t) {
+  return static_cast<double>(t) * 1e-3;
+}
+
+// Bits per second.
+using Rate = std::int64_t;
+
+constexpr Rate bits_per_second(std::int64_t b) { return b; }
+constexpr Rate kilobits_per_second(std::int64_t k) { return k * 1'000; }
+constexpr Rate megabits_per_second(std::int64_t m) { return m * 1'000'000; }
+constexpr Rate gigabits_per_second(std::int64_t g) { return g * 1'000'000'000; }
+
+// Time to serialise `bytes` onto a link of rate `rate` (bits/s).
+constexpr Time transmission_time(std::int64_t bytes, Rate rate) {
+  // bytes*8 / rate seconds -> bytes*8*1e9 / rate ns. Order chosen to avoid
+  // overflow for realistic sizes (bytes < 2^40, rate >= 1kbps).
+  return bytes * 8 * 1'000'000'000 / rate;
+}
+
+}  // namespace acdc::sim

@@ -1,0 +1,15 @@
+#include "stats/fct_collector.h"
+
+namespace acdc::stats {
+
+void FctCollector::record(std::int64_t size_bytes, sim::Time duration) {
+  const double ms = sim::to_milliseconds(duration);
+  all_ms_.add(ms);
+  if (size_bytes <= mice_threshold_) {
+    mice_ms_.add(ms);
+  } else {
+    background_ms_.add(ms);
+  }
+}
+
+}  // namespace acdc::stats

@@ -1,0 +1,32 @@
+// Flow-completion-time collection, split into mice and background classes as
+// in §5.2 (mice = flows < 10KB for the trace workloads; the stride/shuffle
+// workloads use fixed 16KB mice vs. large background transfers).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+#include "stats/percentile.h"
+
+namespace acdc::stats {
+
+class FctCollector {
+ public:
+  // `mice_threshold_bytes`: sizes <= threshold are recorded as mice.
+  explicit FctCollector(std::int64_t mice_threshold_bytes)
+      : mice_threshold_(mice_threshold_bytes) {}
+
+  void record(std::int64_t size_bytes, sim::Time duration);
+
+  const Sampler& mice_ms() const { return mice_ms_; }
+  const Sampler& background_ms() const { return background_ms_; }
+  const Sampler& all_ms() const { return all_ms_; }
+
+ private:
+  std::int64_t mice_threshold_;
+  Sampler mice_ms_;
+  Sampler background_ms_;
+  Sampler all_ms_;
+};
+
+}  // namespace acdc::stats

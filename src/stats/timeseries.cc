@@ -1,0 +1,27 @@
+#include "stats/timeseries.h"
+
+#include <cassert>
+
+namespace acdc::stats {
+
+void Timeseries::add(sim::Time t, double value) {
+  assert(t >= 0);
+  const auto idx = static_cast<std::size_t>(t / interval_);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+  buckets_[idx] += value;
+}
+
+double Timeseries::bucket_rate_bps(std::size_t i) const {
+  return buckets_[i] * 8.0 / sim::to_seconds(interval_);
+}
+
+double Timeseries::sum_range(sim::Time from, sim::Time to) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const sim::Time start = bucket_start(i);
+    if (start >= from && start < to) total += buckets_[i];
+  }
+  return total;
+}
+
+}  // namespace acdc::stats

@@ -1,0 +1,37 @@
+// Fixed-interval time series, used for throughput-over-time plots
+// (Figs. 9, 10, 14, 15).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace acdc::stats {
+
+class Timeseries {
+ public:
+  explicit Timeseries(sim::Time interval) : interval_(interval) {}
+
+  // Accumulates `value` into the bucket containing `t`.
+  void add(sim::Time t, double value);
+
+  sim::Time interval() const { return interval_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  double bucket_sum(std::size_t i) const { return buckets_[i]; }
+  sim::Time bucket_start(std::size_t i) const {
+    return static_cast<sim::Time>(i) * interval_;
+  }
+
+  // Bucket sums interpreted as byte counts -> rate in bits/s.
+  double bucket_rate_bps(std::size_t i) const;
+
+  // Sum over [from, to).
+  double sum_range(sim::Time from, sim::Time to) const;
+
+ private:
+  sim::Time interval_;
+  std::vector<double> buckets_;
+};
+
+}  // namespace acdc::stats

@@ -1,0 +1,33 @@
+#include "tcp/cc/congestion_control.h"
+
+#include "tcp/cc/algorithms.h"
+
+namespace acdc::tcp {
+
+void CongestionControl::reno_increase(CcState& s, const AckSample& ack) {
+  if (s.in_slow_start()) {
+    // cwnd += 1 per ACKed packet, capped at ssthresh.
+    s.cwnd = std::min(s.cwnd + ack.acked_packets, s.ssthresh);
+  } else {
+    // cwnd += 1/cwnd per ACKed packet (one packet per RTT).
+    s.cwnd += ack.acked_packets / std::max(1.0, s.cwnd);
+  }
+}
+
+void CongestionControl::on_ack(CcState& s, const AckSample& ack) {
+  reno_increase(s, ack);
+}
+
+std::unique_ptr<CongestionControl> make_congestion_control(
+    std::string_view name) {
+  if (name == "reno") return std::make_unique<NewReno>();
+  if (name == "cubic") return std::make_unique<Cubic>();
+  if (name == "dctcp") return std::make_unique<Dctcp>();
+  if (name == "vegas") return std::make_unique<Vegas>();
+  if (name == "illinois") return std::make_unique<Illinois>();
+  if (name == "highspeed") return std::make_unique<HighSpeed>();
+  if (name == "aggressive") return std::make_unique<AggressiveCc>();
+  return nullptr;
+}
+
+}  // namespace acdc::tcp

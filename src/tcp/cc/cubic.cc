@@ -1,0 +1,81 @@
+#include <cmath>
+
+#include "tcp/cc/algorithms.h"
+
+namespace acdc::tcp {
+
+void Cubic::init(CcState& s) {
+  (void)s;
+  w_last_max_ = 0.0;
+  reset_epoch();
+}
+
+void Cubic::reset_epoch() {
+  epoch_start_ = sim::kNoTime;
+  k_ = 0.0;
+  origin_point_ = 0.0;
+  tcp_cwnd_ = 0.0;
+  ack_count_ = 0.0;
+}
+
+void Cubic::on_ack(CcState& s, const AckSample& ack) {
+  if (s.in_slow_start()) {
+    reno_increase(s, ack);
+    return;
+  }
+  if (epoch_start_ == sim::kNoTime) {
+    epoch_start_ = s.now;
+    ack_count_ = 0.0;
+    if (s.cwnd < w_last_max_) {
+      k_ = std::cbrt((w_last_max_ - s.cwnd) / kC);
+      origin_point_ = w_last_max_;
+    } else {
+      k_ = 0.0;
+      origin_point_ = s.cwnd;
+    }
+    tcp_cwnd_ = s.cwnd;
+    w_max_ = w_last_max_;
+  }
+
+  // Time since the epoch began, advanced by one RTT as in the Linux
+  // implementation (predicts the window one RTT ahead).
+  const double t =
+      sim::to_seconds(s.now - epoch_start_) + sim::to_seconds(s.min_rtt);
+  const double delta = t - k_;
+  const double target = origin_point_ + kC * delta * delta * delta;
+
+  if (target > s.cwnd) {
+    s.cwnd += (target - s.cwnd) / s.cwnd * ack.acked_packets;
+  } else {
+    // In the plateau/concave-to-origin region grow very slowly.
+    s.cwnd += 0.01 * ack.acked_packets / s.cwnd;
+  }
+
+  // TCP-friendly region: emulate Reno with the AIMD-equivalent increase and
+  // use whichever window is larger.
+  ack_count_ += ack.acked_packets;
+  tcp_cwnd_ += 3.0 * (1.0 - kBeta) / (1.0 + kBeta) * ack.acked_packets / s.cwnd;
+  if (tcp_cwnd_ > s.cwnd) s.cwnd = tcp_cwnd_;
+}
+
+double Cubic::ssthresh_after_loss(const CcState& s) {
+  // Fast convergence: release bandwidth faster when the plateau is falling.
+  if (s.cwnd < w_last_max_) {
+    w_last_max_ = s.cwnd * (2.0 - kBeta) / 2.0;
+  } else {
+    w_last_max_ = s.cwnd;
+  }
+  return std::max(kMinCwnd, s.cwnd * kBeta);
+}
+
+void Cubic::on_window_reduction(CcState& s) {
+  (void)s;
+  reset_epoch();
+}
+
+void Cubic::on_rto(CcState& s) {
+  (void)s;
+  reset_epoch();
+}
+
+}  // namespace acdc::tcp

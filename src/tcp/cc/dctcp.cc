@@ -1,0 +1,37 @@
+#include "tcp/cc/algorithms.h"
+
+namespace acdc::tcp {
+
+void Dctcp::init(CcState& s) {
+  alpha_ = 1.0;  // Linux initialises alpha to its maximum
+  window_acked_bytes_ = 0;
+  window_marked_bytes_ = 0;
+  bytes_until_update_ = static_cast<std::int64_t>(s.cwnd_bytes());
+}
+
+void Dctcp::on_ack(CcState& s, const AckSample& ack) {
+  // Accumulate the fraction of bytes whose ACKs carried ECN-Echo. With the
+  // receiver's per-ACK accurate echo this equals the fraction of CE-marked
+  // bytes.
+  window_acked_bytes_ += ack.acked_bytes;
+  if (ack.ece) window_marked_bytes_ += ack.acked_bytes;
+  bytes_until_update_ -= ack.acked_bytes;
+  if (bytes_until_update_ <= 0) {
+    const double fraction =
+        window_acked_bytes_ > 0
+            ? static_cast<double>(window_marked_bytes_) /
+                  static_cast<double>(window_acked_bytes_)
+            : 0.0;
+    alpha_ = (1.0 - kG) * alpha_ + kG * fraction;
+    window_acked_bytes_ = 0;
+    window_marked_bytes_ = 0;
+    bytes_until_update_ = static_cast<std::int64_t>(s.cwnd_bytes());
+  }
+  reno_increase(s, ack);
+}
+
+double Dctcp::ssthresh_after_ecn(const CcState& s) {
+  return std::max(kMinCwnd, s.cwnd * (1.0 - alpha_ / 2.0));
+}
+
+}  // namespace acdc::tcp

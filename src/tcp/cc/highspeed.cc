@@ -1,0 +1,46 @@
+#include <algorithm>
+#include <cmath>
+
+#include "tcp/cc/algorithms.h"
+
+namespace acdc::tcp {
+namespace {
+// RFC 3649 parameters: below kLowWindow behave exactly like Reno; the
+// response function is anchored at (kLowWindow, p=10^-1.5? ...) and
+// (kHighWindow, kHighP) with decrease factor sliding from 0.5 to
+// kHighDecrease on a log scale.
+constexpr double kLowWindow = 38.0;
+constexpr double kHighWindow = 83000.0;
+constexpr double kHighDecrease = 0.1;
+}  // namespace
+
+double HighSpeed::decrease_factor(double cwnd) {
+  if (cwnd <= kLowWindow) return 0.5;
+  const double frac = (std::log(cwnd) - std::log(kLowWindow)) /
+                      (std::log(kHighWindow) - std::log(kLowWindow));
+  return 0.5 + std::min(1.0, frac) * (kHighDecrease - 0.5);
+}
+
+double HighSpeed::additive_increase(double cwnd) {
+  if (cwnd <= kLowWindow) return 1.0;
+  // a(w) = w^2 * p(w) * 2 * b(w) / (2 - b(w)) with the RFC's
+  // p(w) = 0.078 / w^1.2 response function.
+  const double b = decrease_factor(cwnd);
+  const double p = 0.078 / std::pow(cwnd, 1.2);
+  return std::max(1.0, cwnd * cwnd * p * 2.0 * b / (2.0 - b));
+}
+
+void HighSpeed::on_ack(CcState& s, const AckSample& ack) {
+  if (s.in_slow_start()) {
+    reno_increase(s, ack);
+    return;
+  }
+  s.cwnd += additive_increase(s.cwnd) * ack.acked_packets /
+            std::max(1.0, s.cwnd);
+}
+
+double HighSpeed::ssthresh_after_loss(const CcState& s) {
+  return std::max(kMinCwnd, s.cwnd * (1.0 - decrease_factor(s.cwnd)));
+}
+
+}  // namespace acdc::tcp

@@ -1,0 +1,87 @@
+#include <algorithm>
+
+#include "tcp/cc/algorithms.h"
+
+namespace acdc::tcp {
+
+void Illinois::init(CcState& s) {
+  (void)s;
+  alpha_ = 1.0;
+  beta_ = kBetaMax;
+  sum_rtt_ = 0;
+  cnt_rtt_ = 0;
+  base_rtt_ = 0;
+  max_rtt_ = 0;
+  rtt_low_rounds_ = 0;
+  round_start_ = 0;
+}
+
+void Illinois::update_params(CcState& s) {
+  if (cnt_rtt_ == 0 || base_rtt_ == 0) return;
+  const double avg_rtt =
+      static_cast<double>(sum_rtt_) / static_cast<double>(cnt_rtt_);
+  const double da = avg_rtt - static_cast<double>(base_rtt_);  // queueing delay
+  const double dm =
+      std::max(1.0, static_cast<double>(max_rtt_ - base_rtt_));  // max delay
+  const double d1 = dm / 100.0;
+
+  if (da <= d1) {
+    // Low delay: after theta consecutive low-delay rounds use alpha_max.
+    if (++rtt_low_rounds_ >= kTheta) alpha_ = kAlphaMax;
+  } else {
+    rtt_low_rounds_ = 0;
+    // alpha(d) = k1 / (k2 + d), fitted so alpha(d1)=alpha_max, alpha(dm)=alpha_min.
+    const double k2 = (dm - d1) * kAlphaMin / (kAlphaMax - kAlphaMin) - d1;
+    const double k1 = (dm + k2) * kAlphaMin;
+    alpha_ = std::clamp(k1 / (k2 + da), kAlphaMin, kAlphaMax);
+  }
+
+  // beta(d): small backoff at low delay, half window at high delay.
+  const double d2 = dm / 10.0;
+  const double d3 = dm * 8.0 / 10.0;
+  if (da <= d2) {
+    beta_ = kBetaMin;
+  } else if (da >= d3) {
+    beta_ = kBetaMax;
+  } else {
+    beta_ = kBetaMin + (kBetaMax - kBetaMin) * (da - d2) / (d3 - d2);
+  }
+
+  // Per-round averages reset; base_rtt_ and max_rtt_ are historical
+  // extremes (the paper's d_m is the maximum delay seen on the path).
+  sum_rtt_ = 0;
+  cnt_rtt_ = 0;
+  (void)s;
+}
+
+void Illinois::on_ack(CcState& s, const AckSample& ack) {
+  if (ack.rtt > 0) {
+    sum_rtt_ += ack.rtt;
+    ++cnt_rtt_;
+    if (base_rtt_ == 0 || ack.rtt < base_rtt_) base_rtt_ = ack.rtt;
+    max_rtt_ = std::max(max_rtt_, ack.rtt);
+  }
+  const sim::Time round_len = std::max<sim::Time>(s.srtt, 1);
+  if (s.now >= round_start_ + round_len) {
+    update_params(s);
+    round_start_ = s.now;
+  }
+  if (s.in_slow_start()) {
+    reno_increase(s, ack);
+  } else {
+    s.cwnd += alpha_ * ack.acked_packets / std::max(1.0, s.cwnd);
+  }
+}
+
+double Illinois::ssthresh_after_loss(const CcState& s) {
+  return std::max(kMinCwnd, s.cwnd * (1.0 - beta_));
+}
+
+void Illinois::on_window_reduction(CcState& s) {
+  (void)s;
+  sum_rtt_ = 0;
+  cnt_rtt_ = 0;
+  rtt_low_rounds_ = 0;
+}
+
+}  // namespace acdc::tcp

@@ -1,0 +1,5 @@
+// AggressiveCc is declared fully inline in algorithms.h; this translation
+// unit anchors it alongside the other algorithms.
+#include "tcp/cc/algorithms.h"
+
+namespace acdc::tcp {}  // namespace acdc::tcp

@@ -1,0 +1,6 @@
+// NewReno's increase/decrease rules are fully declared inline in
+// algorithms.h; this translation unit exists so every algorithm has a home
+// and anchors the class's vtable.
+#include "tcp/cc/algorithms.h"
+
+namespace acdc::tcp {}  // namespace acdc::tcp

@@ -1,0 +1,62 @@
+#include <algorithm>
+
+#include "tcp/cc/algorithms.h"
+
+namespace acdc::tcp {
+
+void Vegas::init(CcState& s) {
+  (void)s;
+  base_rtt_ = 0;
+  min_rtt_in_round_ = 0;
+  samples_in_round_ = 0;
+  round_start_ = 0;
+  even_round_ = false;
+}
+
+void Vegas::on_ack(CcState& s, const AckSample& ack) {
+  if (ack.rtt > 0) {
+    if (base_rtt_ == 0 || ack.rtt < base_rtt_) base_rtt_ = ack.rtt;
+    if (min_rtt_in_round_ == 0 || ack.rtt < min_rtt_in_round_) {
+      min_rtt_in_round_ = ack.rtt;
+    }
+    ++samples_in_round_;
+  }
+
+  const sim::Time round_len = std::max<sim::Time>(s.srtt, 1);
+  if (s.now < round_start_ + round_len) {
+    // Within a round: slow-start growth happens every other round only
+    // (Vegas doubles at half Reno's pace).
+    if (s.in_slow_start() && even_round_) reno_increase(s, ack);
+    return;
+  }
+
+  // Round boundary: apply the Vegas estimator.
+  if (samples_in_round_ >= 2 && base_rtt_ > 0 && min_rtt_in_round_ > 0) {
+    const double rtt = static_cast<double>(min_rtt_in_round_);
+    const double base = static_cast<double>(base_rtt_);
+    // Packets occupying queues: cwnd * (rtt - base) / rtt.
+    const double diff = s.cwnd * (rtt - base) / rtt;
+    if (s.in_slow_start()) {
+      if (diff > kGamma) {
+        // Leave slow start and drain the estimated queue.
+        s.ssthresh = std::min(s.ssthresh, s.cwnd - 1.0);
+        s.cwnd = std::max(kMinCwnd, s.cwnd - diff);
+      }
+    } else {
+      if (diff < kAlpha) {
+        s.cwnd += 1.0;
+      } else if (diff > kBeta) {
+        s.cwnd = std::max(kMinCwnd, s.cwnd - 1.0);
+      }
+    }
+  } else if (s.in_slow_start() && even_round_) {
+    reno_increase(s, ack);
+  }
+
+  round_start_ = s.now;
+  samples_in_round_ = 0;
+  min_rtt_in_round_ = 0;
+  even_round_ = !even_round_;
+}
+
+}  // namespace acdc::tcp

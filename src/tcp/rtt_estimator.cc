@@ -1,0 +1,27 @@
+#include "tcp/rtt_estimator.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace acdc::tcp {
+
+void RttEstimator::add_sample(sim::Time rtt) {
+  if (rtt <= 0) return;
+  if (min_rtt_ == 0 || rtt < min_rtt_) min_rtt_ = rtt;
+  if (srtt_ == 0) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    return;
+  }
+  // RFC 6298: rttvar = 3/4 rttvar + 1/4 |srtt - rtt|; srtt = 7/8 srtt + 1/8 rtt.
+  rttvar_ = (3 * rttvar_ + std::abs(srtt_ - rtt)) / 4;
+  srtt_ = (7 * srtt_ + rtt) / 8;
+}
+
+sim::Time RttEstimator::rto() const {
+  if (srtt_ == 0) return std::max(initial_rto_, min_rto_);
+  return std::max(min_rto_, srtt_ + std::max<sim::Time>(4 * rttvar_,
+                                                        sim::microseconds(1)));
+}
+
+}  // namespace acdc::tcp

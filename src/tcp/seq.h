@@ -1,0 +1,35 @@
+// Modular 32-bit sequence-number arithmetic (RFC 793 style), as used by real
+// stacks and by the AC/DC vSwitch when reconstructing connection state. All
+// comparisons are valid while windows stay below 2^31 bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace acdc::tcp {
+
+using Seq = std::uint32_t;
+
+inline bool seq_lt(Seq a, Seq b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+inline bool seq_le(Seq a, Seq b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+inline bool seq_gt(Seq a, Seq b) {
+  return static_cast<std::int32_t>(a - b) > 0;
+}
+inline bool seq_ge(Seq a, Seq b) {
+  return static_cast<std::int32_t>(a - b) >= 0;
+}
+
+inline Seq seq_max(Seq a, Seq b) { return seq_gt(a, b) ? a : b; }
+inline Seq seq_min(Seq a, Seq b) { return seq_lt(a, b) ? a : b; }
+
+// Distance a -> b; callers must know b is not "before" a.
+inline std::uint32_t seq_distance(Seq a, Seq b) { return b - a; }
+
+struct SeqLess {
+  bool operator()(Seq a, Seq b) const { return seq_lt(a, b); }
+};
+
+}  // namespace acdc::tcp

@@ -1,0 +1,237 @@
+// A tenant TCP stack: connection establishment with option negotiation
+// (MSS, window scale, SACK, ECN), sequence/ACK machinery, flow control
+// against the peer's advertised receive window, NewReno fast
+// retransmit/recovery with SACK assistance, RTO with exponential backoff,
+// and pluggable congestion control (tcp/cc).
+//
+// This is the "VM TCP stack" of the paper: everything AC/DC must work with
+// but cannot modify. Notably the stack obeys the standard — it always limits
+// itself to min(CWND, peer RWND) — which is exactly the lever AC/DC's
+// enforcement uses (§3.3). A non-conforming tenant can be modelled with
+// TcpConfig::ignore_peer_rwnd.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "tcp/cc/congestion_control.h"
+#include "tcp/rtt_estimator.h"
+#include "tcp/seq.h"
+
+namespace acdc::tcp {
+
+struct Endpoint {
+  net::IpAddr ip = 0;
+  net::TcpPort port = 0;
+
+  bool operator==(const Endpoint&) const = default;
+};
+
+struct TcpConfig {
+  // Maximum payload per segment. Defaults to a 9KB-MTU datacenter fabric
+  // (9000 - 40 bytes of headers); the paper also evaluates 1.5KB MTU
+  // (mss = 1460).
+  std::uint32_t mss = 8960;
+  std::uint8_t window_scale = 9;
+  std::int64_t receive_buffer_bytes = std::int64_t{16} * 1024 * 1024;
+  double initial_cwnd = 10.0;  // RFC 6928
+  bool ecn = false;            // negotiate ECN (RFC 3168)
+  // Mark SYNs and pure ACKs ECT as well (RFC 8311-style; standard practice
+  // in DCTCP deployments so control packets are marked, not dropped, at
+  // saturated WRED queues — cf. Judd, NSDI'15).
+  bool ect_on_control = false;
+  bool sack = true;
+  bool delayed_ack = false;    // datacenter default: quick ACK
+  sim::Time delayed_ack_timeout = sim::milliseconds(40);
+  sim::Time min_rto = sim::milliseconds(10);  // paper sets RTOmin = 10ms
+  sim::Time initial_rto = sim::milliseconds(200);
+  // Non-conforming tenant: ignores the peer's advertised window entirely.
+  bool ignore_peer_rwnd = false;
+  // Upper bound on CWND in packets (Linux's snd_cwnd_clamp, Fig. 6); 0 = off.
+  double cwnd_clamp_packets = 0.0;
+  // Congestion control algorithm (see make_congestion_control()).
+  std::string cc = "cubic";
+  Seq initial_seq = 10'000;
+};
+
+class TcpConnection {
+ public:
+  enum class State {
+    kClosed,
+    kSynSent,
+    kSynReceived,
+    kEstablished,
+    kFinWait,    // our FIN sent, waiting for ACK + peer FIN
+    kCloseWait,  // peer FIN received, app not yet closed
+    kLastAck,    // peer FIN received and our FIN sent
+    kDone,
+  };
+
+  struct Stats {
+    std::int64_t segments_sent = 0;
+    std::int64_t segments_received = 0;
+    std::int64_t retransmissions = 0;
+    std::int64_t fast_retransmits = 0;
+    std::int64_t rtos = 0;
+    std::int64_t ecn_reductions = 0;   // CWR entries from ECE feedback
+    std::int64_t loss_reductions = 0;  // recovery entries
+  };
+
+  TcpConnection(sim::Simulator* sim, TcpConfig config, Endpoint local,
+                Endpoint remote, net::PacketSink* out);
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  // ---- Application interface ----
+  void open_active();                          // client: send SYN
+  void open_passive(const net::Packet& syn);   // server: consume SYN
+  // Appends `bytes` of (synthetic) application data to the send queue.
+  void send(std::int64_t bytes);
+  void close();  // send FIN once all queued data is out
+
+  std::function<void()> on_established;
+  // TSQ-style transmit gate: when set and returning false, no *new* data
+  // segments are emitted (retransmissions and ACKs still go out). The host
+  // calls poke() when budget frees up.
+  std::function<bool()> tx_gate;
+  void poke() { try_send(); }
+  // Receiver side: called with newly delivered in-order payload bytes.
+  std::function<void(std::int64_t)> on_deliver;
+  // Sender side: called when snd_una advances; argument is cumulative
+  // ACKed payload bytes.
+  std::function<void(std::int64_t)> on_acked;
+  std::function<void()> on_closed;
+
+  // ---- Network interface ----
+  void receive(net::PacketPtr packet);
+
+  // ---- Introspection (the tcpprobe analogue used by Figs. 9/10) ----
+  State state() const { return state_; }
+  const CcState& cc_state() const { return cc_state_; }
+  const CongestionControl& congestion_control() const { return *cc_; }
+  std::int64_t cwnd_bytes() const {
+    return static_cast<std::int64_t>(cc_state_.cwnd_bytes());
+  }
+  std::int64_t peer_rwnd_bytes() const { return peer_rwnd_bytes_; }
+  std::int64_t bytes_in_flight() const {
+    return static_cast<std::int64_t>(snd_nxt_ - snd_una_);
+  }
+  std::int64_t delivered_bytes() const { return delivered_bytes_; }
+  std::int64_t acked_payload_bytes() const { return acked_payload_bytes_; }
+  std::int64_t queued_unsent_bytes() const {
+    return static_cast<std::int64_t>(write_seq_ - snd_nxt_) -
+           (fin_pending_ && !fin_sent_ ? 0 : 0);
+  }
+  const Stats& stats() const { return stats_; }
+  const RttEstimator& rtt() const { return rtt_; }
+  const TcpConfig& config() const { return config_; }
+  const Endpoint& local() const { return local_; }
+  const Endpoint& remote() const { return remote_; }
+  bool ecn_negotiated() const { return ecn_ok_; }
+
+ private:
+  struct TxSegment {
+    Seq seq = 0;
+    std::uint32_t len = 0;  // sequence space consumed (SYN/FIN count 1)
+    sim::Time sent_at = 0;
+    bool retransmitted = false;
+    bool sacked = false;
+    bool syn = false;
+    bool fin = false;
+  };
+
+  // ---- Send path ----
+  void try_send();
+  void send_segment(TxSegment& seg);
+  net::PacketPtr build_packet(const TxSegment& seg) const;
+  net::PacketPtr build_control(bool syn, bool ack) const;
+  void transmit(net::PacketPtr packet);
+  std::int64_t send_window_bytes() const;
+  void enqueue_fin_if_ready();
+
+  // ---- Receive path ----
+  void handle_syn_states(net::PacketPtr& packet);
+  void process_ack(const net::Packet& packet);
+  void process_payload(const net::Packet& packet);
+  void send_ack_now();
+  void maybe_send_ack(bool forced);
+  std::uint16_t advertised_window_raw() const;
+  std::vector<net::SackBlock> current_sack_blocks() const;
+
+  // ---- Loss handling ----
+  void enter_recovery();
+  void on_dupack(const net::Packet& packet);
+  void apply_sack(const std::vector<net::SackBlock>& blocks);
+  bool retransmit_first_unsacked(bool skip_retransmitted);
+  bool retransmit_next_hole();
+  void on_rto_fire();
+  void arm_rto();
+  void cancel_rto();
+
+  // ---- ECN ----
+  void react_to_ece();
+
+  sim::Simulator* sim_;
+  TcpConfig config_;
+  Endpoint local_;
+  Endpoint remote_;
+  net::PacketSink* out_;
+
+  State state_ = State::kClosed;
+  std::unique_ptr<CongestionControl> cc_;
+  CcState cc_state_;
+  RttEstimator rtt_;
+
+  // Sender state.
+  Seq iss_ = 0;
+  Seq snd_una_ = 0;
+  Seq snd_nxt_ = 0;
+  Seq write_seq_ = 0;  // next unqueued byte (app watermark)
+  std::deque<TxSegment> segments_;
+  std::int64_t peer_rwnd_bytes_ = 0;
+  std::uint8_t peer_wscale_ = 0;
+  bool wscale_ok_ = false;
+  bool sack_ok_ = false;
+  bool ecn_ok_ = false;
+  std::uint32_t effective_mss_ = 0;
+  int dupacks_ = 0;
+  Seq highest_sacked_ = 0;
+  bool any_sacked_ = false;
+  bool in_recovery_ = false;
+  Seq recovery_point_ = 0;
+  bool in_rto_recovery_ = false;
+  Seq rto_recovery_point_ = 0;
+  double recovery_inflation_ = 0.0;
+  bool cwr_pending_ = false;  // set CWR on next data segment
+  Seq cwr_end_ = 0;           // one ECE reduction per window of data
+  bool fin_pending_ = false;
+  bool fin_sent_ = false;
+  bool fin_acked_ = false;
+  std::int64_t acked_payload_bytes_ = 0;
+  sim::EventId rto_timer_ = sim::kInvalidEventId;
+  int rto_backoff_ = 1;
+
+  // Receiver state.
+  Seq irs_ = 0;
+  Seq rcv_nxt_ = 0;
+  std::map<Seq, Seq, SeqLess> out_of_order_;  // [start, end) intervals
+  std::int64_t delivered_bytes_ = 0;
+  bool ece_latched_ = false;      // classic ECN receiver state
+  bool last_segment_ce_ = false;  // DCTCP-style accurate per-ACK echo
+  bool dctcp_echo_ = false;
+  bool fin_received_ = false;
+  int pending_ack_segments_ = 0;
+  sim::EventId delack_timer_ = sim::kInvalidEventId;
+
+  Stats stats_;
+};
+
+}  // namespace acdc::tcp

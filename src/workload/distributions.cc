@@ -1,0 +1,89 @@
+#include "workload/distributions.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace acdc::workload {
+
+EmpiricalSizeDistribution::EmpiricalSizeDistribution(std::string name,
+                                                     std::vector<Point> points)
+    : name_(std::move(name)), points_(std::move(points)) {
+  assert(!points_.empty());
+  assert(points_.back().cdf == 1.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    assert(points_[i].cdf > points_[i - 1].cdf);
+    assert(points_[i].bytes >= points_[i - 1].bytes);
+  }
+}
+
+std::int64_t EmpiricalSizeDistribution::quantile(double u) const {
+  if (u <= points_.front().cdf) return points_.front().bytes;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (u <= points_[i].cdf) {
+      const Point& a = points_[i - 1];
+      const Point& b = points_[i];
+      const double frac = (u - a.cdf) / (b.cdf - a.cdf);
+      // Log-linear interpolation over sizes (they span many decades).
+      const double la = std::log(static_cast<double>(a.bytes));
+      const double lb = std::log(static_cast<double>(b.bytes));
+      return static_cast<std::int64_t>(std::exp(la + frac * (lb - la)));
+    }
+  }
+  return points_.back().bytes;
+}
+
+std::int64_t EmpiricalSizeDistribution::sample(sim::Rng& rng) const {
+  return quantile(rng.uniform_real(0.0, 1.0));
+}
+
+double EmpiricalSizeDistribution::mean_bytes() const {
+  // Numeric integration of the inverse CDF.
+  constexpr int kSteps = 10'000;
+  double acc = 0.0;
+  for (int i = 0; i < kSteps; ++i) {
+    const double u = (i + 0.5) / kSteps;
+    acc += static_cast<double>(quantile(u));
+  }
+  return acc / kSteps;
+}
+
+const EmpiricalSizeDistribution& web_search_distribution() {
+  static const EmpiricalSizeDistribution dist(
+      "web-search",
+      {
+          {6'000, 0.15},
+          {13'000, 0.20},
+          {19'000, 0.30},
+          {33'000, 0.40},
+          {53'000, 0.53},
+          {133'000, 0.60},
+          {667'000, 0.70},
+          {1'467'000, 0.80},
+          {3'333'000, 0.90},
+          {6'667'000, 0.97},
+          {20'000'000, 1.00},
+      });
+  return dist;
+}
+
+const EmpiricalSizeDistribution& data_mining_distribution() {
+  static const EmpiricalSizeDistribution dist(
+      "data-mining",
+      {
+          {100, 0.10},
+          {180, 0.20},
+          {250, 0.30},
+          {560, 0.40},
+          {900, 0.50},
+          {1'100, 0.60},
+          {2'000, 0.70},
+          {10'000, 0.80},
+          {100'000, 0.90},
+          {1'000'000, 0.95},
+          {10'000'000, 0.98},
+          {30'000'000, 1.00},  // truncated heavy tail (see header)
+      });
+  return dist;
+}
+
+}  // namespace acdc::workload

@@ -1,0 +1,48 @@
+// Empirical flow-size distributions for the trace-driven workloads (§5.2):
+// the DCTCP web-search workload [3] and the VL2 data-mining workload [25],
+// whose flow-size distribution has a heavier tail. Sizes are sampled from
+// the published CDFs with log-linear interpolation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace acdc::workload {
+
+class EmpiricalSizeDistribution {
+ public:
+  struct Point {
+    std::int64_t bytes;
+    double cdf;  // cumulative probability, strictly increasing to 1.0
+  };
+
+  EmpiricalSizeDistribution(std::string name, std::vector<Point> points);
+
+  std::int64_t sample(sim::Rng& rng) const;
+
+  // Inverse CDF at probability u in [0, 1].
+  std::int64_t quantile(double u) const;
+
+  double mean_bytes() const;
+  const std::string& name() const { return name_; }
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+// Web-search workload (DCTCP paper): mixed mice/elephants, median ~tens of
+// KB, tail to tens of MB.
+const EmpiricalSizeDistribution& web_search_distribution();
+
+// Data-mining workload (VL2): ~80% of flows under 10KB but a much heavier
+// byte tail. The extreme (>30MB) tail is truncated to keep simulated runs
+// tractable; the paper's Fig. 23 reports mice (<10KB) FCTs, which the
+// truncation does not affect qualitatively (see DESIGN.md).
+const EmpiricalSizeDistribution& data_mining_distribution();
+
+}  // namespace acdc::workload

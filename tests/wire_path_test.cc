@@ -1,0 +1,112 @@
+// End-to-end wire fidelity: a filter at the bottom of the datapath
+// serialises EVERY live packet to RFC-layout bytes, verifies both
+// checksums, parses it back and forwards the parsed copy. A full transfer
+// through two AC/DC vSwitches (PACK options, rewritten windows, ECN bits,
+// SACK blocks, handshake options) must be bit-faithful to the wire format.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "acdc/vswitch.h"
+#include "host/host.h"
+#include "net/datapath.h"
+#include "net/wire.h"
+#include "sim/simulator.h"
+
+namespace acdc {
+namespace {
+
+class WireRoundTripFilter : public net::DuplexFilter {
+ public:
+  std::int64_t packets = 0;
+  std::int64_t failures = 0;
+
+ protected:
+  void handle_egress(net::PacketPtr p) override {
+    send_down(round_trip(std::move(p)));
+  }
+  void handle_ingress(net::PacketPtr p) override {
+    send_up(round_trip(std::move(p)));
+  }
+
+ private:
+  net::PacketPtr round_trip(net::PacketPtr p) {
+    ++packets;
+    const auto bytes = net::wire::serialize(*p);
+    auto parsed = net::wire::parse(bytes);
+    if (!parsed.has_value() || !parsed->ip_checksum_ok ||
+        !parsed->tcp_checksum_ok) {
+      ++failures;
+      return p;
+    }
+    const net::Packet& q = parsed->packet;
+    const bool equal =
+        q.ip.src == p->ip.src && q.ip.dst == p->ip.dst &&
+        q.ip.ecn == p->ip.ecn && q.tcp.src_port == p->tcp.src_port &&
+        q.tcp.dst_port == p->tcp.dst_port && q.tcp.seq == p->tcp.seq &&
+        q.tcp.ack_seq == p->tcp.ack_seq && q.tcp.flags == p->tcp.flags &&
+        q.tcp.window_raw == p->tcp.window_raw &&
+        q.tcp.reserved_vm_ecn == p->tcp.reserved_vm_ecn &&
+        q.tcp.options == p->tcp.options &&
+        q.payload_bytes == p->payload_bytes;
+    if (!equal) {
+      ++failures;
+      return p;
+    }
+    // Forward the PARSED packet: if anything was lost in the bytes, the
+    // transfer itself breaks.
+    auto out = std::make_unique<net::Packet>(q);
+    out->acdc_fack = p->acdc_fack;  // simulator-only marker, not on-wire
+    return out;
+  }
+};
+
+// Randomly drops data packets so retransmissions/SACK blocks appear on the
+// wire too.
+class PeriodicLossFilter : public net::DuplexFilter {
+ protected:
+  void handle_egress(net::PacketPtr p) override {
+    if (p->payload_bytes > 0 && ++count_ % 97 == 0) return;
+    send_down(std::move(p));
+  }
+
+ private:
+  int count_ = 0;
+};
+
+TEST(WirePathTest, EveryLivePacketIsWireFaithful) {
+  sim::Simulator sim;
+  host::HostConfig hc;
+  host::Host a(&sim, "A", net::make_ip(10, 0, 0, 1), hc);
+  host::Host b(&sim, "B", net::make_ip(10, 0, 0, 2), hc);
+  vswitch::AcdcVswitch vs_a(&sim, {});
+  vswitch::AcdcVswitch vs_b(&sim, {});
+  WireRoundTripFilter wire_a;
+  WireRoundTripFilter wire_b;
+  PeriodicLossFilter loss;
+  a.add_filter(&vs_a);
+  a.add_filter(&loss);
+  a.add_filter(&wire_a);  // below AC/DC: sees marked/PACKed/enforced pkts
+  b.add_filter(&vs_b);
+  b.add_filter(&wire_b);
+  a.nic().tx_port().set_peer(&b.nic());
+  b.nic().tx_port().set_peer(&a.nic());
+
+  tcp::TcpConfig cfg;
+  cfg.mss = 1448;
+  b.listen(80, cfg);
+  auto* c = a.connect(b.ip(), 80, cfg);
+  c->on_established = [c] { c->send(2'000'000); };
+  sim.run_until(sim::seconds(5));
+
+  EXPECT_EQ(b.connections()[0]->delivered_bytes(), 2'000'000);
+  EXPECT_GT(wire_a.packets, 1000);
+  EXPECT_EQ(wire_a.failures, 0);
+  EXPECT_GT(wire_b.packets, 1000);
+  EXPECT_EQ(wire_b.failures, 0);
+  EXPECT_GT(c->stats().retransmissions, 0) << "loss path must be exercised";
+  EXPECT_GT(vs_b.stats().packs_attached, 0) << "PACKs crossed the wire";
+}
+
+}  // namespace
+}  // namespace acdc
