@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_heterogeneous_cc.dir/bench_fig01_heterogeneous_cc.cc.o"
+  "CMakeFiles/bench_fig01_heterogeneous_cc.dir/bench_fig01_heterogeneous_cc.cc.o.d"
+  "bench_fig01_heterogeneous_cc"
+  "bench_fig01_heterogeneous_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_heterogeneous_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_rate_limiting_not_enough.dir/bench_fig02_rate_limiting_not_enough.cc.o"
+  "CMakeFiles/bench_fig02_rate_limiting_not_enough.dir/bench_fig02_rate_limiting_not_enough.cc.o.d"
+  "bench_fig02_rate_limiting_not_enough"
+  "bench_fig02_rate_limiting_not_enough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_rate_limiting_not_enough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig02_rate_limiting_not_enough.
+# This may be replaced when dependencies are built.

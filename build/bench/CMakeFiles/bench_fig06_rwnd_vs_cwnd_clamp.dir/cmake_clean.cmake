@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_rwnd_vs_cwnd_clamp.dir/bench_fig06_rwnd_vs_cwnd_clamp.cc.o"
+  "CMakeFiles/bench_fig06_rwnd_vs_cwnd_clamp.dir/bench_fig06_rwnd_vs_cwnd_clamp.cc.o.d"
+  "bench_fig06_rwnd_vs_cwnd_clamp"
+  "bench_fig06_rwnd_vs_cwnd_clamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_rwnd_vs_cwnd_clamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig06_rwnd_vs_cwnd_clamp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_window_tracking.dir/bench_fig09_window_tracking.cc.o"
+  "CMakeFiles/bench_fig09_window_tracking.dir/bench_fig09_window_tracking.cc.o.d"
+  "bench_fig09_window_tracking"
+  "bench_fig09_window_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_window_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

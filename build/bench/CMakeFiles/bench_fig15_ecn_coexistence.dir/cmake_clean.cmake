@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_ecn_coexistence.dir/bench_fig15_ecn_coexistence.cc.o"
+  "CMakeFiles/bench_fig15_ecn_coexistence.dir/bench_fig15_ecn_coexistence.cc.o.d"
+  "bench_fig15_ecn_coexistence"
+  "bench_fig15_ecn_coexistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_ecn_coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_buffer_pressure.dir/bench_fig20_buffer_pressure.cc.o"
+  "CMakeFiles/bench_fig20_buffer_pressure.dir/bench_fig20_buffer_pressure.cc.o.d"
+  "bench_fig20_buffer_pressure"
+  "bench_fig20_buffer_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_buffer_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

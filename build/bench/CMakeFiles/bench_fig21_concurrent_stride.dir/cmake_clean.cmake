@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_concurrent_stride.dir/bench_fig21_concurrent_stride.cc.o"
+  "CMakeFiles/bench_fig21_concurrent_stride.dir/bench_fig21_concurrent_stride.cc.o.d"
+  "bench_fig21_concurrent_stride"
+  "bench_fig21_concurrent_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_concurrent_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_tenants.dir/mixed_tenants.cpp.o"
+  "CMakeFiles/mixed_tenants.dir/mixed_tenants.cpp.o.d"
+  "mixed_tenants"
+  "mixed_tenants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_tenants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

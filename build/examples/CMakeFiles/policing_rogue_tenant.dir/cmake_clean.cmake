@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policing_rogue_tenant.dir/policing_rogue_tenant.cpp.o"
+  "CMakeFiles/policing_rogue_tenant.dir/policing_rogue_tenant.cpp.o.d"
+  "policing_rogue_tenant"
+  "policing_rogue_tenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policing_rogue_tenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

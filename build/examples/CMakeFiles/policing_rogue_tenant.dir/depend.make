@@ -1,0 +1,2 @@
+# Empty dependencies file for policing_rogue_tenant.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vswitch_features.dir/vswitch_features.cpp.o"
+  "CMakeFiles/vswitch_features.dir/vswitch_features.cpp.o.d"
+  "vswitch_features"
+  "vswitch_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vswitch_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

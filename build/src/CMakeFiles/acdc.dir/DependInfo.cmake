@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acdc/feedback.cc" "src/CMakeFiles/acdc.dir/acdc/feedback.cc.o" "gcc" "src/CMakeFiles/acdc.dir/acdc/feedback.cc.o.d"
+  "/root/repo/src/acdc/flow_key.cc" "src/CMakeFiles/acdc.dir/acdc/flow_key.cc.o" "gcc" "src/CMakeFiles/acdc.dir/acdc/flow_key.cc.o.d"
+  "/root/repo/src/acdc/flow_table.cc" "src/CMakeFiles/acdc.dir/acdc/flow_table.cc.o" "gcc" "src/CMakeFiles/acdc.dir/acdc/flow_table.cc.o.d"
+  "/root/repo/src/acdc/policy.cc" "src/CMakeFiles/acdc.dir/acdc/policy.cc.o" "gcc" "src/CMakeFiles/acdc.dir/acdc/policy.cc.o.d"
+  "/root/repo/src/acdc/receiver_module.cc" "src/CMakeFiles/acdc.dir/acdc/receiver_module.cc.o" "gcc" "src/CMakeFiles/acdc.dir/acdc/receiver_module.cc.o.d"
+  "/root/repo/src/acdc/sender_module.cc" "src/CMakeFiles/acdc.dir/acdc/sender_module.cc.o" "gcc" "src/CMakeFiles/acdc.dir/acdc/sender_module.cc.o.d"
+  "/root/repo/src/acdc/virtual_cc.cc" "src/CMakeFiles/acdc.dir/acdc/virtual_cc.cc.o" "gcc" "src/CMakeFiles/acdc.dir/acdc/virtual_cc.cc.o.d"
+  "/root/repo/src/acdc/vswitch.cc" "src/CMakeFiles/acdc.dir/acdc/vswitch.cc.o" "gcc" "src/CMakeFiles/acdc.dir/acdc/vswitch.cc.o.d"
+  "/root/repo/src/exp/dumbbell.cc" "src/CMakeFiles/acdc.dir/exp/dumbbell.cc.o" "gcc" "src/CMakeFiles/acdc.dir/exp/dumbbell.cc.o.d"
+  "/root/repo/src/exp/leaf_spine.cc" "src/CMakeFiles/acdc.dir/exp/leaf_spine.cc.o" "gcc" "src/CMakeFiles/acdc.dir/exp/leaf_spine.cc.o.d"
+  "/root/repo/src/exp/mode.cc" "src/CMakeFiles/acdc.dir/exp/mode.cc.o" "gcc" "src/CMakeFiles/acdc.dir/exp/mode.cc.o.d"
+  "/root/repo/src/exp/parking_lot.cc" "src/CMakeFiles/acdc.dir/exp/parking_lot.cc.o" "gcc" "src/CMakeFiles/acdc.dir/exp/parking_lot.cc.o.d"
+  "/root/repo/src/exp/scenario.cc" "src/CMakeFiles/acdc.dir/exp/scenario.cc.o" "gcc" "src/CMakeFiles/acdc.dir/exp/scenario.cc.o.d"
+  "/root/repo/src/exp/star.cc" "src/CMakeFiles/acdc.dir/exp/star.cc.o" "gcc" "src/CMakeFiles/acdc.dir/exp/star.cc.o.d"
+  "/root/repo/src/host/bulk_app.cc" "src/CMakeFiles/acdc.dir/host/bulk_app.cc.o" "gcc" "src/CMakeFiles/acdc.dir/host/bulk_app.cc.o.d"
+  "/root/repo/src/host/echo_app.cc" "src/CMakeFiles/acdc.dir/host/echo_app.cc.o" "gcc" "src/CMakeFiles/acdc.dir/host/echo_app.cc.o.d"
+  "/root/repo/src/host/host.cc" "src/CMakeFiles/acdc.dir/host/host.cc.o" "gcc" "src/CMakeFiles/acdc.dir/host/host.cc.o.d"
+  "/root/repo/src/host/message_app.cc" "src/CMakeFiles/acdc.dir/host/message_app.cc.o" "gcc" "src/CMakeFiles/acdc.dir/host/message_app.cc.o.d"
+  "/root/repo/src/net/nic.cc" "src/CMakeFiles/acdc.dir/net/nic.cc.o" "gcc" "src/CMakeFiles/acdc.dir/net/nic.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/acdc.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/acdc.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/port.cc" "src/CMakeFiles/acdc.dir/net/port.cc.o" "gcc" "src/CMakeFiles/acdc.dir/net/port.cc.o.d"
+  "/root/repo/src/net/queue.cc" "src/CMakeFiles/acdc.dir/net/queue.cc.o" "gcc" "src/CMakeFiles/acdc.dir/net/queue.cc.o.d"
+  "/root/repo/src/net/red_queue.cc" "src/CMakeFiles/acdc.dir/net/red_queue.cc.o" "gcc" "src/CMakeFiles/acdc.dir/net/red_queue.cc.o.d"
+  "/root/repo/src/net/switch.cc" "src/CMakeFiles/acdc.dir/net/switch.cc.o" "gcc" "src/CMakeFiles/acdc.dir/net/switch.cc.o.d"
+  "/root/repo/src/net/token_bucket.cc" "src/CMakeFiles/acdc.dir/net/token_bucket.cc.o" "gcc" "src/CMakeFiles/acdc.dir/net/token_bucket.cc.o.d"
+  "/root/repo/src/net/wire.cc" "src/CMakeFiles/acdc.dir/net/wire.cc.o" "gcc" "src/CMakeFiles/acdc.dir/net/wire.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/acdc.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/acdc.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/acdc.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/acdc.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/acdc.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/acdc.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/stats/fct_collector.cc" "src/CMakeFiles/acdc.dir/stats/fct_collector.cc.o" "gcc" "src/CMakeFiles/acdc.dir/stats/fct_collector.cc.o.d"
+  "/root/repo/src/stats/percentile.cc" "src/CMakeFiles/acdc.dir/stats/percentile.cc.o" "gcc" "src/CMakeFiles/acdc.dir/stats/percentile.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/acdc.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/acdc.dir/stats/table.cc.o.d"
+  "/root/repo/src/stats/timeseries.cc" "src/CMakeFiles/acdc.dir/stats/timeseries.cc.o" "gcc" "src/CMakeFiles/acdc.dir/stats/timeseries.cc.o.d"
+  "/root/repo/src/tcp/cc/congestion_control.cc" "src/CMakeFiles/acdc.dir/tcp/cc/congestion_control.cc.o" "gcc" "src/CMakeFiles/acdc.dir/tcp/cc/congestion_control.cc.o.d"
+  "/root/repo/src/tcp/cc/cubic.cc" "src/CMakeFiles/acdc.dir/tcp/cc/cubic.cc.o" "gcc" "src/CMakeFiles/acdc.dir/tcp/cc/cubic.cc.o.d"
+  "/root/repo/src/tcp/cc/dctcp.cc" "src/CMakeFiles/acdc.dir/tcp/cc/dctcp.cc.o" "gcc" "src/CMakeFiles/acdc.dir/tcp/cc/dctcp.cc.o.d"
+  "/root/repo/src/tcp/cc/highspeed.cc" "src/CMakeFiles/acdc.dir/tcp/cc/highspeed.cc.o" "gcc" "src/CMakeFiles/acdc.dir/tcp/cc/highspeed.cc.o.d"
+  "/root/repo/src/tcp/cc/illinois.cc" "src/CMakeFiles/acdc.dir/tcp/cc/illinois.cc.o" "gcc" "src/CMakeFiles/acdc.dir/tcp/cc/illinois.cc.o.d"
+  "/root/repo/src/tcp/cc/misbehaving.cc" "src/CMakeFiles/acdc.dir/tcp/cc/misbehaving.cc.o" "gcc" "src/CMakeFiles/acdc.dir/tcp/cc/misbehaving.cc.o.d"
+  "/root/repo/src/tcp/cc/new_reno.cc" "src/CMakeFiles/acdc.dir/tcp/cc/new_reno.cc.o" "gcc" "src/CMakeFiles/acdc.dir/tcp/cc/new_reno.cc.o.d"
+  "/root/repo/src/tcp/cc/vegas.cc" "src/CMakeFiles/acdc.dir/tcp/cc/vegas.cc.o" "gcc" "src/CMakeFiles/acdc.dir/tcp/cc/vegas.cc.o.d"
+  "/root/repo/src/tcp/rtt_estimator.cc" "src/CMakeFiles/acdc.dir/tcp/rtt_estimator.cc.o" "gcc" "src/CMakeFiles/acdc.dir/tcp/rtt_estimator.cc.o.d"
+  "/root/repo/src/tcp/tcp_connection.cc" "src/CMakeFiles/acdc.dir/tcp/tcp_connection.cc.o" "gcc" "src/CMakeFiles/acdc.dir/tcp/tcp_connection.cc.o.d"
+  "/root/repo/src/workload/distributions.cc" "src/CMakeFiles/acdc.dir/workload/distributions.cc.o" "gcc" "src/CMakeFiles/acdc.dir/workload/distributions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

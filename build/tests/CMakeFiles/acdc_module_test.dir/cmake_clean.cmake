@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acdc_module_test.dir/acdc_module_test.cc.o"
+  "CMakeFiles/acdc_module_test.dir/acdc_module_test.cc.o.d"
+  "acdc_module_test"
+  "acdc_module_test.pdb"
+  "acdc_module_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acdc_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

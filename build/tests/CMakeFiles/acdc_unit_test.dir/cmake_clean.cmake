@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acdc_unit_test.dir/acdc_unit_test.cc.o"
+  "CMakeFiles/acdc_unit_test.dir/acdc_unit_test.cc.o.d"
+  "acdc_unit_test"
+  "acdc_unit_test.pdb"
+  "acdc_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acdc_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acdc_vswitch_test.dir/acdc_vswitch_test.cc.o"
+  "CMakeFiles/acdc_vswitch_test.dir/acdc_vswitch_test.cc.o.d"
+  "acdc_vswitch_test"
+  "acdc_vswitch_test.pdb"
+  "acdc_vswitch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acdc_vswitch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaf_spine_test.dir/leaf_spine_test.cc.o"
+  "CMakeFiles/leaf_spine_test.dir/leaf_spine_test.cc.o.d"
+  "leaf_spine_test"
+  "leaf_spine_test.pdb"
+  "leaf_spine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaf_spine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[WirePathTest.EveryLivePacketIsWireFaithful]=]  /root/repo/build/tests/wire_path_test [==[--gtest_filter=WirePathTest.EveryLivePacketIsWireFaithful]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[WirePathTest.EveryLivePacketIsWireFaithful]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  wire_path_test_TESTS WirePathTest.EveryLivePacketIsWireFaithful)
