@@ -1,9 +1,38 @@
 #include "common.h"
 
 #include <cstdio>
+#include <cstdlib>
+
+#include "obs/export.h"
 
 namespace acdc::bench {
 namespace {
+
+std::string effective_trace_prefix(const RunConfig& cfg) {
+  if (!cfg.trace_prefix.empty()) return cfg.trace_prefix;
+  const char* env = std::getenv("ACDC_TRACE");
+  return env != nullptr ? env : "";
+}
+
+void maybe_enable_tracing(const RunConfig& cfg, exp::Scenario& s) {
+  if (!effective_trace_prefix(cfg).empty()) s.enable_tracing();
+}
+
+void maybe_dump_trace(const RunConfig& cfg, exp::Scenario& s) {
+  const std::string prefix = effective_trace_prefix(cfg);
+  if (prefix.empty() || s.recorder() == nullptr) return;
+  bool ok = obs::write_chrome_trace_file(*s.recorder(), s.metrics(),
+                                         prefix + ".trace.json");
+  ok = obs::write_trace_jsonl_file(*s.recorder(), prefix + ".trace.jsonl") && ok;
+  if (s.metrics() != nullptr) {
+    ok = obs::write_metrics_csv_file(*s.metrics(), prefix + ".metrics.csv") &&
+         ok;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "warning: failed to write trace output to %s.*\n",
+                 prefix.c_str());
+  }
+}
 
 tcp::TcpConfig flow_tcp_config(const exp::Scenario& s, exp::Mode mode,
                                const FlowSpec& flow) {
@@ -47,6 +76,7 @@ RunResult run_dumbbell(const RunConfig& cfg,
   dc.pairs = static_cast<int>(flows.size());
   exp::Dumbbell bell(dc);
   exp::Scenario& s = bell.scenario();
+  maybe_enable_tracing(cfg, s);
 
   if (cfg.mode == exp::Mode::kAcdc) {
     for (std::size_t i = 0; i < flows.size(); ++i) {
@@ -82,6 +112,7 @@ RunResult run_dumbbell(const RunConfig& cfg,
   s.run_until(cfg.duration);
   RunResult out;
   collect(cfg, s, apps, probe, out);
+  maybe_dump_trace(cfg, s);
   return out;
 }
 
@@ -91,6 +122,7 @@ RunResult run_incast(const RunConfig& cfg, int senders) {
   sc.hosts = senders + 2;  // receiver + probe client
   exp::Star star(sc);
   exp::Scenario& s = star.scenario();
+  maybe_enable_tracing(cfg, s);
 
   std::vector<host::Host*> hosts;
   for (int i = 0; i < star.host_count(); ++i) hosts.push_back(star.host(i));
@@ -114,6 +146,7 @@ RunResult run_incast(const RunConfig& cfg, int senders) {
   s.run_until(cfg.duration);
   RunResult out;
   collect(cfg, s, apps, probe, out);
+  maybe_dump_trace(cfg, s);
   return out;
 }
 

@@ -37,6 +37,11 @@ struct RunConfig {
   // Flow timeseries bucket for convergence plots.
   sim::Time timeseries_bucket = sim::milliseconds(100);
   vswitch::AcdcConfig acdc;
+  // When non-empty, runs with the flight recorder on and writes
+  // <prefix>.trace.json (Chrome trace-event), <prefix>.trace.jsonl and
+  // <prefix>.metrics.csv after the run. The ACDC_TRACE environment
+  // variable provides the same behaviour without touching code.
+  std::string trace_prefix;
 };
 
 struct RunResult {

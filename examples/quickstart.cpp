@@ -7,12 +7,18 @@
 // windows it enforced, and the fact that the tenant stack never saw a
 // single ECN signal.
 //
+// Also demonstrates the observability layer: the run is captured by the
+// flight recorder and dumped as quickstart.trace.jsonl (one JSON object
+// per datapath event), quickstart.trace.json (open in chrome://tracing or
+// https://ui.perfetto.dev) and quickstart.metrics.csv.
+//
 //   $ ./examples/quickstart
 #include <cstdio>
 
 #include "acdc/vswitch.h"
 #include "exp/mode.h"
 #include "exp/star.h"
+#include "obs/export.h"
 
 using namespace acdc;
 
@@ -25,6 +31,11 @@ int main() {
   cfg.hosts = 2;
   exp::Star star(cfg);
   exp::Scenario& s = star.scenario();
+
+  // Record everything the datapath does: RWND enforcement, ECN hide/strip,
+  // PACK/FACK feedback, queue occupancy, tenant cwnd — plus periodic
+  // counter snapshots.
+  obs::FlightRecorder& rec = s.enable_tracing();
 
   // Drop an AC/DC vSwitch into each server's datapath. No VM changes: the
   // tenant stack below stays stock CUBIC without ECN.
@@ -74,5 +85,19 @@ int main() {
   std::printf("  peer receive window now:        %lld bytes "
               "(= AC/DC's DCTCP window)\n",
               static_cast<long long>(conn->peer_rwnd_bytes()));
+
+  // Dump the flight recorder: JSONL for jq/pandas, Chrome trace-event JSON
+  // for chrome://tracing / Perfetto, CSV for the metrics snapshots.
+  obs::write_trace_jsonl_file(rec, "quickstart.trace.jsonl");
+  obs::write_chrome_trace_file(rec, s.metrics(), "quickstart.trace.json");
+  obs::write_metrics_csv_file(*s.metrics(), "quickstart.metrics.csv");
+  std::printf("\nTrace: %lld events recorded (%lld overwritten)\n",
+              static_cast<long long>(rec.recorded_events()),
+              static_cast<long long>(rec.overwritten_events()));
+  std::printf("  wrote quickstart.trace.jsonl, quickstart.trace.json "
+              "(chrome://tracing), quickstart.metrics.csv\n");
+  std::printf("  RWND enforcements traced: %zu, ECN marks stripped: %zu\n",
+              rec.count(obs::EventType::kWindowEnforced),
+              rec.count(obs::EventType::kEcnStrip));
   return 0;
 }

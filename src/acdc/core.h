@@ -9,6 +9,8 @@
 #include "acdc/flow_table.h"
 #include "acdc/policy.h"
 #include "acdc/virtual_cc.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace acdc::vswitch {
@@ -78,9 +80,43 @@ struct AcdcCore {
   PolicyEngine policy;
   AcdcStats stats;
 
-  // Observability hook: computed enforcement window per processed ACK
-  // (the Fig. 9/10 "log RWND to a file" analogue).
+  // Flight recorder (nullptr = tracing off; one branch per hook).
+  obs::FlightRecorder* trace = nullptr;
+  std::uint32_t trace_source = 0;
+
+  // Legacy per-ACK window observer (the Fig. 9/10 "log RWND to a file"
+  // analogue). Now a thin adapter over the kWindowEnforced trace event:
+  // emit_window_enforced() feeds both from the same data.
   std::function<void(const FlowKey&, sim::Time, std::int64_t)> on_window;
+
+  bool tracing() const { return trace != nullptr && trace->enabled(); }
+
+  // Flow-stamped event skeleton for the recorder.
+  obs::TraceEvent flow_event(obs::EventType type, const FlowKey& key) const {
+    obs::TraceEvent ev;
+    ev.t = sim->now();
+    ev.type = type;
+    ev.source = trace_source;
+    ev.src_ip = key.src_ip;
+    ev.dst_ip = key.dst_ip;
+    ev.src_port = key.src_port;
+    ev.dst_port = key.dst_port;
+    return ev;
+  }
+
+  // The RWND-enforcement observation point: records a kWindowEnforced trace
+  // event and replays it to the legacy on_window observer.
+  void emit_window_enforced(const FlowEntry& entry, std::int64_t wnd) {
+    if (tracing()) {
+      obs::TraceEvent ev = flow_event(obs::EventType::kWindowEnforced,
+                                      entry.key);
+      ev.a = wnd;
+      ev.b = static_cast<std::int64_t>(entry.snd.cwnd_bytes);
+      ev.x = entry.snd.alpha;
+      trace->record(ev);
+    }
+    if (on_window) on_window(entry.key, sim->now(), wnd);
+  }
 
   // Looks up or creates the entry for `key`, binding its policy and
   // initialising the virtual CC on creation.

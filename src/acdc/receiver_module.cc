@@ -29,10 +29,18 @@ void ReceiverModule::process_ingress_data(net::Packet& packet) {
     // Hide congestion marks from the VM: an ECN-capable VM keeps seeing
     // ECT(0) (so its own stack never reacts, §3.2); a non-ECN VM sees the
     // original Not-ECT.
+    const net::Ecn before = packet.ip.ecn;
     if (r.vm_ecn_negotiated) {
       if (packet.ip.ecn == net::Ecn::kCe) packet.ip.ecn = net::Ecn::kEct0;
     } else {
       packet.ip.ecn = net::Ecn::kNotEct;
+    }
+    if (packet.ip.ecn != before && core_.tracing()) {
+      obs::TraceEvent te =
+          core_.flow_event(obs::EventType::kEcnStrip, entry.key);
+      te.a = packet.payload_bytes;
+      te.b = before == net::Ecn::kCe ? 1 : 0;
+      core_.trace->record(te);
     }
   }
 }
@@ -54,12 +62,21 @@ void ReceiverModule::process_egress_ack(
   }
   if (!r.active) return;
 
-  if (attach_pack(ack, r.total_bytes, r.marked_bytes,
-                  core_.config.mtu_bytes)) {
+  const bool packed = attach_pack(ack, r.total_bytes, r.marked_bytes,
+                                  core_.config.mtu_bytes);
+  if (packed) {
     ++core_.stats.packs_attached;
   } else {
     ++core_.stats.facks_sent;
     emit(make_fack(ack, r.total_bytes, r.marked_bytes));
+  }
+  if (core_.tracing()) {
+    obs::TraceEvent te = core_.flow_event(
+        packed ? obs::EventType::kPackAttached : obs::EventType::kFackEmitted,
+        entry->key);
+    te.a = r.total_bytes;
+    te.b = r.marked_bytes;
+    core_.trace->record(te);
   }
 }
 

@@ -81,6 +81,13 @@ bool SenderModule::police(FlowEntry& entry, const net::Packet& packet) {
       s.snd_una + static_cast<std::uint32_t>(allowed);
   if (seq_gt(seq_end, allowed_end)) {
     ++core_.stats.policed_drops;
+    if (core_.tracing()) {
+      obs::TraceEvent ev =
+          core_.flow_event(obs::EventType::kPolicedDrop, entry.key);
+      ev.a = packet.payload_bytes;
+      ev.b = allowed;
+      core_.trace->record(ev);
+    }
     return false;
   }
   return true;
@@ -155,12 +162,39 @@ bool SenderModule::process_ingress_ack(net::Packet& packet) {
 
   // ---- Virtual congestion control (Fig. 5) ----
   if (!packet.tcp.flags.syn) {
+    const double cwnd_before = s.cwnd_bytes;
+    const double alpha_before = s.alpha;
     virtual_cc_for(entry.policy.kind)
         .on_ack(s, entry.policy, core_.config.vcc, ev);
+    if (core_.tracing()) {
+      if (s.alpha != alpha_before) {
+        obs::TraceEvent te =
+            core_.flow_event(obs::EventType::kAlphaUpdate, entry.key);
+        te.a = fb_marked_delta;
+        te.b = fb_total_delta;
+        te.x = s.alpha;
+        core_.trace->record(te);
+      }
+      if (s.cwnd_bytes != cwnd_before) {
+        obs::TraceEvent te =
+            core_.flow_event(obs::EventType::kCwndUpdate, entry.key);
+        te.a = static_cast<std::int64_t>(s.cwnd_bytes);
+        te.b = static_cast<std::int64_t>(s.ssthresh_bytes);
+        te.x = s.alpha;
+        core_.trace->record(te);
+      }
+    }
   }
 
   if (packet.acdc_fack) {
     ++core_.stats.facks_consumed;
+    if (core_.tracing()) {
+      obs::TraceEvent te =
+          core_.flow_event(obs::EventType::kFackConsumed, entry.key);
+      te.a = fb_total_delta;
+      te.b = fb_marked_delta;
+      core_.trace->record(te);
+    }
     return false;  // FACKs never reach the VM
   }
 
@@ -182,9 +216,7 @@ bool SenderModule::process_ingress_ack(net::Packet& packet) {
 void SenderModule::enforce_window(FlowEntry& entry, net::Packet& ack) {
   const std::int64_t wnd = enforced_window_bytes(entry);
   entry.snd.last_enforced_rwnd = wnd;
-  if (core_.on_window) {
-    core_.on_window(entry.key, core_.sim->now(), wnd);
-  }
+  core_.emit_window_enforced(entry, wnd);
   if (!core_.config.enforce) return;
   const std::uint8_t scale =
       entry.snd.peer_wscale_valid ? entry.snd.peer_wscale : 0;
@@ -211,6 +243,13 @@ int SenderModule::infer_timeouts(sim::Time now) {
     s.last_timeout_at = now;
     virtual_cc_for(entry.policy.kind).on_timeout(s, core_.config.vcc);
     ++core_.stats.inferred_timeouts;
+    if (core_.tracing()) {
+      obs::TraceEvent te =
+          core_.flow_event(obs::EventType::kTimeoutInferred, entry.key);
+      te.a = static_cast<std::int64_t>(s.cwnd_bytes);
+      te.b = now - entry.last_activity;
+      core_.trace->record(te);
+    }
     ++fired;
   });
   return fired;

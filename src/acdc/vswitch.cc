@@ -113,6 +113,12 @@ bool AcdcVswitch::send_window_update(const FlowKey& key) {
   p->tcp.window_raw =
       static_cast<std::uint16_t>(std::min<std::int64_t>(raw, 65535));
   ++core_.stats.injected_window_updates;
+  if (core_.tracing()) {
+    obs::TraceEvent te =
+        core_.flow_event(obs::EventType::kWindowUpdateInjected, key);
+    te.a = p->tcp.window_raw;
+    core_.trace->record(te);
+  }
   send_up(std::move(p));
   return true;
 }
@@ -127,7 +133,37 @@ bool AcdcVswitch::send_dupacks(const FlowKey& key, int count) {
     ++core_.stats.injected_dupacks;
     send_up(std::move(p));
   }
+  if (core_.tracing()) {
+    obs::TraceEvent te =
+        core_.flow_event(obs::EventType::kDupackInjected, key);
+    te.a = count;
+    core_.trace->record(te);
+  }
   return true;
+}
+
+void AcdcVswitch::register_metrics(obs::MetricsRegistry& registry,
+                                   const std::string& prefix) const {
+  const AcdcStats& s = core_.stats;
+  registry.register_counter(prefix + ".egress_data_packets",
+                            &s.egress_data_packets);
+  registry.register_counter(prefix + ".ingress_data_packets",
+                            &s.ingress_data_packets);
+  registry.register_counter(prefix + ".acks_processed", &s.acks_processed);
+  registry.register_counter(prefix + ".packs_attached", &s.packs_attached);
+  registry.register_counter(prefix + ".facks_sent", &s.facks_sent);
+  registry.register_counter(prefix + ".facks_consumed", &s.facks_consumed);
+  registry.register_counter(prefix + ".windows_lowered", &s.windows_lowered);
+  registry.register_counter(prefix + ".policed_drops", &s.policed_drops);
+  registry.register_counter(prefix + ".inferred_timeouts",
+                            &s.inferred_timeouts);
+  registry.register_counter(prefix + ".injected_dupacks",
+                            &s.injected_dupacks);
+  registry.register_counter(prefix + ".injected_window_updates",
+                            &s.injected_window_updates);
+  registry.register_gauge(prefix + ".flow_entries", [this] {
+    return static_cast<double>(core_.table.size());
+  });
 }
 
 }  // namespace acdc::vswitch

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "acdc/core.h"
 #include "acdc/receiver_module.h"
@@ -32,11 +33,27 @@ class AcdcVswitch : public net::DuplexFilter {
   FlowTable& flows() { return core_.table; }
   const AcdcStats& stats() const { return core_.stats; }
 
-  // Observability: computed enforcement window per processed ACK.
+  // Legacy observability: computed enforcement window per processed ACK.
+  // A thin adapter over the recorder's kWindowEnforced event — both are fed
+  // from the same emission point (AcdcCore::emit_window_enforced), so an
+  // attached FlightRecorder sees exactly what this callback sees.
   void set_window_observer(
       std::function<void(const FlowKey&, sim::Time, std::int64_t)> fn) {
     core_.on_window = std::move(fn);
   }
+
+  // Flight-recorder wiring; events are attributed to `name`.
+  void set_trace(obs::FlightRecorder* recorder,
+                 const std::string& name = "acdc") {
+    core_.trace = recorder;
+    core_.trace_source =
+        recorder != nullptr ? recorder->register_source(name) : 0;
+  }
+
+  // Absorbs AcdcStats plus a live flow-table-size gauge into the registry
+  // as `prefix.*`.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const;
 
   // ---- §3.3 flexibility features ----
   // Crafts a TCP window update toward the VM for data flow `key`

@@ -25,7 +25,12 @@ host::Host* Scenario::add_host(const std::string& name) {
   hc.link_delay = config_.host_link_delay;
   const net::IpAddr ip = net::make_ip(10, 0, 0, next_host_id_++);
   hosts_.push_back(std::make_unique<host::Host>(&sim_, name, ip, hc));
-  return hosts_.back().get();
+  host::Host* raw = hosts_.back().get();
+  if (recorder_) {
+    raw->set_trace(recorder_.get());
+    raw->register_metrics(*metrics_);
+  }
+  return raw;
 }
 
 net::SwitchConfig Scenario::switch_config(bool red_enabled) const {
@@ -47,7 +52,12 @@ net::Switch* Scenario::add_switch(const std::string& name) {
 net::Switch* Scenario::add_switch(const std::string& name, bool red_enabled) {
   switches_.push_back(std::make_unique<net::Switch>(
       &sim_, name, switch_config(red_enabled), &rng_));
-  return switches_.back().get();
+  net::Switch* raw = switches_.back().get();
+  if (recorder_) {
+    raw->set_trace(recorder_.get());
+    raw->register_metrics(*metrics_);
+  }
+  return raw;
 }
 
 void Scenario::attach(host::Host* h, net::Switch* sw) {
@@ -77,6 +87,12 @@ vswitch::AcdcVswitch* Scenario::attach_acdc(
   vswitch::AcdcVswitch* raw = vs.get();
   filters_.push_back(std::move(vs));
   h->add_filter(raw);
+  const std::string name = "acdc." + h->name();
+  acdc_filters_.emplace_back(raw, name);
+  if (recorder_) {
+    raw->set_trace(recorder_.get(), name);
+    raw->register_metrics(*metrics_, name);
+  }
   return raw;
 }
 
@@ -148,6 +164,31 @@ net::QueueStats Scenario::fabric_stats() const {
     total.marked_packets += s.marked_packets;
   }
   return total;
+}
+
+obs::FlightRecorder& Scenario::enable_tracing(std::size_t ring_capacity,
+                                              sim::Time metrics_interval) {
+  if (!recorder_) {
+    recorder_ = std::make_unique<obs::FlightRecorder>(ring_capacity);
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    for (const auto& h : hosts_) {
+      h->set_trace(recorder_.get());
+      h->register_metrics(*metrics_);
+    }
+    for (const auto& sw : switches_) {
+      sw->set_trace(recorder_.get());
+      sw->register_metrics(*metrics_);
+    }
+    for (const auto& [vs, name] : acdc_filters_) {
+      vs->set_trace(recorder_.get(), name);
+      vs->register_metrics(*metrics_, name);
+    }
+    if (metrics_interval > 0) {
+      metrics_->schedule_sampling(&sim_, metrics_interval);
+    }
+  }
+  recorder_->set_enabled(true);
+  return *recorder_;
 }
 
 }  // namespace acdc::exp

@@ -16,6 +16,8 @@
 #include "host/message_app.h"
 #include "net/switch.h"
 #include "net/token_bucket.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
@@ -103,6 +105,17 @@ class Scenario {
   // Aggregate switch queue statistics across all switches.
   net::QueueStats fabric_stats() const;
 
+  // ---- Observability ----
+  // Turns on the flight recorder + metrics registry and wires them into
+  // every host, switch and AC/DC vSwitch — both already-created and
+  // future ones. Idempotent; a metrics_interval of 0 disables periodic
+  // snapshots (metrics can still be sampled manually).
+  obs::FlightRecorder& enable_tracing(
+      std::size_t ring_capacity = std::size_t{1} << 16,
+      sim::Time metrics_interval = sim::milliseconds(1));
+  obs::FlightRecorder* recorder() { return recorder_.get(); }
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+
  private:
   net::SwitchConfig switch_config(bool red_enabled) const;
 
@@ -112,6 +125,9 @@ class Scenario {
   std::vector<std::unique_ptr<host::Host>> hosts_;
   std::vector<std::unique_ptr<net::Switch>> switches_;
   std::vector<std::unique_ptr<net::DuplexFilter>> filters_;
+  std::vector<std::pair<vswitch::AcdcVswitch*, std::string>> acdc_filters_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::vector<std::unique_ptr<host::BulkApp>> bulk_apps_;
   std::vector<std::unique_ptr<host::EchoApp>> echo_apps_;
   std::vector<std::unique_ptr<host::MessageApp>> message_apps_;

@@ -66,6 +66,10 @@ tcp::TcpConnection* Host::make_connection(const tcp::TcpConfig& config,
   auto conn = std::make_unique<tcp::TcpConnection>(sim_, config, local, remote,
                                                    &egress_entry_);
   tcp::TcpConnection* raw = conn.get();
+  if (trace_ != nullptr) {
+    raw->set_trace(trace_, trace_->register_source(
+                               name_ + ".tcp:" + std::to_string(local.port)));
+  }
   if (tsq_limit_bytes_ > 0) {
     raw->tx_gate = [this] {
       if (nic_.tx_port().queue().byte_length() < tsq_limit_bytes_) {
@@ -117,6 +121,25 @@ void Host::receive(net::PacketPtr packet) {
     }
   }
   ++demux_misses_;
+}
+
+void Host::set_trace(obs::FlightRecorder* recorder) {
+  trace_ = recorder;
+  nic_.set_trace(recorder);
+  if (recorder == nullptr) return;
+  for (const auto& conn : connections_) {
+    conn->set_trace(recorder,
+                    recorder->register_source(name_ + ".tcp:" +
+                                              std::to_string(conn->local().port)));
+  }
+}
+
+void Host::register_metrics(obs::MetricsRegistry& registry) const {
+  nic_.register_metrics(registry, name_);
+  registry.register_counter(name_ + ".demux_misses", &demux_misses_);
+  registry.register_gauge(name_ + ".connections", [this] {
+    return static_cast<double>(connections_.size());
+  });
 }
 
 }  // namespace acdc::host

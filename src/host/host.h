@@ -13,6 +13,8 @@
 #include "net/datapath.h"
 #include "net/nic.h"
 #include "net/packet.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "tcp/tcp_connection.h"
 
@@ -61,6 +63,12 @@ class Host : public net::PacketSink {
     return connections_;
   }
   std::int64_t demux_misses() const { return demux_misses_; }
+
+  // Wires the flight recorder into the NIC and into every connection —
+  // existing and future (each gets its own "<host>.tcp:<port>" source).
+  void set_trace(obs::FlightRecorder* recorder);
+  // Absorbs NIC counters and a live connection-count gauge as "<host>.*".
+  void register_metrics(obs::MetricsRegistry& registry) const;
 
  private:
   struct ConnKey {
@@ -114,6 +122,7 @@ class Host : public net::PacketSink {
   std::unordered_map<net::TcpPort, Listener> listeners_;
   net::TcpPort next_ephemeral_ = 40'000;
   std::int64_t demux_misses_ = 0;
+  obs::FlightRecorder* trace_ = nullptr;
 };
 
 }  // namespace acdc::host

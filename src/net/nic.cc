@@ -15,4 +15,11 @@ void Nic::receive(PacketPtr packet) {
   if (up_ != nullptr) up_->receive(std::move(packet));
 }
 
+void Nic::register_metrics(obs::MetricsRegistry& registry,
+                           const std::string& prefix) const {
+  registry.register_counter(prefix + ".rx_packets", &received_packets_);
+  registry.register_counter(prefix + ".rx_bytes", &received_bytes_);
+  tx_port_.register_metrics(registry);
+}
+
 }  // namespace acdc::net

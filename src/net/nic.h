@@ -30,6 +30,11 @@ class Nic : public PacketSink {
   std::int64_t received_packets() const { return received_packets_; }
   std::int64_t received_bytes() const { return received_bytes_; }
 
+  // Flight-recorder / metrics wiring (covers the TX port and its queue).
+  void set_trace(obs::FlightRecorder* recorder) { tx_port_.set_trace(recorder); }
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const;
+
  private:
   Port tx_port_;
   PacketSink* up_ = nullptr;

@@ -21,11 +21,32 @@ void Port::send(PacketPtr packet) {
   if (!transmitting_) start_transmission();
 }
 
+void Port::set_trace(obs::FlightRecorder* recorder) {
+  trace_ = recorder;
+  trace_source_ = recorder != nullptr ? recorder->register_source(name_) : 0;
+  queue_->set_trace(recorder, trace_source_);
+}
+
+void Port::register_metrics(obs::MetricsRegistry& registry) const {
+  registry.register_counter(name_ + ".tx_packets", &transmitted_packets_);
+  registry.register_counter(name_ + ".tx_bytes", &transmitted_bytes_);
+  queue_->register_metrics(registry, name_);
+}
+
 void Port::start_transmission() {
   PacketPtr packet = queue_->dequeue();
   if (packet == nullptr) {
     transmitting_ = false;
     return;
+  }
+  if (trace_ != nullptr && trace_->enabled()) {
+    obs::TraceEvent ev;
+    ev.t = sim_->now();
+    ev.type = obs::EventType::kQueueOccupancy;
+    ev.source = trace_source_;
+    ev.a = queue_->byte_length();
+    ev.b = static_cast<std::int64_t>(queue_->packet_length());
+    trace_->record(ev);
   }
   transmitting_ = true;
   const sim::Time tx = sim::transmission_time(packet->wire_bytes(), rate_);

@@ -40,6 +40,13 @@ class Port : public PacketSink {
     on_drain_ = std::move(fn);
   }
 
+  // Flight-recorder hook: wires the egress queue (enqueue/drop/mark events)
+  // and samples occupancy after each dequeue, all attributed to this port's
+  // name.
+  void set_trace(obs::FlightRecorder* recorder);
+  // Registers `<name>.tx_*` counters plus the queue's stats and occupancy.
+  void register_metrics(obs::MetricsRegistry& registry) const;
+
  private:
   void start_transmission();
 
@@ -50,6 +57,8 @@ class Port : public PacketSink {
   std::unique_ptr<Queue> queue_;
   PacketSink* peer_ = nullptr;
   std::function<void()> on_drain_;
+  obs::FlightRecorder* trace_ = nullptr;
+  std::uint32_t trace_source_ = 0;
   bool transmitting_ = false;
   std::int64_t transmitted_packets_ = 0;
   std::int64_t transmitted_bytes_ = 0;

@@ -19,12 +19,50 @@ void Queue::accept(PacketPtr packet) {
   if (pool_ != nullptr) pool_->on_enqueue(bytes);
   ++stats_.enqueued_packets;
   stats_.enqueued_bytes += bytes;
+  if (tracing()) {
+    obs::TraceEvent ev = trace_event(obs::EventType::kQueueEnqueue, *packet);
+    ev.a = bytes_;
+    ev.b = bytes;
+    trace_->record(ev);
+  }
   packets_.push_back(std::move(packet));
 }
 
 void Queue::drop(const Packet& packet) {
   ++stats_.dropped_packets;
   stats_.dropped_bytes += packet.wire_bytes();
+  if (tracing()) {
+    obs::TraceEvent ev = trace_event(obs::EventType::kQueueDrop, packet);
+    ev.a = bytes_;
+    ev.b = packet.wire_bytes();
+    trace_->record(ev);
+  }
+}
+
+obs::TraceEvent Queue::trace_event(obs::EventType type,
+                                   const Packet& packet) const {
+  obs::TraceEvent ev;
+  ev.t = packet.enqueued_at;
+  ev.type = type;
+  ev.source = trace_source_;
+  ev.src_ip = packet.ip.src;
+  ev.dst_ip = packet.ip.dst;
+  ev.src_port = packet.tcp.src_port;
+  ev.dst_port = packet.tcp.dst_port;
+  return ev;
+}
+
+void Queue::register_metrics(obs::MetricsRegistry& registry,
+                             const std::string& prefix) const {
+  registry.register_counter(prefix + ".enqueued_packets",
+                            &stats_.enqueued_packets);
+  registry.register_counter(prefix + ".dropped_packets",
+                            &stats_.dropped_packets);
+  registry.register_counter(prefix + ".marked_packets",
+                            &stats_.marked_packets);
+  registry.register_gauge(prefix + ".queue_bytes", [this] {
+    return static_cast<double>(bytes_);
+  });
 }
 
 bool DropTailQueue::enqueue(PacketPtr packet) {

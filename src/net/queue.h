@@ -4,8 +4,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 
 #include "net/packet.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 
 namespace acdc::net {
 
@@ -68,17 +71,36 @@ class Queue {
   // Optional shared pool; admission then also requires pool capacity.
   void set_shared_pool(SharedBufferPool* pool) { pool_ = pool; }
 
+  // Flight-recorder hook: enqueue/drop/mark events are attributed to
+  // `source` (typically the owning port's name). Timestamps come from the
+  // packet's enqueued_at stamp (set by Port::send).
+  void set_trace(obs::FlightRecorder* recorder, std::uint32_t source) {
+    trace_ = recorder;
+    trace_source_ = source;
+  }
+
+  // Absorbs this queue's stats into the registry as `prefix.*` counters
+  // plus a live occupancy gauge.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const;
+
  protected:
   bool pool_admits(std::int64_t packet_bytes) const {
     return pool_ == nullptr || pool_->admit(bytes_, packet_bytes);
   }
   void accept(PacketPtr packet);
   void drop(const Packet& packet);
+  bool tracing() const { return trace_ != nullptr && trace_->enabled(); }
+  // Fills a flow-stamped event from `packet` (timestamp = enqueued_at).
+  obs::TraceEvent trace_event(obs::EventType type,
+                              const Packet& packet) const;
 
   std::deque<PacketPtr> packets_;
   std::int64_t bytes_ = 0;
   QueueStats stats_;
   SharedBufferPool* pool_ = nullptr;
+  obs::FlightRecorder* trace_ = nullptr;
+  std::uint32_t trace_source_ = 0;
 };
 
 class DropTailQueue : public Queue {

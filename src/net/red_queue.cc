@@ -34,6 +34,12 @@ bool RedQueue::enqueue(PacketPtr packet) {
     if (ecn_capable(packet->ip.ecn)) {
       packet->ip.ecn = Ecn::kCe;
       ++stats_.marked_packets;
+      if (tracing()) {
+        obs::TraceEvent ev = trace_event(obs::EventType::kEcnMark, *packet);
+        ev.a = bytes_;
+        ev.b = bytes;
+        trace_->record(ev);
+      }
     } else {
       // Non-ECT packets past the threshold are dropped (WRED drop action).
       drop(*packet);

@@ -32,8 +32,22 @@ Port* Switch::add_port(sim::Rate rate, sim::Time propagation_delay) {
   auto port = std::make_unique<Port>(
       sim_, name_ + ":p" + std::to_string(ports_.size()), rate,
       propagation_delay, make_queue());
+  if (trace_ != nullptr) port->set_trace(trace_);
   ports_.push_back(std::move(port));
   return ports_.back().get();
+}
+
+void Switch::set_trace(obs::FlightRecorder* recorder) {
+  trace_ = recorder;
+  for (const auto& port : ports_) port->set_trace(recorder);
+}
+
+void Switch::register_metrics(obs::MetricsRegistry& registry) const {
+  for (const auto& port : ports_) port->register_metrics(registry);
+  registry.register_gauge(name_ + ".buffer_used_bytes", [this] {
+    return static_cast<double>(pool_.used_bytes());
+  });
+  registry.register_counter(name_ + ".routing_failures", &routing_failures_);
 }
 
 void Switch::add_route(IpAddr dst, Port* port) { routes_[dst] = port; }

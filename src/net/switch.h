@@ -61,6 +61,11 @@ class Switch : public PacketSink {
   std::int64_t routing_failures() const { return routing_failures_; }
   const std::vector<std::unique_ptr<Port>>& ports() const { return ports_; }
 
+  // Flight-recorder wiring for every existing and future port queue.
+  void set_trace(obs::FlightRecorder* recorder);
+  // `<name>.*` per-port counters plus shared-buffer pool usage.
+  void register_metrics(obs::MetricsRegistry& registry) const;
+
  private:
   std::unique_ptr<Queue> make_queue();
 
@@ -75,6 +80,7 @@ class Switch : public PacketSink {
   Port* default_route_ = nullptr;
   std::vector<Port*> default_ecmp_;
   std::int64_t routing_failures_ = 0;
+  obs::FlightRecorder* trace_ = nullptr;
 };
 
 }  // namespace acdc::net

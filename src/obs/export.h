@@ -1,0 +1,40 @@
+// Trace exporters: turn a FlightRecorder ring (and optionally the metrics
+// snapshots) into files an analysis tool can open.
+//
+//   - JSONL:  one JSON object per event; jq/pandas-friendly.
+//   - CSV:    fixed columns; spreadsheet-friendly.
+//   - Chrome trace-event format: loads in chrome://tracing and Perfetto.
+//     Continuous quantities (enforced RWND, virtual cwnd, DCTCP alpha,
+//     queue occupancy) are emitted as counter tracks ("ph":"C") per source;
+//     discrete events (ECN marks, drops, PACK/FACK, state changes) as
+//     instant events ("ph":"i"). Metrics snapshots become counter tracks
+//     under a separate "metrics" process.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace acdc::obs {
+
+void write_trace_jsonl(const FlightRecorder& rec, std::ostream& os);
+void write_trace_csv(const FlightRecorder& rec, std::ostream& os);
+void write_chrome_trace(const FlightRecorder& rec,
+                        const MetricsRegistry* metrics, std::ostream& os);
+
+// File helpers; return false when the file cannot be opened.
+bool write_trace_jsonl_file(const FlightRecorder& rec,
+                            const std::string& path);
+bool write_trace_csv_file(const FlightRecorder& rec, const std::string& path);
+bool write_chrome_trace_file(const FlightRecorder& rec,
+                             const MetricsRegistry* metrics,
+                             const std::string& path);
+bool write_metrics_csv_file(const MetricsRegistry& metrics,
+                            const std::string& path);
+
+// "a.b.c.d:port>a.b.c.d:port", or "" when the event has no flow identity.
+std::string flow_to_string(const TraceEvent& ev);
+
+}  // namespace acdc::obs

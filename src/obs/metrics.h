@@ -1,0 +1,84 @@
+// Unified metrics registry: named counters and gauges from every layer of
+// the datapath (AcdcStats, queue/NIC/switch stats, flow-table sizes), plus
+// periodic snapshot sampling scheduled on the Simulator so a run yields a
+// time series per metric, not just end-of-run totals.
+//
+// Three registration styles:
+//   - counter("x")           -> registry-owned int64 the caller increments;
+//   - register_counter(p)    -> absorbs an existing int64 counter in place
+//                               (AcdcStats / QueueStats stay the single
+//                               source of truth — no double accounting);
+//   - register_gauge(fn)     -> sampled callback (queue occupancy, table
+//                               sizes, pool usage).
+//
+// Registered pointers/callbacks must outlive the registry's last sample().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace acdc::obs {
+
+class MetricsRegistry {
+ public:
+  struct Snapshot {
+    sim::Time t = 0;
+    // Parallel to names(); metrics registered after this snapshot was taken
+    // are absent (values.size() <= names().size()).
+    std::vector<double> values;
+  };
+
+  // Registry-owned counter; returns a stable reference.
+  std::int64_t& counter(const std::string& name);
+  // Absorbs an external counter; `source` must outlive the registry's use.
+  void register_counter(const std::string& name, const std::int64_t* source);
+  void register_gauge(const std::string& name, std::function<double()> fn);
+
+  std::size_t metric_count() const { return metrics_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+  bool has(const std::string& name) const { return index_of(name) >= 0; }
+  // Current live value (0.0 for unknown names).
+  double value(const std::string& name) const;
+
+  // ---- Snapshot sampling ----
+  void sample(sim::Time now);
+  // Samples now and then every `interval` on the simulator, until `until`
+  // (kNoTime = no bound — only safe with Simulator::run_until, since an
+  // unbounded sampler never lets Simulator::run() drain).
+  void schedule_sampling(sim::Simulator* sim, sim::Time interval,
+                         sim::Time until = sim::kNoTime);
+  const std::vector<Snapshot>& snapshots() const { return snapshots_; }
+
+  // ---- Export ----
+  // CSV: header "t_ns,<name>,..." then one row per snapshot (short rows
+  // padded with 0 for late-registered metrics).
+  void write_csv(std::ostream& os) const;
+  // JSONL: one {"t_ns":..., "<name>":...} object per snapshot.
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  struct Metric {
+    const std::int64_t* source = nullptr;  // external or owned counter
+    std::function<double()> gauge;         // wins when set
+  };
+
+  int index_of(const std::string& name) const;
+  double read(const Metric& m) const;
+  void tick(sim::Simulator* sim, sim::Time interval, sim::Time until);
+
+  std::vector<std::string> names_;
+  std::vector<Metric> metrics_;
+  // Deque-like stable storage for owned counters (vector would invalidate
+  // the registered pointers on growth).
+  std::vector<std::unique_ptr<std::int64_t>> owned_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace acdc::obs

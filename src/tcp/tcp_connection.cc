@@ -47,7 +47,7 @@ TcpConnection::~TcpConnection() {
 
 void TcpConnection::open_active() {
   assert(state_ == State::kClosed);
-  state_ = State::kSynSent;
+  enter_state(State::kSynSent);
   TxSegment syn;
   syn.seq = iss_;
   syn.len = 1;
@@ -75,7 +75,7 @@ void TcpConnection::open_passive(const net::Packet& syn) {
   ecn_ok_ = config_.ecn && syn.tcp.flags.ece && syn.tcp.flags.cwr;
   peer_rwnd_bytes_ = effective_window(syn.tcp.window_raw, false, 0);
 
-  state_ = State::kSynReceived;
+  enter_state(State::kSynReceived);
   TxSegment synack;
   synack.seq = iss_;
   synack.len = 1;
@@ -129,8 +129,8 @@ void TcpConnection::enqueue_fin_if_ready() {
   segments_.push_back(fin);
   snd_nxt_ += 1;
   fin_sent_ = true;
-  if (state_ == State::kEstablished) state_ = State::kFinWait;
-  if (state_ == State::kCloseWait) state_ = State::kLastAck;
+  if (state_ == State::kEstablished) enter_state(State::kFinWait);
+  if (state_ == State::kCloseWait) enter_state(State::kLastAck);
   send_segment(segments_.back());
   arm_rto();
 }
@@ -242,7 +242,7 @@ void TcpConnection::receive(net::PacketPtr packet) {
   if (state_ == State::kClosed || state_ == State::kDone) return;
   const net::Packet& p = *packet;
   if (p.tcp.flags.rst) {
-    state_ = State::kDone;
+    enter_state(State::kDone);
     cancel_rto();
     if (on_closed) on_closed();
     return;
@@ -278,7 +278,7 @@ void TcpConnection::handle_syn_states(net::PacketPtr& packet) {
     segments_.clear();  // the SYN is acked
     cancel_rto();
     rto_backoff_ = 1;
-    state_ = State::kEstablished;
+    enter_state(State::kEstablished);
     send_ack_now();
     if (on_established) on_established();
     try_send();
@@ -302,7 +302,7 @@ void TcpConnection::handle_syn_states(net::PacketPtr& packet) {
   rto_backoff_ = 1;
   peer_rwnd_bytes_ =
       effective_window(p.tcp.window_raw, wscale_ok_, peer_wscale_);
-  state_ = State::kEstablished;
+  enter_state(State::kEstablished);
   if (on_established) on_established();
   if (p.payload_bytes > 0 || p.tcp.flags.fin) process_payload(p);
   try_send();
@@ -319,6 +319,7 @@ void TcpConnection::react_to_ece() {
   cwr_pending_ = true;
   ++stats_.ecn_reductions;
   cc_->on_window_reduction(cc_state_);
+  trace_cwnd();
 }
 
 void TcpConnection::apply_sack(const std::vector<net::SackBlock>& blocks) {
@@ -427,6 +428,7 @@ void TcpConnection::process_ack(const net::Packet& p) {
           static_cast<int>((snd_nxt_ - snd_una_) / std::max(1u, effective_mss_));
       cc_->on_ack(cc_state_, sample);
     }
+    trace_cwnd();
 
     acked_payload_bytes_ += acked_payload;
     if (fin_just_acked) fin_acked_ = true;
@@ -439,13 +441,13 @@ void TcpConnection::process_ack(const net::Packet& p) {
     if (on_acked && acked_payload > 0) on_acked(acked_payload_bytes_);
 
     if (fin_acked_ && state_ == State::kLastAck) {
-      state_ = State::kDone;
+      enter_state(State::kDone);
       cancel_rto();
       if (on_closed) on_closed();
       return;
     }
     if (fin_acked_ && fin_received_ && state_ == State::kFinWait) {
-      state_ = State::kDone;
+      enter_state(State::kDone);
       cancel_rto();
       if (on_closed) on_closed();
       return;
@@ -494,6 +496,7 @@ void TcpConnection::enter_recovery() {
   cc_state_.ssthresh = cc_->ssthresh_after_loss(cc_state_);
   cc_state_.cwnd = std::max(CongestionControl::kMinCwnd, cc_state_.ssthresh);
   cc_->on_window_reduction(cc_state_);
+  trace_cwnd();
   ++stats_.fast_retransmits;
   ++stats_.loss_reductions;
   if (retransmit_first_unsacked(/*skip_retransmitted=*/false)) {
@@ -583,7 +586,7 @@ void TcpConnection::process_payload(const net::Packet& p) {
       fin_received_ = true;
       rcv_nxt_ += 1;
       advanced = true;
-      if (state_ == State::kEstablished) state_ = State::kCloseWait;
+      if (state_ == State::kEstablished) enter_state(State::kCloseWait);
     }
   }
 
@@ -591,7 +594,7 @@ void TcpConnection::process_payload(const net::Packet& p) {
                  last_segment_ce_ || fin_received_);
 
   if (fin_received_ && fin_acked_ && state_ == State::kFinWait) {
-    state_ = State::kDone;
+    enter_state(State::kDone);
     cancel_rto();
     if (on_closed) on_closed();
   }
@@ -690,6 +693,7 @@ void TcpConnection::on_rto_fire() {
   cc_state_.ssthresh = cc_->ssthresh_after_loss(cc_state_);
   cc_state_.cwnd = 1.0;
   cc_->on_rto(cc_state_);
+  trace_cwnd();
   in_recovery_ = false;
   dupacks_ = 0;
   recovery_inflation_ = 0.0;
@@ -708,6 +712,43 @@ void TcpConnection::on_rto_fire() {
     send_segment(segments_.front());
   }
   arm_rto();
+}
+
+// ----------------------------------------------------------------- tracing
+
+void TcpConnection::enter_state(State next) {
+  if (next == state_) return;
+  const State prev = state_;
+  state_ = next;
+  if (trace_ == nullptr || !trace_->enabled()) return;
+  obs::TraceEvent ev;
+  ev.t = sim_->now();
+  ev.type = obs::EventType::kConnState;
+  ev.source = trace_source_;
+  ev.src_ip = local_.ip;
+  ev.dst_ip = remote_.ip;
+  ev.src_port = local_.port;
+  ev.dst_port = remote_.port;
+  ev.a = static_cast<std::int64_t>(next);
+  ev.b = static_cast<std::int64_t>(prev);
+  trace_->record(ev);
+}
+
+void TcpConnection::trace_cwnd() {
+  if (trace_ == nullptr || !trace_->enabled()) return;
+  obs::TraceEvent ev;
+  ev.t = sim_->now();
+  ev.type = obs::EventType::kTcpCwnd;
+  ev.source = trace_source_;
+  ev.src_ip = local_.ip;
+  ev.dst_ip = remote_.ip;
+  ev.src_port = local_.port;
+  ev.dst_port = remote_.port;
+  ev.a = cwnd_bytes();
+  ev.b = static_cast<std::int64_t>(cc_state_.ssthresh *
+                                   static_cast<double>(cc_state_.mss));
+  ev.x = cc_state_.cwnd;  // in packets, as the CC modules reason about it
+  trace_->record(ev);
 }
 
 }  // namespace acdc::tcp

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "net/packet.h"
+#include "obs/flight_recorder.h"
 #include "sim/simulator.h"
 #include "tcp/cc/congestion_control.h"
 #include "tcp/rtt_estimator.h"
@@ -137,6 +138,13 @@ class TcpConnection {
   const Endpoint& remote() const { return remote_; }
   bool ecn_negotiated() const { return ecn_ok_; }
 
+  // Flight-recorder hook: state transitions and cwnd/ssthresh movements are
+  // recorded against `source` (typically "<host>.tcp:<port>").
+  void set_trace(obs::FlightRecorder* recorder, std::uint32_t source) {
+    trace_ = recorder;
+    trace_source_ = source;
+  }
+
  private:
   struct TxSegment {
     Seq seq = 0;
@@ -178,6 +186,10 @@ class TcpConnection {
 
   // ---- ECN ----
   void react_to_ece();
+
+  // ---- Tracing ----
+  void enter_state(State next);  // state_ writes funnel through here
+  void trace_cwnd();
 
   sim::Simulator* sim_;
   TcpConfig config_;
@@ -230,6 +242,9 @@ class TcpConnection {
   bool fin_received_ = false;
   int pending_ack_segments_ = 0;
   sim::EventId delack_timer_ = sim::kInvalidEventId;
+
+  obs::FlightRecorder* trace_ = nullptr;
+  std::uint32_t trace_source_ = 0;
 
   Stats stats_;
 };

@@ -59,6 +59,29 @@ TEST(SamplerTest, CdfIsMonotoneAndEndsAtOne) {
   EXPECT_LE(cdf.size(), 60u);
 }
 
+TEST(SamplerTest, EmptyQuantilesAndMoments) {
+  Sampler s;
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_TRUE(s.cdf(10).empty());
+}
+
+TEST(SamplerTest, AddAfterQuantileInvalidatesSortedCache) {
+  Sampler s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);  // forces the sorted cache
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
 TEST(JainTest, PerfectFairnessIsOne) {
   EXPECT_DOUBLE_EQ(jain_fairness_index({2, 2, 2, 2, 2}), 1.0);
   EXPECT_DOUBLE_EQ(jain_fairness_index({}), 1.0);
@@ -87,6 +110,41 @@ TEST(TimeseriesTest, BucketsAccumulate) {
   EXPECT_DOUBLE_EQ(ts.bucket_rate_bps(0), 80'000);
   EXPECT_DOUBLE_EQ(ts.sum_range(0, sim::milliseconds(100)), 1000);
   EXPECT_DOUBLE_EQ(ts.sum_range(0, sim::milliseconds(200)), 1250);
+}
+
+TEST(TimeseriesTest, OutOfOrderAddAccumulates) {
+  Timeseries ts(sim::milliseconds(100));
+  ts.add(sim::milliseconds(950), 1);  // creates buckets 0..9
+  ts.add(sim::milliseconds(50), 2);   // goes back to bucket 0
+  ts.add(sim::milliseconds(250), 4);  // bucket 2
+  ts.add(sim::milliseconds(70), 8);   // bucket 0 again
+  ASSERT_EQ(ts.bucket_count(), 10u);
+  EXPECT_DOUBLE_EQ(ts.bucket_sum(0), 10);
+  EXPECT_DOUBLE_EQ(ts.bucket_sum(2), 4);
+  EXPECT_DOUBLE_EQ(ts.bucket_sum(9), 1);
+  for (std::size_t i : {1u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    EXPECT_DOUBLE_EQ(ts.bucket_sum(i), 0.0) << "bucket " << i;
+  }
+}
+
+TEST(TimeseriesTest, SumRangeSpanningPartialBuckets) {
+  Timeseries ts(sim::milliseconds(100));
+  ts.add(sim::milliseconds(10), 1);   // bucket 0 (starts at 0)
+  ts.add(sim::milliseconds(110), 2);  // bucket 1 (starts at 100ms)
+  ts.add(sim::milliseconds(210), 4);  // bucket 2 (starts at 200ms)
+  // A range cutting into the middle of buckets counts exactly the buckets
+  // whose *start* lies in [from, to): bucket 0 (starts before `from`) is
+  // excluded even though the range overlaps it.
+  EXPECT_DOUBLE_EQ(
+      ts.sum_range(sim::milliseconds(50), sim::milliseconds(250)), 6);
+  // `from` at a bucket start is inclusive; `to` at a bucket start is not.
+  EXPECT_DOUBLE_EQ(
+      ts.sum_range(sim::milliseconds(100), sim::milliseconds(200)), 2);
+  // Ranges beyond the last bucket, and empty ranges.
+  EXPECT_DOUBLE_EQ(
+      ts.sum_range(sim::milliseconds(300), sim::milliseconds(900)), 0);
+  EXPECT_DOUBLE_EQ(
+      ts.sum_range(sim::milliseconds(150), sim::milliseconds(150)), 0);
 }
 
 TEST(FctCollectorTest, SplitsMiceAndBackground) {
