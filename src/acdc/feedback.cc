@@ -4,9 +4,16 @@ namespace acdc::vswitch {
 
 bool attach_pack(net::Packet& ack, std::uint32_t total_bytes,
                  std::uint32_t marked_bytes, std::int64_t mtu_bytes) {
-  net::Packet probe = ack;
-  probe.tcp.options.acdc = net::AcdcFeedback{total_bytes, marked_bytes};
-  if (probe.size_bytes() > mtu_bytes) return false;
+  net::TcpOptions probe = ack.tcp.options;
+  probe.acdc = net::AcdcFeedback{total_bytes, marked_bytes};
+  // The option must fit both the RFC 793 40-byte option budget (an ACK
+  // already carrying full SACK blocks has no room) and the fabric MTU;
+  // otherwise the feedback travels as a FACK.
+  if (probe.wire_size() > net::kMaxTcpOptionBytes) return false;
+  const std::int64_t probe_size = net::kIpv4HeaderBytes +
+                                  net::kTcpBaseHeaderBytes +
+                                  probe.wire_size() + ack.payload_bytes;
+  if (probe_size > mtu_bytes) return false;
   ack.tcp.options.acdc = net::AcdcFeedback{total_bytes, marked_bytes};
   return true;
 }

@@ -130,12 +130,23 @@ bool SenderModule::process_ingress_ack(net::Packet& packet) {
   std::int64_t fb_total_delta = 0;
   std::int64_t fb_marked_delta = 0;
   if (auto fb = consume_feedback(packet)) {
-    fb_total_delta = static_cast<std::uint32_t>(fb->total_bytes - s.fb_total);
-    fb_marked_delta =
-        static_cast<std::uint32_t>(fb->marked_bytes - s.fb_marked);
-    s.fb_total = fb->total_bytes;
-    s.fb_marked = fb->marked_bytes;
-    s.fb_valid = true;
+    // Feedback carries running totals, so a reordered PACK/FACK can report
+    // values older than what we already consumed. Serial comparison (the
+    // totals wrap mod 2^32) spots the regression; applying it would wrap
+    // the deltas to ~2^32 and blow up the marked fraction.
+    const bool stale =
+        s.fb_valid &&
+        (static_cast<std::int32_t>(fb->total_bytes - s.fb_total) < 0 ||
+         static_cast<std::int32_t>(fb->marked_bytes - s.fb_marked) < 0);
+    if (!stale) {
+      fb_total_delta =
+          static_cast<std::uint32_t>(fb->total_bytes - s.fb_total);
+      fb_marked_delta =
+          static_cast<std::uint32_t>(fb->marked_bytes - s.fb_marked);
+      s.fb_total = fb->total_bytes;
+      s.fb_marked = fb->marked_bytes;
+      s.fb_valid = true;
+    }
   }
 
   // ---- Connection-tracking update (§3.1) ----

@@ -60,22 +60,32 @@ net::Switch* Scenario::add_switch(const std::string& name, bool red_enabled) {
   return raw;
 }
 
+net::PacketSink* Scenario::wrap_link(net::PacketSink* sink) {
+  if (!config_.link_faults.any()) return sink;
+  // Stream ids start at 1: stream 0 is reserved for future scenario-level
+  // draws so adding links never collides with it.
+  injectors_.push_back(std::make_unique<net::FaultInjector>(
+      &sim_, rng_.split(injectors_.size() + 1), config_.link_faults));
+  injectors_.back()->set_target(sink);
+  return injectors_.back().get();
+}
+
 void Scenario::attach(host::Host* h, net::Switch* sw) {
   // Host -> switch direction.
-  h->nic().tx_port().set_peer(sw);
+  h->nic().tx_port().set_peer(wrap_link(sw));
   // Switch -> host direction.
   net::Port* to_host =
       sw->add_port(config_.link_rate, config_.host_link_delay);
-  to_host->set_peer(&h->nic());
+  to_host->set_peer(wrap_link(&h->nic()));
   sw->add_route(h->ip(), to_host);
 }
 
 std::pair<net::Port*, net::Port*> Scenario::trunk(net::Switch* a,
                                                   net::Switch* b) {
   net::Port* ab = a->add_port(config_.link_rate, config_.switch_link_delay);
-  ab->set_peer(b);
+  ab->set_peer(wrap_link(b));
   net::Port* ba = b->add_port(config_.link_rate, config_.switch_link_delay);
-  ba->set_peer(a);
+  ba->set_peer(wrap_link(a));
   return {ab, ba};
 }
 
@@ -151,6 +161,12 @@ host::MessageApp* Scenario::add_message_app(host::Host* sender,
       &sim_, sender, receiver, next_port_++, cfg, cfg, start, interval, bytes,
       collector));
   return message_apps_.back().get();
+}
+
+net::FaultStats Scenario::fault_stats() const {
+  net::FaultStats total;
+  for (const auto& inj : injectors_) total += inj->stats();
+  return total;
 }
 
 net::QueueStats Scenario::fabric_stats() const {

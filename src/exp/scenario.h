@@ -11,6 +11,7 @@
 
 #include "acdc/vswitch.h"
 #include "host/bulk_app.h"
+#include "net/fault.h"
 #include "host/echo_app.h"
 #include "host/host.h"
 #include "host/message_app.h"
@@ -45,6 +46,11 @@ struct ScenarioConfig {
   // MTU (65 x 1.5KB-packets' worth of bytes, ~100KB; larger for 9K).
   std::int64_t red_k_bytes = 0;  // 0 -> derived from MTU
   bool red_enabled = true;
+  // Wire-level fault injection applied to every unidirectional link built
+  // by attach()/trunk(). Each link gets its own RNG substream split from
+  // `seed`, so fault draws on one link never perturb another. Defaults to
+  // a clean fabric.
+  net::FaultConfig link_faults;
 
   std::int64_t derived_red_k() const {
     if (red_k_bytes > 0) return red_k_bytes;
@@ -105,6 +111,14 @@ class Scenario {
   // Aggregate switch queue statistics across all switches.
   net::QueueStats fabric_stats() const;
 
+  // ---- Fault injection ----
+  // Aggregate fault-injection statistics across all links.
+  net::FaultStats fault_stats() const;
+  const std::vector<std::unique_ptr<net::FaultInjector>>& fault_injectors()
+      const {
+    return injectors_;
+  }
+
   // ---- Observability ----
   // Turns on the flight recorder + metrics registry and wires them into
   // every host, switch and AC/DC vSwitch — both already-created and
@@ -118,6 +132,9 @@ class Scenario {
 
  private:
   net::SwitchConfig switch_config(bool red_enabled) const;
+  // Interposes a FaultInjector in front of `sink` when link faults are
+  // configured; otherwise returns `sink` unchanged.
+  net::PacketSink* wrap_link(net::PacketSink* sink);
 
   ScenarioConfig config_;
   sim::Simulator sim_;
@@ -125,6 +142,7 @@ class Scenario {
   std::vector<std::unique_ptr<host::Host>> hosts_;
   std::vector<std::unique_ptr<net::Switch>> switches_;
   std::vector<std::unique_ptr<net::DuplexFilter>> filters_;
+  std::vector<std::unique_ptr<net::FaultInjector>> injectors_;
   std::vector<std::pair<vswitch::AcdcVswitch*, std::string>> acdc_filters_;
   std::unique_ptr<obs::FlightRecorder> recorder_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;

@@ -110,6 +110,9 @@ struct TcpHeader {
 
 inline constexpr std::int64_t kIpv4HeaderBytes = 20;
 inline constexpr std::int64_t kTcpBaseHeaderBytes = 20;
+// RFC 793: the data offset field caps the TCP header at 60 bytes, i.e.
+// 40 bytes of options.
+inline constexpr std::int64_t kMaxTcpOptionBytes = 40;
 // Per-frame Ethernet cost: preamble(8) + header(14) + FCS(4) + IFG(12).
 inline constexpr std::int64_t kEthernetOverheadBytes = 38;
 

@@ -9,6 +9,8 @@ PacketPtr Queue::dequeue() {
   PacketPtr p = std::move(packets_.front());
   packets_.pop_front();
   bytes_ -= p->wire_bytes();
+  ++stats_.dequeued_packets;
+  stats_.dequeued_bytes += p->wire_bytes();
   if (pool_ != nullptr) pool_->on_dequeue(p->wire_bytes());
   return p;
 }

@@ -15,6 +15,8 @@ namespace acdc::net {
 struct QueueStats {
   std::int64_t enqueued_packets = 0;
   std::int64_t enqueued_bytes = 0;
+  std::int64_t dequeued_packets = 0;
+  std::int64_t dequeued_bytes = 0;
   std::int64_t dropped_packets = 0;
   std::int64_t dropped_bytes = 0;
   std::int64_t marked_packets = 0;  // CE marks applied by AQM

@@ -55,8 +55,14 @@ const std::string& FlightRecorder::source_name(std::uint32_t id) const {
   return id < sources_.size() ? sources_[id] : sources_[0];
 }
 
+std::size_t FlightRecorder::add_listener(Listener fn) {
+  listeners_.push_back(std::move(fn));
+  return listeners_.size() - 1;
+}
+
 void FlightRecorder::record(const TraceEvent& ev) {
   if (!enabled_) return;
+  for (const Listener& l : listeners_) l(ev);
   if (size_ == cap_) {
     ring_[head_] = ev;
     head_ = (head_ + 1) % cap_;

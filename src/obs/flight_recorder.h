@@ -43,6 +43,15 @@ class FlightRecorder {
   // disabled.
   void record(const TraceEvent& ev);
 
+  // ---- Subscription ----
+  // Listeners see every accepted event as it is recorded, before ring
+  // overwrite can discard it — the hook invariant checkers and stream
+  // digests build on. Listeners must not record() back into this recorder.
+  using Listener = std::function<void(const TraceEvent&)>;
+  std::size_t add_listener(Listener fn);
+  std::size_t listener_count() const { return listeners_.size(); }
+  void clear_listeners() { listeners_.clear(); }
+
   // ---- Inspection (oldest first) ----
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -71,6 +80,7 @@ class FlightRecorder {
   std::uint64_t recorded_ = 0;
   std::uint64_t overwritten_ = 0;
   std::vector<std::string> sources_;
+  std::vector<Listener> listeners_;
 };
 
 }  // namespace acdc::obs

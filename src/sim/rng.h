@@ -9,9 +9,22 @@
 
 namespace acdc::sim {
 
+// SplitMix64 finaliser; decorrelates nearby seeds so substreams derived
+// from (seed, stream) pairs are statistically independent.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream);
+
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  // Derives an independent substream from the *construction* seed and a
+  // stream id. Does not touch (and is not affected by) this Rng's engine
+  // state, so split streams stay reproducible no matter how many draws
+  // interleave — the property the scenario fuzzer's fault injection relies
+  // on (toggling one consumer must not shift the others).
+  Rng split(std::uint64_t stream) const { return Rng(mix_seed(seed_, stream)); }
 
   // Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
@@ -46,6 +59,7 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

@@ -1,0 +1,383 @@
+#include "testlib/scenario_gen.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <sstream>
+
+#include "exp/dumbbell.h"
+#include "exp/leaf_spine.h"
+#include "exp/star.h"
+#include "obs/export.h"
+#include "testlib/invariants.h"
+
+namespace acdc::testlib {
+
+namespace {
+
+// Stream id for plan sampling; link fault injectors use streams 1..N of the
+// same seed (exp::Scenario::wrap_link), so plan draws never collide with
+// fault draws.
+constexpr std::uint64_t kPlanStream = 0xACDCF022;
+
+// FNV-1a 64-bit, mixed 8 bytes at a time.
+struct Digest {
+  std::uint64_t h = 14695981039346656037ull;
+
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+  void mix_double(double x) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &x, sizeof(bits));
+    mix(bits);
+  }
+};
+
+const char* tenant_cc_pool[] = {"cubic", "reno", "vegas", "illinois",
+                                "highspeed"};
+
+// Everything a sampled topology exposes to the harness: the scenario, the
+// host list (transfer indices refer to it) and the switches to audit.
+struct BuiltTopology {
+  std::unique_ptr<exp::Star> star;
+  std::unique_ptr<exp::Dumbbell> dumbbell;
+  std::unique_ptr<exp::LeafSpine> leaf_spine;
+  exp::Scenario* scenario = nullptr;
+  std::vector<host::Host*> hosts;
+  std::vector<net::Switch*> switches;
+};
+
+BuiltTopology build_topology(const ScenarioPlan& plan) {
+  exp::ScenarioConfig sc;
+  sc.seed = plan.seed;
+  sc.mtu_bytes = plan.mtu_bytes;
+  sc.link_faults = plan.faults;
+
+  BuiltTopology t;
+  switch (plan.topology) {
+    case TopologyKind::kSingleSwitch: {
+      exp::StarConfig cfg;
+      cfg.scenario = sc;
+      cfg.hosts = plan.hosts;
+      t.star = std::make_unique<exp::Star>(cfg);
+      t.scenario = &t.star->scenario();
+      for (int i = 0; i < t.star->host_count(); ++i) {
+        t.hosts.push_back(t.star->host(i));
+      }
+      t.switches.push_back(t.star->hub());
+      break;
+    }
+    case TopologyKind::kDumbbell: {
+      exp::DumbbellConfig cfg;
+      cfg.scenario = sc;
+      cfg.pairs = plan.hosts / 2;
+      t.dumbbell = std::make_unique<exp::Dumbbell>(cfg);
+      t.scenario = &t.dumbbell->scenario();
+      // Senders first, receivers after: transfer indices [0, pairs) are on
+      // the left switch, [pairs, 2*pairs) on the right.
+      for (int i = 0; i < t.dumbbell->pairs(); ++i) {
+        t.hosts.push_back(t.dumbbell->sender(i));
+      }
+      for (int i = 0; i < t.dumbbell->pairs(); ++i) {
+        t.hosts.push_back(t.dumbbell->receiver(i));
+      }
+      t.switches.push_back(t.dumbbell->left());
+      t.switches.push_back(t.dumbbell->right());
+      break;
+    }
+    case TopologyKind::kLeafSpine: {
+      exp::LeafSpineConfig cfg;
+      cfg.scenario = sc;
+      cfg.leaves = 2;
+      cfg.spines = 2;
+      cfg.hosts_per_leaf = plan.hosts / 2;
+      t.leaf_spine = std::make_unique<exp::LeafSpine>(cfg);
+      t.scenario = &t.leaf_spine->scenario();
+      for (int l = 0; l < t.leaf_spine->leaves(); ++l) {
+        for (int i = 0; i < t.leaf_spine->hosts_per_leaf(); ++i) {
+          t.hosts.push_back(t.leaf_spine->host(l, i));
+        }
+      }
+      for (int l = 0; l < t.leaf_spine->leaves(); ++l) {
+        t.switches.push_back(t.leaf_spine->leaf(l));
+      }
+      for (int s = 0; s < t.leaf_spine->spines(); ++s) {
+        t.switches.push_back(t.leaf_spine->spine(s));
+      }
+      break;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kSingleSwitch:
+      return "star";
+    case TopologyKind::kDumbbell:
+      return "dumbbell";
+    case TopologyKind::kLeafSpine:
+      return "leaf-spine";
+  }
+  return "?";
+}
+
+std::string ScenarioPlan::summary() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " topo=" << to_string(topology)
+     << " hosts=" << hosts << " mtu=" << mtu_bytes
+     << " vcc=" << vswitch::to_string(vcc) << " beta=" << beta;
+  if (max_rwnd_bytes > 0) os << " rwnd-cap=" << max_rwnd_bytes;
+  if (police) os << " police";
+  if (inject_dupacks_on_timeout) os << " dupack-inject";
+  if (incast) os << " incast";
+  os << " transfers=" << transfers.size();
+  os << " faults[drop=" << faults.drop_p << " dup=" << faults.dup_p
+     << " reorder=" << faults.reorder_p << " jitter=" << faults.jitter_p
+     << "]";
+  return os.str();
+}
+
+ScenarioPlan make_plan(std::uint64_t seed) {
+  ScenarioPlan plan;
+  plan.seed = seed;
+  sim::Rng rng(sim::mix_seed(seed, kPlanStream));
+
+  switch (rng.uniform_int(0, 2)) {
+    case 0:
+      plan.topology = TopologyKind::kSingleSwitch;
+      plan.hosts = static_cast<int>(rng.uniform_int(3, 6));
+      break;
+    case 1:
+      plan.topology = TopologyKind::kDumbbell;
+      plan.hosts = 2 * static_cast<int>(rng.uniform_int(2, 3));
+      break;
+    default:
+      plan.topology = TopologyKind::kLeafSpine;
+      plan.hosts = 2 * static_cast<int>(rng.uniform_int(2, 4));
+      break;
+  }
+  plan.mtu_bytes = rng.chance(0.5) ? 1500 : 9000;
+
+  // Conservative fault rates: enough to exercise loss/reorder recovery and
+  // stale-feedback paths without making transfers crawl past the horizon.
+  if (rng.chance(0.7)) {
+    net::FaultConfig& f = plan.faults;
+    if (rng.chance(0.6)) f.drop_p = rng.uniform_real(0.0005, 0.004);
+    if (rng.chance(0.4)) f.dup_p = rng.uniform_real(0.0005, 0.003);
+    if (rng.chance(0.5)) {
+      f.reorder_p = rng.uniform_real(0.001, 0.01);
+      f.reorder_hold = sim::microseconds(rng.uniform_int(20, 300));
+    }
+    if (rng.chance(0.5)) {
+      f.jitter_p = rng.uniform_real(0.005, 0.05);
+      f.jitter_max = sim::microseconds(rng.uniform_int(5, 100));
+    }
+  }
+  // Always round-trip a sample of live packets through the wire codec.
+  plan.faults.codec_check_p = 0.05;
+
+  // AC/DC policy.
+  const std::int64_t vcc_draw = rng.uniform_int(0, 9);
+  plan.vcc = vcc_draw < 6   ? vswitch::VccKind::kDctcp
+             : vcc_draw < 8 ? vswitch::VccKind::kReno
+                            : vswitch::VccKind::kCubic;
+  plan.beta = rng.chance(0.3) ? rng.uniform_real(0.3, 1.0) : 1.0;
+  plan.max_rwnd_bytes =
+      rng.chance(0.2) ? rng.uniform_int(32, 256) * 1024 : 0;
+  plan.police = rng.chance(0.25);
+  plan.inject_dupacks_on_timeout = rng.chance(0.15);
+  plan.incast = rng.chance(0.25);
+
+  // Workload: fixed-size transfers so runs quiesce and the differential
+  // oracle can compare byte-exact deliveries.
+  const int senders_end =
+      plan.topology == TopologyKind::kDumbbell ? plan.hosts / 2 : plan.hosts;
+  const int n = static_cast<int>(plan.incast ? rng.uniform_int(3, 5)
+                                             : rng.uniform_int(1, 4));
+  int incast_dst = static_cast<int>(rng.uniform_int(0, plan.hosts - 1));
+  if (plan.topology == TopologyKind::kDumbbell) {
+    incast_dst = plan.hosts / 2 +
+                 static_cast<int>(rng.uniform_int(0, plan.hosts / 2 - 1));
+  }
+  for (int i = 0; i < n; ++i) {
+    TransferPlan tp;
+    tp.src = static_cast<int>(rng.uniform_int(0, senders_end - 1));
+    if (plan.incast) {
+      tp.dst = incast_dst;
+      if (tp.src == tp.dst) tp.src = (tp.src + 1) % senders_end;
+    } else if (plan.topology == TopologyKind::kDumbbell) {
+      tp.dst = plan.hosts / 2 +
+               static_cast<int>(rng.uniform_int(0, plan.hosts / 2 - 1));
+    } else {
+      tp.dst = static_cast<int>(rng.uniform_int(0, plan.hosts - 1));
+      if (tp.dst == tp.src) tp.dst = (tp.dst + 1) % plan.hosts;
+    }
+    tp.bytes = rng.uniform_int(30, 400) * 1024;
+    tp.start = sim::microseconds(rng.uniform_int(0, 20'000));
+    tp.host_cc =
+        tenant_cc_pool[rng.uniform_int(0, std::size(tenant_cc_pool) - 1)];
+    plan.transfers.push_back(tp);
+  }
+  return plan;
+}
+
+void mask_faults(ScenarioPlan& plan, const FaultToggles& keep) {
+  if (!keep.drop) plan.faults.drop_p = 0.0;
+  if (!keep.dup) plan.faults.dup_p = 0.0;
+  if (!keep.reorder) plan.faults.reorder_p = 0.0;
+  if (!keep.jitter) plan.faults.jitter_p = 0.0;
+}
+
+RunOutcome run_plan(const ScenarioPlan& plan, const RunOptions& options) {
+  BuiltTopology topo = build_topology(plan);
+  exp::Scenario& scenario = *topo.scenario;
+  obs::FlightRecorder& recorder =
+      scenario.enable_tracing(options.ring_capacity, /*metrics_interval=*/0);
+
+  Digest event_digest;
+  recorder.add_listener([&event_digest](const obs::TraceEvent& ev) {
+    event_digest.mix(static_cast<std::uint64_t>(ev.t));
+    event_digest.mix(static_cast<std::uint64_t>(ev.type));
+    event_digest.mix(ev.source);
+    event_digest.mix((static_cast<std::uint64_t>(ev.src_ip) << 32) |
+                     ev.dst_ip);
+    event_digest.mix((static_cast<std::uint64_t>(ev.src_port) << 16) |
+                     ev.dst_port);
+    event_digest.mix(static_cast<std::uint64_t>(ev.a));
+    event_digest.mix(static_cast<std::uint64_t>(ev.b));
+    event_digest.mix_double(ev.x);
+  });
+
+  InvariantConfig ic;
+  ic.enforce = true;
+  InvariantChecker checker(ic);
+  if (options.check_invariants) checker.subscribe(recorder);
+
+  std::vector<vswitch::AcdcVswitch*> vswitches;
+  if (options.acdc) {
+    vswitch::AcdcConfig acfg;
+    acfg.inject_dupacks_on_timeout = plan.inject_dupacks_on_timeout;
+    vswitch::FlowPolicy policy;
+    policy.kind = plan.vcc;
+    policy.beta = plan.beta;
+    policy.max_rwnd_bytes = plan.max_rwnd_bytes;
+    policy.police = plan.police;
+    for (host::Host* h : topo.hosts) {
+      if (options.check_invariants) h->add_filter(checker.vm_tap(h->name()));
+      vswitch::AcdcVswitch* vs = scenario.attach_acdc(h, acfg);
+      vs->policy().set_default(policy);
+      if (options.check_invariants) {
+        h->add_filter(checker.wire_tap(h->name()));
+      }
+      vswitches.push_back(vs);
+    }
+  }
+
+  std::vector<host::BulkApp*> apps;
+  for (const TransferPlan& tp : plan.transfers) {
+    apps.push_back(scenario.add_bulk_flow(
+        topo.hosts[static_cast<std::size_t>(tp.src)],
+        topo.hosts[static_cast<std::size_t>(tp.dst)],
+        scenario.tcp_config(tp.host_cc), tp.start, tp.bytes));
+  }
+
+  // Run to quiescence (every transfer complete) or the horizon.
+  const sim::Time step = sim::milliseconds(50);
+  sim::Time now = 0;
+  bool all_done = false;
+  while (now < options.horizon && !all_done) {
+    now = std::min(now + step, options.horizon);
+    scenario.run_until(now);
+    all_done = std::all_of(apps.begin(), apps.end(),
+                           [](host::BulkApp* a) { return a->completed(); });
+  }
+
+  RunOutcome out;
+  out.completed = all_done;
+  out.end_time = scenario.simulator().now();
+  Digest app_digest;
+  for (host::BulkApp* a : apps) {
+    out.delivered.push_back(a->delivered_bytes());
+    app_digest.mix(static_cast<std::uint64_t>(a->delivered_bytes()));
+    app_digest.mix(a->completed() ? 1 : 0);
+  }
+  out.app_digest = app_digest.h;
+  out.faults = scenario.fault_stats();
+
+  if (options.check_invariants) {
+    for (std::size_t i = 0; i < vswitches.size(); ++i) {
+      checker.check_flow_table("acdc." + topo.hosts[i]->name(),
+                               *vswitches[i]);
+    }
+    for (net::Switch* sw : topo.switches) checker.check_switch(*sw);
+    for (host::Host* h : topo.hosts) {
+      checker.check_queue(h->name() + ".nic", h->nic().tx_port().queue());
+    }
+    if (options.acdc && plan.faults.dup_p == 0.0) {
+      checker.check_fack_balance(vswitches);
+    }
+    if (out.faults.codec_failures > 0) {
+      checker.fail("wire codec round-trip failed on " +
+                   std::to_string(out.faults.codec_failures) + " of " +
+                   std::to_string(out.faults.codec_checked) +
+                   " sampled packets");
+    }
+    out.violations = checker.violations();
+    out.violation_count = checker.violation_count();
+    out.packets_checked = checker.packets_checked();
+  }
+
+  out.events = recorder.recorded_events();
+  out.event_digest = event_digest.h;
+  if (!options.trace_path.empty()) {
+    obs::write_chrome_trace_file(recorder, scenario.metrics(),
+                                 options.trace_path);
+  }
+  return out;
+}
+
+DifferentialOutcome run_differential(const ScenarioPlan& plan,
+                                     const RunOptions& options) {
+  DifferentialOutcome d;
+  RunOptions with = options;
+  with.acdc = true;
+  d.with_acdc = run_plan(plan, with);
+
+  RunOptions without = options;
+  without.acdc = false;
+  d.baseline = run_plan(plan, without);
+
+  // Transparency (§3): the tenant's application-level byte streams must be
+  // unaffected by the vSwitch — every transfer completes and delivers
+  // exactly the planned bytes in both worlds.
+  if (!d.with_acdc.completed) {
+    d.violations.push_back("AC/DC run did not quiesce within the horizon");
+  }
+  if (!d.baseline.completed) {
+    d.violations.push_back("baseline run did not quiesce within the horizon");
+  }
+  if (d.with_acdc.completed && d.baseline.completed) {
+    for (std::size_t i = 0; i < plan.transfers.size(); ++i) {
+      const std::int64_t want = plan.transfers[i].bytes;
+      const std::int64_t got_acdc = d.with_acdc.delivered[i];
+      const std::int64_t got_base = d.baseline.delivered[i];
+      if (got_acdc != want || got_base != want) {
+        std::ostringstream os;
+        os << "transfer " << i << ": delivered " << got_acdc
+           << " with AC/DC vs " << got_base << " baseline (want " << want
+           << ")";
+        d.violations.push_back(os.str());
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace acdc::testlib

@@ -1,0 +1,121 @@
+// Deterministic scenario generator + differential oracle for the fuzz
+// harness. A 64-bit seed fully determines a ScenarioPlan — topology,
+// workload, AC/DC policy and wire-level fault mix — and running the same
+// plan twice produces bit-identical event streams (checked by digest).
+//
+// Two oracles ride on top:
+//   * run_plan() executes a plan with the InvariantChecker wired into the
+//     flight recorder and around every vSwitch;
+//   * run_differential() replays the identical plan with the AC/DC
+//     datapath removed and asserts transparency — the tenant applications
+//     deliver exactly the same byte counts either way, and (via the taps)
+//     the tenant never sees PACK/FACK/ECE/CE artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "acdc/policy.h"
+#include "net/fault.h"
+#include "sim/time.h"
+
+namespace acdc::testlib {
+
+enum class TopologyKind : std::uint8_t {
+  kSingleSwitch,  // all hosts on one switch (§5.2 star)
+  kDumbbell,      // N pairs across one bottleneck trunk (Fig. 7a)
+  kLeafSpine,     // 2x2 leaf-spine with ECMP (§2.3)
+};
+
+const char* to_string(TopologyKind kind);
+
+struct TransferPlan {
+  int src = 0;  // host index within the sampled topology
+  int dst = 1;
+  std::int64_t bytes = 100'000;
+  sim::Time start = 0;
+  std::string host_cc = "cubic";  // tenant stack algorithm
+};
+
+struct ScenarioPlan {
+  std::uint64_t seed = 1;
+  TopologyKind topology = TopologyKind::kSingleSwitch;
+  // Stars use `hosts` directly; dumbbells use hosts/2 pairs; leaf-spines
+  // place hosts across 2 leaves.
+  int hosts = 4;
+  std::int64_t mtu_bytes = 1500;
+  bool incast = false;  // all transfers converge on one receiver
+  net::FaultConfig faults;
+  // AC/DC policy applied to every flow.
+  vswitch::VccKind vcc = vswitch::VccKind::kDctcp;
+  double beta = 1.0;
+  std::int64_t max_rwnd_bytes = 0;
+  bool police = false;
+  bool inject_dupacks_on_timeout = false;
+  std::vector<TransferPlan> transfers;
+
+  // One-line human description for fuzz logs and repro reports.
+  std::string summary() const;
+};
+
+// Samples a plan from the seed; bit-for-bit reproducible.
+ScenarioPlan make_plan(std::uint64_t seed);
+
+// Shrinking support: fault classes still enabled after masking. Toggling a
+// class off leaves every other class's draws untouched (each link's
+// injector has its own RNG substream, and each class draws independently).
+struct FaultToggles {
+  bool drop = true;
+  bool dup = true;
+  bool reorder = true;
+  bool jitter = true;
+
+  bool all() const { return drop && dup && reorder && jitter; }
+};
+
+void mask_faults(ScenarioPlan& plan, const FaultToggles& keep);
+
+struct RunOptions {
+  bool acdc = true;             // false: tenant-only baseline (no vSwitch)
+  bool check_invariants = true;
+  sim::Time horizon = sim::seconds(60);  // hard cap; ends at quiescence
+  std::size_t ring_capacity = std::size_t{1} << 12;
+  // When set, the retained tail of the event ring is written there as a
+  // Chrome trace (chrome://tracing / Perfetto) after the run — the fuzz
+  // driver uses this to attach an artifact to a failing seed.
+  std::string trace_path;
+};
+
+struct RunOutcome {
+  bool completed = false;  // every transfer delivered all its bytes
+  sim::Time end_time = 0;
+  std::vector<std::int64_t> delivered;  // per transfer, app-level bytes
+  std::uint64_t event_digest = 0;  // FNV-1a over the whole event stream
+  std::uint64_t app_digest = 0;    // digest over per-transfer deliveries
+  std::uint64_t events = 0;
+  std::uint64_t packets_checked = 0;
+  net::FaultStats faults;
+  std::vector<std::string> violations;  // first few, verbatim
+  std::uint64_t violation_count = 0;
+
+  bool ok() const { return completed && violation_count == 0; }
+};
+
+RunOutcome run_plan(const ScenarioPlan& plan, const RunOptions& options = {});
+
+struct DifferentialOutcome {
+  RunOutcome with_acdc;
+  RunOutcome baseline;
+  std::vector<std::string> violations;  // transparency breaks
+
+  bool ok() const {
+    return with_acdc.ok() && baseline.completed && violations.empty();
+  }
+};
+
+// Runs `plan` with and without the AC/DC datapath and checks transparency.
+DifferentialOutcome run_differential(const ScenarioPlan& plan,
+                                     const RunOptions& options = {});
+
+}  // namespace acdc::testlib

@@ -1,0 +1,28 @@
+#include "testlib/seed.h"
+
+#include <cstdlib>
+#include <optional>
+
+namespace acdc::testlib {
+
+namespace {
+
+std::optional<std::uint64_t> parse_env_seed() {
+  const char* env = std::getenv("ACDC_TEST_SEED");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 0);  // 0 -> 10 or 0x
+  if (end == env || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+std::uint64_t test_seed(std::uint64_t default_seed) {
+  const std::optional<std::uint64_t> env = parse_env_seed();
+  return env ? *env : default_seed;
+}
+
+bool test_seed_overridden() { return parse_env_seed().has_value(); }
+
+}  // namespace acdc::testlib

@@ -1,0 +1,23 @@
+// Test seed plumbing: every randomized test derives its RNG seed through
+// test_seed() so one environment variable reruns the whole suite (or a
+// single failing case) under a chosen seed:
+//
+//   ACDC_TEST_SEED=1234 ctest -R fuzz
+//
+// Without the override each call site keeps its own stable default, so
+// runs stay deterministic by default.
+#pragma once
+
+#include <cstdint>
+
+namespace acdc::testlib {
+
+// Returns ACDC_TEST_SEED (decimal or 0x-hex) when set and parseable,
+// otherwise `default_seed`.
+std::uint64_t test_seed(std::uint64_t default_seed);
+
+// True when ACDC_TEST_SEED is set and parseable — lets suites log that
+// they are running off-default.
+bool test_seed_overridden();
+
+}  // namespace acdc::testlib

@@ -7,6 +7,7 @@
 #include <random>
 
 #include "tcp/cc/algorithms.h"
+#include "testlib/seed.h"
 
 namespace acdc::tcp {
 namespace {
@@ -120,7 +121,7 @@ TEST(DctcpUnitTest, AlphaTracksMarkingFraction) {
   CcState s = make_state(10, 1);  // CA so cwnd moves slowly
   dctcp.init(s);
   // 30% of bytes marked (Bernoulli per ACK), many update windows.
-  std::mt19937_64 rng(5);
+  std::mt19937_64 rng(testlib::test_seed(5));
   for (int i = 0; i < 5000; ++i) {
     AckSample a = ack_of(1);
     a.ece = rng() % 10 < 3;
@@ -247,7 +248,7 @@ TEST_P(CcPropertyTest, WindowStaysSane) {
   ASSERT_NE(cc, nullptr);
   CcState s = make_state(10, 64);
   cc->init(s);
-  std::mt19937_64 rng(99);
+  std::mt19937_64 rng(testlib::test_seed(99));
   for (int i = 0; i < 50'000; ++i) {
     s.now += sim::microseconds(50);
     if (rng() % 199 == 0) {

@@ -1,0 +1,150 @@
+// CI-sized slice of the scenario fuzzer: determinism (bit-identical event
+// streams for equal seeds), the invariant harness over a batch of random
+// scenarios, and the differential transparency oracle. The full-depth
+// sweep lives in the fuzz_scenarios driver; these tests keep every oracle
+// wired into plain ctest runs.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "testlib/scenario_gen.h"
+#include "testlib/seed.h"
+
+namespace acdc::testlib {
+namespace {
+
+std::string failure_text(const RunOutcome& out, const ScenarioPlan& plan) {
+  std::string text = plan.summary();
+  if (!out.completed) text += "\n  did not quiesce";
+  for (const std::string& v : out.violations) text += "\n  " + v;
+  return text;
+}
+
+TEST(ScenarioGen, SameSeedSamePlan) {
+  const std::uint64_t seed = test_seed(1701);
+  const ScenarioPlan a = make_plan(seed);
+  const ScenarioPlan b = make_plan(seed);
+  EXPECT_EQ(a.summary(), b.summary());
+  ASSERT_EQ(a.transfers.size(), b.transfers.size());
+  for (std::size_t i = 0; i < a.transfers.size(); ++i) {
+    EXPECT_EQ(a.transfers[i].src, b.transfers[i].src);
+    EXPECT_EQ(a.transfers[i].dst, b.transfers[i].dst);
+    EXPECT_EQ(a.transfers[i].bytes, b.transfers[i].bytes);
+    EXPECT_EQ(a.transfers[i].start, b.transfers[i].start);
+    EXPECT_EQ(a.transfers[i].host_cc, b.transfers[i].host_cc);
+  }
+}
+
+TEST(ScenarioGen, TransfersStayInsideTopology) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const ScenarioPlan plan = make_plan(seed);
+    ASSERT_FALSE(plan.transfers.empty()) << plan.summary();
+    for (const TransferPlan& tp : plan.transfers) {
+      EXPECT_GE(tp.src, 0);
+      EXPECT_LT(tp.src, plan.hosts);
+      EXPECT_GE(tp.dst, 0);
+      EXPECT_LT(tp.dst, plan.hosts);
+      EXPECT_NE(tp.src, tp.dst) << plan.summary();
+      EXPECT_GT(tp.bytes, 0);
+    }
+  }
+}
+
+TEST(ScenarioGen, MaskFaultsClearsClasses) {
+  ScenarioPlan plan = make_plan(7);
+  plan.faults.drop_p = 0.01;
+  plan.faults.dup_p = 0.01;
+  plan.faults.reorder_p = 0.01;
+  plan.faults.jitter_p = 0.01;
+  FaultToggles keep;
+  keep.drop = false;
+  keep.jitter = false;
+  mask_faults(plan, keep);
+  EXPECT_EQ(plan.faults.drop_p, 0.0);
+  EXPECT_EQ(plan.faults.jitter_p, 0.0);
+  EXPECT_GT(plan.faults.dup_p, 0.0);
+  EXPECT_GT(plan.faults.reorder_p, 0.0);
+}
+
+TEST(FuzzDeterminism, SameSeedSameEventStream) {
+  const std::uint64_t seed = test_seed(42);
+  const ScenarioPlan plan = make_plan(seed);
+  const RunOutcome first = run_plan(plan);
+  const RunOutcome second = run_plan(plan);
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.event_digest, second.event_digest);
+  EXPECT_EQ(first.app_digest, second.app_digest);
+  EXPECT_EQ(first.end_time, second.end_time);
+  EXPECT_EQ(first.violation_count, second.violation_count);
+}
+
+TEST(FuzzDeterminism, MaskingOneFaultClassKeepsRunDeterministic) {
+  // The shrinker depends on masked runs being reproducible too.
+  ScenarioPlan plan = make_plan(test_seed(43));
+  FaultToggles keep;
+  keep.reorder = false;
+  mask_faults(plan, keep);
+  const RunOutcome first = run_plan(plan);
+  const RunOutcome second = run_plan(plan);
+  EXPECT_EQ(first.event_digest, second.event_digest);
+  EXPECT_EQ(first.app_digest, second.app_digest);
+}
+
+TEST(FuzzInvariants, BatchOfRandomScenariosHoldsAllInvariants) {
+  const std::uint64_t base = test_seed(100);
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    const ScenarioPlan plan = make_plan(base + i);
+    const RunOutcome out = run_plan(plan);
+    EXPECT_TRUE(out.ok()) << failure_text(out, plan);
+    EXPECT_GT(out.events, 0u) << plan.summary();
+    EXPECT_GT(out.packets_checked, 0u) << plan.summary();
+  }
+}
+
+TEST(FuzzDifferential, AcdcIsTransparentToTenantApplications) {
+  const std::uint64_t base = test_seed(500);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const ScenarioPlan plan = make_plan(base + i);
+    const DifferentialOutcome diff = run_differential(plan);
+    std::string text = plan.summary();
+    for (const std::string& v : diff.violations) text += "\n  " + v;
+    for (const std::string& v : diff.with_acdc.violations) {
+      text += "\n  [acdc] " + v;
+    }
+    EXPECT_TRUE(diff.ok()) << text;
+  }
+}
+
+TEST(FuzzArtifacts, TracePathWritesAChromeTrace) {
+  // The driver replays failing seeds with trace_path set; make sure that
+  // path produces a readable, non-empty JSON file.
+  const std::string path = ::testing::TempDir() + "fuzz_trace_check.json";
+  RunOptions options;
+  options.trace_path = path;
+  const RunOutcome out = run_plan(make_plan(test_seed(9)), options);
+  EXPECT_TRUE(out.ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::string head(16, '\0');
+  in.read(head.data(), static_cast<std::streamsize>(head.size()));
+  EXPECT_GT(in.gcount(), 0);
+  EXPECT_EQ(head.front(), '{') << "expected Chrome trace JSON";
+  std::remove(path.c_str());
+}
+
+TEST(TestSeed, EnvOverrideWinsAndParses) {
+  ASSERT_EQ(setenv("ACDC_TEST_SEED", "0x2a", 1), 0);
+  EXPECT_TRUE(test_seed_overridden());
+  EXPECT_EQ(test_seed(7), 42u);
+  ASSERT_EQ(setenv("ACDC_TEST_SEED", "not-a-number", 1), 0);
+  EXPECT_FALSE(test_seed_overridden());
+  EXPECT_EQ(test_seed(7), 7u);
+  ASSERT_EQ(unsetenv("ACDC_TEST_SEED"), 0);
+  EXPECT_FALSE(test_seed_overridden());
+  EXPECT_EQ(test_seed(7), 7u);
+}
+
+}  // namespace
+}  // namespace acdc::testlib

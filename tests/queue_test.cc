@@ -7,6 +7,7 @@
 #include "net/queue.h"
 #include "net/red_queue.h"
 #include "sim/rng.h"
+#include "testlib/seed.h"
 
 namespace acdc::net {
 namespace {
@@ -83,7 +84,7 @@ TEST(RedQueueTest, CeStaysCe) {
 }
 
 TEST(RedQueueTest, RampProbabilityInterpolates) {
-  sim::Rng rng(1);
+  sim::Rng rng(testlib::test_seed(1));
   RedConfig cfg;
   cfg.capacity_bytes = 1 << 22;
   cfg.min_threshold_bytes = 10'000;

@@ -11,6 +11,7 @@
 #include "net/datapath.h"
 #include "sim/simulator.h"
 #include "tcp/tcp_connection.h"
+#include "testlib/seed.h"
 
 namespace acdc {
 namespace {
@@ -157,7 +158,7 @@ class ChaosSweepTest : public ::testing::TestWithParam<ChaosParam> {};
 
 TEST_P(ChaosSweepTest, ExactDeliveryUnderImpairment) {
   const ChaosParam& p = GetParam();
-  ChaosFilter chaos(42, p.drop, p.dup, p.reorder);
+  ChaosFilter chaos(testlib::test_seed(42), p.drop, p.dup, p.reorder);
   Link net(&chaos);
   TcpConfig cfg;
   cfg.mss = 1448;

@@ -6,6 +6,7 @@
 #include "stats/percentile.h"
 #include "stats/table.h"
 #include "stats/timeseries.h"
+#include "testlib/seed.h"
 #include "workload/distributions.h"
 
 namespace acdc::stats {
@@ -198,7 +199,7 @@ TEST(DistributionTest, QuantilesMonotone) {
 }
 
 TEST(DistributionTest, SamplesWithinSupport) {
-  sim::Rng rng(3);
+  sim::Rng rng(testlib::test_seed(3));
   const auto& d = web_search_distribution();
   for (int i = 0; i < 2000; ++i) {
     const std::int64_t s = d.sample(rng);
@@ -223,7 +224,7 @@ TEST(DistributionTest, MeansReflectTails) {
 }
 
 TEST(DistributionTest, SamplingMatchesCdf) {
-  sim::Rng rng(11);
+  sim::Rng rng(testlib::test_seed(11));
   const auto& d = data_mining_distribution();
   int mice = 0;
   constexpr int kN = 20'000;

@@ -9,6 +9,7 @@
 #include "exp/star.h"
 #include "net/switch.h"
 #include "net/token_bucket.h"
+#include "testlib/seed.h"
 
 namespace acdc {
 namespace {
@@ -28,7 +29,7 @@ class CollectSink : public net::PacketSink {
 
 TEST(SwitchTest, RoutesByDestination) {
   sim::Simulator sim;
-  sim::Rng rng(1);
+  sim::Rng rng(testlib::test_seed(1));
   net::Switch sw(&sim, "sw", net::SwitchConfig{}, &rng);
   net::Port* p1 = sw.add_port(sim::gigabits_per_second(10),
                               sim::microseconds(1));
@@ -53,7 +54,7 @@ TEST(SwitchTest, RoutesByDestination) {
 
 TEST(SwitchTest, UnroutablePacketsCounted) {
   sim::Simulator sim;
-  sim::Rng rng(1);
+  sim::Rng rng(testlib::test_seed(1));
   net::Switch sw(&sim, "sw", net::SwitchConfig{}, &rng);
   sw.receive(packet_to(net::make_ip(1, 2, 3, 4)));
   EXPECT_EQ(sw.routing_failures(), 1);
@@ -61,7 +62,7 @@ TEST(SwitchTest, UnroutablePacketsCounted) {
 
 TEST(SwitchTest, DefaultRouteCatchesRest) {
   sim::Simulator sim;
-  sim::Rng rng(1);
+  sim::Rng rng(testlib::test_seed(1));
   net::Switch sw(&sim, "sw", net::SwitchConfig{}, &rng);
   net::Port* trunk = sw.add_port(sim::gigabits_per_second(10),
                                  sim::microseconds(1));
@@ -76,7 +77,7 @@ TEST(SwitchTest, DefaultRouteCatchesRest) {
 
 TEST(SwitchTest, SharedBufferAccountsAcrossPorts) {
   sim::Simulator sim;
-  sim::Rng rng(1);
+  sim::Rng rng(testlib::test_seed(1));
   net::SwitchConfig cfg;
   cfg.shared_buffer_bytes = 100'000;
   cfg.buffer_alpha = 8.0;

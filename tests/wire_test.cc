@@ -8,6 +8,7 @@
 
 #include "net/packet.h"
 #include "net/wire.h"
+#include "testlib/seed.h"
 
 namespace acdc::net {
 namespace {
@@ -153,7 +154,8 @@ TEST(WireTest, ChecksumUpdateMatchesRecompute) {
 class WireFuzzTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(WireFuzzTest, RandomHeadersRoundTrip) {
-  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::mt19937_64 rng(
+      testlib::test_seed(static_cast<std::uint64_t>(GetParam())));
   auto r32 = [&] { return static_cast<std::uint32_t>(rng()); };
   for (int i = 0; i < 200; ++i) {
     Packet p;
