@@ -79,10 +79,10 @@ void ablation_feedback() {
     std::vector<host::BulkApp*> apps;
     for (int i = 0; i < bell.pairs(); ++i) {
       apps.push_back(s.add_bulk_flow(bell.sender(i), bell.receiver(i),
-                                     s.tcp_config("cubic"), 0));
+                                     s.tcp_config(tcp::CcId::kCubic), 0));
     }
     auto* probe = s.add_rtt_probe(bell.sender(0), bell.receiver(0),
-                                  s.tcp_config("cubic"),
+                                  s.tcp_config(tcp::CcId::kCubic),
                                   sim::milliseconds(50),
                                   sim::milliseconds(1));
     s.run_until(sim::seconds(1.5));

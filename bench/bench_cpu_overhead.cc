@@ -32,7 +32,7 @@ class NullSink : public net::PacketSink {
 };
 
 net::PacketPtr make_data_packet(int flow, std::uint32_t seq) {
-  auto p = std::make_unique<net::Packet>();
+  auto p = net::make_packet();
   p->ip.src = net::make_ip(10, 0, 0, 1);
   p->ip.dst = net::make_ip(10, 1, static_cast<std::uint8_t>(flow >> 8),
                            static_cast<std::uint8_t>(flow & 0xff));
@@ -47,7 +47,7 @@ net::PacketPtr make_data_packet(int flow, std::uint32_t seq) {
 
 net::PacketPtr make_ack_packet(int flow, std::uint32_t ack_seq,
                                std::uint32_t fb_total) {
-  auto p = std::make_unique<net::Packet>();
+  auto p = net::make_packet();
   p->ip.src = net::make_ip(10, 1, static_cast<std::uint8_t>(flow >> 8),
                            static_cast<std::uint8_t>(flow & 0xff));
   p->ip.dst = net::make_ip(10, 0, 0, 1);

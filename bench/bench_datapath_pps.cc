@@ -1,0 +1,252 @@
+// Datapath packets-per-second microbench — the perf-trajectory anchor.
+//
+// Measures the simulator's hot path the way the paper measures the OVS
+// datapath (§5.2, Figs. 11-12): the steady-state per-packet cost of the
+// AC/DC vSwitch, plus the event-scheduler churn cost that RTO/scan/metrics
+// timers put on the simulation core. An interposing operator new/delete
+// (alloc_probe.cc) counts heap traffic so "allocation-free steady state" is
+// a measured number, not a claim.
+//
+// Workloads:
+//   pingpong  — one flow, egress data + ingress ACK-with-feedback per
+//               iteration: the per-flow fast path (flow cache, packet pool).
+//   multiflow — 1024 flows round-robin egress data: hash-table pressure,
+//               defeats the single-entry flow cache on purpose.
+//   events    — RTO-style timer churn: re-arm (cancel+schedule) a far timer
+//               and fire a near one each iteration.
+//
+// Output: a flat JSON object on stdout (or --json <path>); bench/run_perf.sh
+// merges it with the committed pre-PR baseline into BENCH_datapath.json.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "acdc/vswitch.h"
+#include "alloc_probe.h"
+#include "sim/simulator.h"
+
+namespace acdc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class NullSink : public net::PacketSink {
+ public:
+  void receive(net::PacketPtr packet) override { last_ = packet.get(); }
+
+ private:
+  const net::Packet* last_ = nullptr;  // defeat dead-code elimination
+};
+
+net::PacketPtr make_data_packet(int flow, std::uint32_t seq) {
+  auto p = net::make_packet();
+  p->ip.src = net::make_ip(10, 0, 0, 1);
+  p->ip.dst = net::make_ip(10, 1, static_cast<std::uint8_t>(flow >> 8),
+                           static_cast<std::uint8_t>(flow & 0xff));
+  p->tcp.src_port = static_cast<net::TcpPort>(10'000 + (flow % 50'000));
+  p->tcp.dst_port = 80;
+  p->tcp.seq = seq;
+  p->tcp.flags.ack = true;
+  p->tcp.ack_seq = 1;
+  p->payload_bytes = 1448;
+  return p;
+}
+
+net::PacketPtr make_ack_packet(int flow, std::uint32_t ack_seq,
+                               std::uint32_t fb_total) {
+  auto p = net::make_packet();
+  p->ip.src = net::make_ip(10, 1, static_cast<std::uint8_t>(flow >> 8),
+                           static_cast<std::uint8_t>(flow & 0xff));
+  p->ip.dst = net::make_ip(10, 0, 0, 1);
+  p->tcp.src_port = 80;
+  p->tcp.dst_port = static_cast<net::TcpPort>(10'000 + (flow % 50'000));
+  p->tcp.flags.ack = true;
+  p->tcp.ack_seq = ack_seq;
+  p->tcp.window_raw = 30'000;
+  p->tcp.options.acdc = net::AcdcFeedback{fb_total, fb_total / 8};
+  return p;
+}
+
+struct Harness {
+  sim::Simulator sim;
+  vswitch::AcdcVswitch vs{&sim, vswitch::AcdcConfig{}};
+  NullSink down;
+  NullSink up;
+  int flows;
+
+  explicit Harness(int flow_count) : flows(flow_count) {
+    vs.set_down(&down);
+    vs.set_up(&up);
+    for (int f = 0; f < flows; ++f) {
+      vs.egress_in().receive(make_data_packet(f, 1));
+    }
+  }
+};
+
+struct Sample {
+  double per_sec = 0;
+  double ns_each = 0;
+  double allocs_each = 0;
+};
+
+// One flow, forward data + reverse ACK (with PACK feedback) per iteration.
+Sample run_pingpong(std::uint64_t iters) {
+  Harness h(1);
+  std::uint32_t seq = 1449;
+  std::uint32_t ack = 1;
+  auto step = [&] {
+    h.vs.egress_in().receive(make_data_packet(0, seq));
+    seq += 1448;
+    ack += 1448;
+    h.vs.ingress_in().receive(make_ack_packet(0, ack, ack));
+  };
+  for (std::uint64_t i = 0; i < iters / 16; ++i) step();  // warm up
+
+  bench::AllocWindow aw;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) step();
+  const auto t1 = Clock::now();
+
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  const double packets = 2.0 * static_cast<double>(iters);
+  Sample s;
+  s.per_sec = packets / secs;
+  s.ns_each = secs * 1e9 / packets;
+  s.allocs_each = static_cast<double>(aw.allocs()) / packets;
+  return s;
+}
+
+// Round-robin egress data across many flows: flow-table pressure.
+Sample run_multiflow(std::uint64_t iters, int flows) {
+  Harness h(flows);
+  std::uint32_t seq = 1449;
+  int f = 0;
+  auto step = [&] {
+    h.vs.egress_in().receive(make_data_packet(f, seq));
+    if (++f == h.flows) {
+      f = 0;
+      seq += 1448;
+    }
+  };
+  for (std::uint64_t i = 0; i < iters / 16; ++i) step();
+
+  bench::AllocWindow aw;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) step();
+  const auto t1 = Clock::now();
+
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  const double packets = static_cast<double>(iters);
+  Sample s;
+  s.per_sec = packets / secs;
+  s.ns_each = secs * 1e9 / packets;
+  s.allocs_each = static_cast<double>(aw.allocs()) / packets;
+  return s;
+}
+
+// RTO-style churn: every iteration re-arms a far timer (cancel + schedule)
+// and schedules + fires a near event. Events = scheduled callbacks.
+Sample run_events(std::uint64_t iters) {
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  sim::EventId pending = sim::kInvalidEventId;
+  auto step = [&] {
+    if (pending != sim::kInvalidEventId) sim.cancel(pending);
+    pending = sim.schedule(sim::milliseconds(10), [&fired] { ++fired; });
+    sim.schedule(sim::microseconds(1), [&fired] { ++fired; });
+    sim.step();
+  };
+  for (std::uint64_t i = 0; i < iters / 16; ++i) step();
+
+  bench::AllocWindow aw;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) step();
+  const auto t1 = Clock::now();
+
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  const double events = 2.0 * static_cast<double>(iters);
+  Sample s;
+  s.per_sec = events / secs;
+  s.ns_each = secs * 1e9 / events;
+  s.allocs_each = static_cast<double>(aw.allocs()) / events;
+  if (fired == 0) std::fprintf(stderr, "events never fired?\n");
+  return s;
+}
+
+}  // namespace
+}  // namespace acdc
+
+int main(int argc, char** argv) {
+  std::uint64_t packet_iters = 2'000'000;
+  std::uint64_t multiflow_iters = 2'000'000;
+  std::uint64_t event_iters = 1'000'000;
+  int flows = 1024;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--packet-iters") == 0) {
+      packet_iters = std::strtoull(next("--packet-iters"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--multiflow-iters") == 0) {
+      multiflow_iters = std::strtoull(next("--multiflow-iters"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--event-iters") == 0) {
+      event_iters = std::strtoull(next("--event-iters"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--flows") == 0) {
+      flows = std::atoi(next("--flows"));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = next("--json");
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--packet-iters N] [--multiflow-iters N] "
+                   "[--event-iters N] [--flows N] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const acdc::Sample ping = acdc::run_pingpong(packet_iters);
+  const acdc::Sample multi = acdc::run_multiflow(multiflow_iters, flows);
+  const acdc::Sample events = acdc::run_events(event_iters);
+
+  std::FILE* out = stdout;
+  if (!json_path.empty()) {
+    out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"datapath_pps\",\n"
+               "  \"packets_per_sec\": %.0f,\n"
+               "  \"ns_per_packet\": %.2f,\n"
+               "  \"allocs_per_packet_steady\": %.4f,\n"
+               "  \"multiflow_packets_per_sec\": %.0f,\n"
+               "  \"multiflow_ns_per_packet\": %.2f,\n"
+               "  \"multiflow_allocs_per_packet\": %.4f,\n"
+               "  \"events_per_sec\": %.0f,\n"
+               "  \"ns_per_event\": %.2f,\n"
+               "  \"allocs_per_event_steady\": %.4f,\n"
+               "  \"flows_multiflow\": %d\n"
+               "}\n",
+               ping.per_sec, ping.ns_each, ping.allocs_each, multi.per_sec,
+               multi.ns_each, multi.allocs_each, events.per_sec,
+               events.ns_each, events.allocs_each, flows);
+  if (out != stdout) std::fclose(out);
+  std::fprintf(stderr,
+               "pingpong: %.2f Mpps (%.1f ns/pkt, %.3f allocs/pkt)\n"
+               "multiflow(%d): %.2f Mpps (%.1f ns/pkt, %.3f allocs/pkt)\n"
+               "events: %.2f Mev/s (%.1f ns/ev, %.3f allocs/ev)\n",
+               ping.per_sec / 1e6, ping.ns_each, ping.allocs_each, flows,
+               multi.per_sec / 1e6, multi.ns_each, multi.allocs_each,
+               events.per_sec / 1e6, events.ns_each, events.allocs_each);
+  return 0;
+}

@@ -14,8 +14,9 @@ using namespace acdc;
 using namespace acdc::bench;
 
 int main() {
-  const std::vector<std::string> stacks = {"cubic", "illinois", "highspeed",
-                                           "reno", "vegas"};
+  const std::vector<tcp::CcId> stacks = {
+      tcp::CcId::kCubic, tcp::CcId::kIllinois, tcp::CcId::kHighspeed,
+      tcp::CcId::kReno, tcp::CcId::kVegas};
   std::printf("Fig. 1 — heterogeneous host stacks are unfair "
               "(no AC/DC, no switch ECN)\n");
   std::printf("Paper (Fig. 1a): Illinois/HighSpeed ~2.5-3.5 Gbps, "
@@ -68,7 +69,8 @@ int main() {
 
   std::printf("\nSummary: mean goodput by stack across 10 tests (Gbps):\n");
   for (std::size_t i = 0; i < stacks.size(); ++i) {
-    std::printf("  %-10s %s\n", stacks[i].c_str(),
+    std::printf("  %-10s %s\n",
+                std::string(tcp::to_string(stacks[i])).c_str(),
                 gbps(per_flow_a[i].mean()).c_str());
   }
   std::printf("Mean all-CUBIC Jain index: %.3f\n", jain_b.mean());

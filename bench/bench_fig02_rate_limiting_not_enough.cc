@@ -25,7 +25,7 @@ stats::Sampler run(bool dctcp) {
                                                : exp::Mode::kCubic);
   exp::Dumbbell bell(dc);
   exp::Scenario& s = bell.scenario();
-  const tcp::TcpConfig tcp = s.tcp_config(dctcp ? "dctcp" : "cubic");
+  const tcp::TcpConfig tcp = s.tcp_config(dctcp ? tcp::CcId::kDctcp : tcp::CcId::kCubic);
   for (int i = 0; i < bell.pairs(); ++i) {
     if (!dctcp) {
       // "Perfect" per-VM allocation: 2 Gbps each.

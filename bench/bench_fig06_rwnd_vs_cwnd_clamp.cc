@@ -22,7 +22,7 @@ double run(std::int64_t mtu, int window_packets, bool use_rwnd) {
   dc.pairs = 1;
   exp::Dumbbell bell(dc);
   exp::Scenario& s = bell.scenario();
-  tcp::TcpConfig tcp = s.tcp_config("cubic");
+  tcp::TcpConfig tcp = s.tcp_config(tcp::CcId::kCubic);
   if (use_rwnd) {
     vswitch::AcdcConfig acdc;
     auto* vs = s.attach_acdc(bell.sender(0), acdc);

@@ -49,7 +49,7 @@ int main() {
                       static_cast<double>(rwnd) / mss, cwnd / mss});
   });
 
-  const tcp::TcpConfig tcp = s.tcp_config("cubic");
+  const tcp::TcpConfig tcp = s.tcp_config(tcp::CcId::kCubic);
   std::vector<host::BulkApp*> apps;
   for (int i = 0; i < bell.pairs(); ++i) {
     apps.push_back(s.add_bulk_flow(bell.sender(i), bell.receiver(i), tcp, 0));

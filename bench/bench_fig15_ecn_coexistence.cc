@@ -37,11 +37,11 @@ CoexResult run(bool with_acdc) {
     }
   }
   auto* cubic =
-      s.add_bulk_flow(bell.sender(0), bell.receiver(0), s.tcp_config("cubic"), 0);
+      s.add_bulk_flow(bell.sender(0), bell.receiver(0), s.tcp_config(tcp::CcId::kCubic), 0);
   auto* dctcp =
-      s.add_bulk_flow(bell.sender(1), bell.receiver(1), s.tcp_config("dctcp"), 0);
+      s.add_bulk_flow(bell.sender(1), bell.receiver(1), s.tcp_config(tcp::CcId::kDctcp), 0);
   auto* probe = s.add_rtt_probe(bell.sender(0), bell.receiver(0),
-                                s.tcp_config("cubic"), sim::milliseconds(50),
+                                s.tcp_config(tcp::CcId::kCubic), sim::milliseconds(50),
                                 sim::milliseconds(1));
   const sim::Time duration = sim::seconds(2);
   s.run_until(duration);

@@ -13,7 +13,7 @@ using namespace acdc::bench;
 namespace {
 
 void run_panel(const char* title, exp::Mode mode,
-               const std::vector<std::string>& stacks) {
+               const std::vector<tcp::CcId>& stacks) {
   stats::Table table({"test", "max", "min", "mean", "median", "jain"});
   stats::Sampler jain;
   for (int test = 1; test <= 10; ++test) {
@@ -46,8 +46,10 @@ int main() {
   std::printf("Paper: both panels cluster tightly around 2 Gbps "
               "(fairness ~0.99), unlike Fig. 1a.\n");
   run_panel("Fig. 17a — all DCTCP (reference)", exp::Mode::kDctcp,
-            {"dctcp", "dctcp", "dctcp", "dctcp", "dctcp"});
+            {tcp::CcId::kDctcp, tcp::CcId::kDctcp, tcp::CcId::kDctcp,
+             tcp::CcId::kDctcp, tcp::CcId::kDctcp});
   run_panel("Fig. 17b — 5 different CCs under AC/DC", exp::Mode::kAcdc,
-            {"cubic", "illinois", "highspeed", "reno", "vegas"});
+            {tcp::CcId::kCubic, tcp::CcId::kIllinois,
+             tcp::CcId::kHighspeed, tcp::CcId::kReno, tcp::CcId::kVegas});
   return 0;
 }

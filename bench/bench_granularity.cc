@@ -72,11 +72,11 @@ Result run(Policy policy) {
   // The rival: one elephant whose ECMP hash lands on some spine; probe
   // which one by observing the uplinks after it starts.
   auto* rival = s.add_bulk_flow(rival_src, rival_dst,
-                                s.tcp_config("cubic"), 0);
+                                s.tcp_config(tcp::CcId::kCubic), 0);
   // The VM pair: kVmFlows flows spread by ECMP over both spines.
   std::vector<host::BulkApp*> vm_flows;
   for (int i = 0; i < kVmFlows; ++i) {
-    vm_flows.push_back(s.add_bulk_flow(vm_a, vm_b, s.tcp_config("cubic"),
+    vm_flows.push_back(s.add_bulk_flow(vm_a, vm_b, s.tcp_config(tcp::CcId::kCubic),
                                        sim::milliseconds(1) + i * 100'000));
   }
 

@@ -20,19 +20,19 @@ namespace {
 struct Row {
   const char* label;
   exp::Mode mode;
-  const char* host_cc;
+  tcp::CcId host_cc;
 };
 
 void run_mtu(std::int64_t mtu, sim::Time duration) {
   const Row rows[] = {
-      {"CUBIC*", exp::Mode::kCubic, "cubic"},
-      {"DCTCP*", exp::Mode::kDctcp, "dctcp"},
-      {"CUBIC", exp::Mode::kAcdc, "cubic"},
-      {"Reno", exp::Mode::kAcdc, "reno"},
-      {"DCTCP", exp::Mode::kAcdc, "dctcp"},
-      {"Illinois", exp::Mode::kAcdc, "illinois"},
-      {"HighSpeed", exp::Mode::kAcdc, "highspeed"},
-      {"Vegas", exp::Mode::kAcdc, "vegas"},
+      {"CUBIC*", exp::Mode::kCubic, tcp::CcId::kCubic},
+      {"DCTCP*", exp::Mode::kDctcp, tcp::CcId::kDctcp},
+      {"CUBIC", exp::Mode::kAcdc, tcp::CcId::kCubic},
+      {"Reno", exp::Mode::kAcdc, tcp::CcId::kReno},
+      {"DCTCP", exp::Mode::kAcdc, tcp::CcId::kDctcp},
+      {"Illinois", exp::Mode::kAcdc, tcp::CcId::kIllinois},
+      {"HighSpeed", exp::Mode::kAcdc, tcp::CcId::kHighspeed},
+      {"Vegas", exp::Mode::kAcdc, tcp::CcId::kVegas},
   };
   stats::Table t({"CC variant", "p50 RTT us", "p99 RTT us", "avg Gbps",
                   "fairness"});

@@ -39,7 +39,7 @@ tcp::TcpConfig flow_tcp_config(const exp::Scenario& s, exp::Mode mode,
   // kDctcp pins every host stack to DCTCP (the paper's reference column);
   // the other modes run whatever tenant stack the flow asks for (default
   // CUBIC) — that heterogeneity is the point of Figs. 1/17 and Table 1.
-  if (mode == exp::Mode::kDctcp) return s.tcp_config("dctcp");
+  if (mode == exp::Mode::kDctcp) return s.tcp_config(tcp::CcId::kDctcp);
   return s.tcp_config(flow.cc);
 }
 

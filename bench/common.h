@@ -16,7 +16,7 @@
 namespace acdc::bench {
 
 struct FlowSpec {
-  std::string cc = "cubic";     // host stack (ignored where mode dictates)
+  tcp::CcId cc = tcp::CcId::kCubic;  // host stack (ignored where mode dictates)
   double beta = 1.0;            // AC/DC QoS priority (Eq. 1)
   sim::Time start = 0;
   sim::Time stop = sim::kNoTime;  // for convergence-style runs

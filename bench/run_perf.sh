@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Runs the datapath packets-per-second microbench and merges its output with
+# the committed pre-PR baseline (bench/perf_baseline.json) into
+# BENCH_datapath.json — schema documented in DESIGN.md ("Performance").
+#
+#   bench/run_perf.sh                 # full run, writes ./BENCH_datapath.json
+#   bench/run_perf.sh --quick         # CI-sized iteration counts
+#   bench/run_perf.sh --check         # also gate: fail on >20% regression
+#   bench/run_perf.sh --out PATH      # choose the merged-output path
+#   bench/run_perf.sh --build-dir DIR # default: build
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="$repo_root/build"
+out="BENCH_datapath.json"
+check=0
+quick=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --out)       out="$2"; shift 2 ;;
+    --check)     check=1; shift ;;
+    --quick)     quick=1; shift ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+bench_bin="$build_dir/bench/bench_datapath_pps"
+if [[ ! -x "$bench_bin" ]]; then
+  echo "building bench_datapath_pps in $build_dir ..." >&2
+  cmake --build "$build_dir" --target bench_datapath_pps -j "$(nproc)" >&2
+fi
+
+iters=()
+if [[ "$quick" == 1 ]]; then
+  iters=(--packet-iters 400000 --multiflow-iters 400000 --event-iters 200000)
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+"$bench_bin" "${iters[@]}" --json "$raw"
+
+CHECK="$check" RAW="$raw" OUT="$out" \
+BASELINE="$repo_root/bench/perf_baseline.json" python3 - <<'PY'
+import json, os, sys
+
+current = json.load(open(os.environ["RAW"]))
+baseline = json.load(open(os.environ["BASELINE"]))
+
+def ratio(key):
+    base = baseline.get(key)
+    return round(current[key] / base, 3) if base else None
+
+merged = {
+    "schema": "acdc-bench-datapath/1",
+    "bench": "datapath_pps",
+    "current": current,
+    "baseline": baseline,
+    "speedup": {
+        "packets_per_sec": ratio("packets_per_sec"),
+        "multiflow_packets_per_sec": ratio("multiflow_packets_per_sec"),
+        "events_per_sec": ratio("events_per_sec"),
+    },
+}
+with open(os.environ["OUT"], "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {os.environ['OUT']}")
+for k, v in merged["speedup"].items():
+    print(f"  {k}: {v}x vs baseline ({baseline['recorded_at_commit']})")
+print(f"  allocs/packet steady: {current['allocs_per_packet_steady']}")
+
+if os.environ["CHECK"] == "1":
+    # Regression gate: each throughput metric must stay within 20% of the
+    # committed baseline. (Post-optimization numbers sit ~2x above it, so a
+    # trip here means a real regression, not noise.)
+    failed = []
+    for k in ("packets_per_sec", "multiflow_packets_per_sec",
+              "events_per_sec"):
+        if current[k] < 0.8 * baseline[k]:
+            failed.append(f"{k}: {current[k]:.0f} < 80% of "
+                          f"baseline {baseline[k]:.0f}")
+    # The steady state must stay allocation-free on the per-flow fast path.
+    if current["allocs_per_packet_steady"] > 0.01:
+        failed.append("allocs_per_packet_steady "
+                      f"{current['allocs_per_packet_steady']} > 0.01")
+    if failed:
+        print("PERF REGRESSION:", *failed, sep="\n  ", file=sys.stderr)
+        sys.exit(1)
+    print("perf check passed")
+PY

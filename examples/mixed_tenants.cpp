@@ -19,7 +19,7 @@ using namespace acdc;
 namespace {
 
 std::vector<double> run(bool with_acdc,
-                        const std::vector<std::string>& stacks,
+                        const std::vector<tcp::CcId>& stacks,
                         double* jain) {
   exp::DumbbellConfig cfg;
   cfg.scenario = exp::scenario_config_for(with_acdc ? exp::Mode::kAcdc
@@ -49,8 +49,9 @@ std::vector<double> run(bool with_acdc,
 }  // namespace
 
 int main() {
-  const std::vector<std::string> stacks = {"cubic", "illinois", "highspeed",
-                                           "reno", "vegas"};
+  const std::vector<tcp::CcId> stacks = {
+      tcp::CcId::kCubic, tcp::CcId::kIllinois, tcp::CcId::kHighspeed,
+      tcp::CcId::kReno, tcp::CcId::kVegas};
   std::printf("Five tenants, five TCP stacks, one 10G bottleneck.\n\n");
   double jain_raw = 0;
   double jain_acdc = 0;
@@ -59,8 +60,8 @@ int main() {
 
   stats::Table t({"tenant stack", "raw Gbps", "under AC/DC Gbps"});
   for (std::size_t i = 0; i < stacks.size(); ++i) {
-    t.add_row({stacks[i], stats::Table::num(raw[i]),
-               stats::Table::num(acdc[i])});
+    t.add_row({std::string(tcp::to_string(stacks[i])),
+               stats::Table::num(raw[i]), stats::Table::num(acdc[i])});
   }
   t.print("per-tenant goodput");
   std::printf("Jain fairness: raw=%.3f -> AC/DC=%.3f (1.0 = perfectly "

@@ -36,11 +36,11 @@ Outcome run(bool police) {
   rogue_vs->policy().set_default(p);
 
   // The rogue tenant: aggressive growth and deaf to RWND.
-  tcp::TcpConfig rogue = s.tcp_config("aggressive");
+  tcp::TcpConfig rogue = s.tcp_config(tcp::CcId::kAggressive);
   rogue.ignore_peer_rwnd = true;
   auto* rogue_app = s.add_bulk_flow(bell.sender(0), bell.receiver(0), rogue, 0);
   auto* honest_app = s.add_bulk_flow(bell.sender(1), bell.receiver(1),
-                                     s.tcp_config("cubic"), 0);
+                                     s.tcp_config(tcp::CcId::kCubic), 0);
   s.run_until(sim::seconds(2));
 
   Outcome out;

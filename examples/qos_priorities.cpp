@@ -48,7 +48,7 @@ int main() {
   std::vector<host::BulkApp*> apps;
   for (int i = 0; i < 4; ++i) {
     apps.push_back(s.add_bulk_flow(bell.sender(i), bell.receiver(i),
-                                   s.tcp_config("cubic"), 0));
+                                   s.tcp_config(tcp::CcId::kCubic), 0));
   }
   s.run_until(sim::seconds(2));
 

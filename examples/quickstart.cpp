@@ -12,8 +12,9 @@
 // per datapath event), quickstart.trace.json (open in chrome://tracing or
 // https://ui.perfetto.dev) and quickstart.metrics.csv.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart [tenant-cc]     # e.g. ./examples/quickstart reno
 #include <cstdio>
+#include <string>
 
 #include "acdc/vswitch.h"
 #include "exp/mode.h"
@@ -22,7 +23,20 @@
 
 using namespace acdc;
 
-int main() {
+int main(int argc, char** argv) {
+  // The CLI is the only place CC names exist as strings; everything past
+  // this parse speaks tcp::CcId.
+  tcp::CcId tenant_cc = tcp::CcId::kCubic;
+  if (argc > 1) {
+    if (auto parsed = tcp::parse_cc_id(argv[1])) {
+      tenant_cc = *parsed;
+    } else {
+      std::fprintf(stderr,
+                   "unknown congestion control '%s' (valid: %s)\n", argv[1],
+                   std::string(tcp::valid_cc_names()).c_str());
+      return 2;
+    }
+  }
   // A two-host "datacenter": hosts h0/h1 on one switch with DCTCP-style
   // WRED/ECN marking (the AC/DC deployment model: switches mark, vSwitches
   // do the rest).
@@ -42,8 +56,8 @@ int main() {
   vswitch::AcdcVswitch* sender_vs = s.attach_acdc(star.host(0), {});
   s.attach_acdc(star.host(1), {});
 
-  // The tenant's transfer: 64MB of CUBIC traffic, h0 -> h1.
-  const tcp::TcpConfig tenant = s.tcp_config("cubic");
+  // The tenant's transfer: 64MB from the chosen stack, h0 -> h1.
+  const tcp::TcpConfig tenant = s.tcp_config(tenant_cc);
   host::BulkApp* app = s.add_bulk_flow(star.host(0), star.host(1), tenant, 0,
                                        64 * 1024 * 1024);
   // And a latency probe sharing the path.

@@ -71,6 +71,9 @@ struct AcdcStats {
   std::int64_t inferred_timeouts = 0;
   std::int64_t injected_dupacks = 0;
   std::int64_t injected_window_updates = 0;
+  // Per-direction single-entry lookup caches (see AcdcCore::entry/find).
+  std::int64_t flow_cache_hits = 0;
+  std::int64_t flow_cache_misses = 0;
 };
 
 struct AcdcCore {
@@ -118,15 +121,59 @@ struct AcdcCore {
     if (on_window) on_window(entry.key, sim->now(), wnd);
   }
 
+  // Single-entry lookup caches, one per datapath direction so the four hot
+  // call sites never evict each other. A slot remembers the last key looked
+  // up there together with the table version at that moment; while the
+  // table's membership is unchanged (version match) a repeat of the same key
+  // returns the cached pointer with zero hashing. Erase/GC/insert all bump
+  // the version, which invalidates every slot at once — there is no explicit
+  // invalidation to forget. find() slots also cache misses (entry ==
+  // nullptr), safe for the same reason.
+  struct FlowCacheSlot {
+    FlowKey key{};
+    FlowEntry* entry = nullptr;
+    std::uint64_t version = 0;  // 0 never matches: table versions start at 1
+  };
+  static constexpr int kCacheSndEgress = 0;      // sender module, data out
+  static constexpr int kCacheSndIngressAck = 1;  // sender module, ACK in
+  static constexpr int kCacheRcvIngressData = 2; // receiver module, data in
+  static constexpr int kCacheRcvEgressAck = 3;   // receiver module, ACK out
+  static constexpr int kCacheSlots = 4;
+  FlowCacheSlot flow_cache[kCacheSlots];
+
   // Looks up or creates the entry for `key`, binding its policy and
-  // initialising the virtual CC on creation.
-  FlowEntry& entry(const FlowKey& key) {
-    const std::size_t before = table.size();
-    FlowEntry& e = table.get_or_create(key, sim->now());
-    if (table.size() != before) {
+  // initialising the virtual CC on creation. `slot` selects which direction
+  // cache fronts the table lookup.
+  FlowEntry& entry(const FlowKey& key, int slot) {
+    FlowCacheSlot& c = flow_cache[slot];
+    if (c.version == table.version() && c.entry != nullptr && c.key == key) {
+      ++stats.flow_cache_hits;
+      return *c.entry;
+    }
+    ++stats.flow_cache_misses;
+    auto [e, created] = table.find_or_create(key, sim->now());
+    if (created) {
       e.policy = policy.lookup(key);
       virtual_cc_for(e.policy.kind).init(e.snd, config.vcc);
     }
+    c.key = key;
+    c.entry = &e;
+    c.version = table.version();
+    return e;
+  }
+
+  // Cached find: may return (and cache) nullptr for absent flows.
+  FlowEntry* find(const FlowKey& key, int slot) {
+    FlowCacheSlot& c = flow_cache[slot];
+    if (c.version == table.version() && c.key == key) {
+      ++stats.flow_cache_hits;
+      return c.entry;
+    }
+    ++stats.flow_cache_misses;
+    FlowEntry* e = table.find(key);
+    c.key = key;
+    c.entry = e;
+    c.version = table.version();
     return e;
   }
 

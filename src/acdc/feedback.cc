@@ -20,7 +20,7 @@ bool attach_pack(net::Packet& ack, std::uint32_t total_bytes,
 
 net::PacketPtr make_fack(const net::Packet& ack, std::uint32_t total_bytes,
                          std::uint32_t marked_bytes) {
-  auto fack = std::make_unique<net::Packet>();
+  auto fack = net::make_packet();
   fack->ip.src = ack.ip.src;
   fack->ip.dst = ack.ip.dst;
   fack->tcp.src_port = ack.tcp.src_port;

@@ -10,26 +10,28 @@ FlowEntry* FlowTable::find(const FlowKey& key) {
   return it->second.get();
 }
 
-FlowEntry& FlowTable::get_or_create(const FlowKey& key, sim::Time now) {
+FlowTable::FindResult FlowTable::find_or_create(const FlowKey& key,
+                                                sim::Time now) {
   ++stats_.lookups;
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (!inserted) {
     ++stats_.hits;
-    return *it->second;
+    return {*it->second, false};
   }
   ++stats_.inserts;
-  auto entry = std::make_unique<FlowEntry>();
-  entry->key = key;
-  entry->created_at = now;
-  entry->last_activity = now;
-  FlowEntry& ref = *entry;
-  entries_.emplace(key, std::move(entry));
-  return ref;
+  ++version_;
+  it->second = std::make_unique<FlowEntry>();
+  FlowEntry& e = *it->second;
+  e.key = key;
+  e.created_at = now;
+  e.last_activity = now;
+  return {e, true};
 }
 
 bool FlowTable::erase(const FlowKey& key) {
   if (entries_.erase(key) > 0) {
     ++stats_.removals;
+    ++version_;
     return true;
   }
   return false;
@@ -52,6 +54,7 @@ std::size_t FlowTable::collect_garbage(sim::Time now, sim::Time idle_timeout,
   }
   stats_.gc_removed += static_cast<std::int64_t>(removed);
   stats_.removals += static_cast<std::int64_t>(removed);
+  if (removed > 0) ++version_;
   return removed;
 }
 

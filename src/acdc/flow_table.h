@@ -25,9 +25,25 @@ class FlowTable {
     std::int64_t gc_removed = 0;
   };
 
+  struct FindResult {
+    FlowEntry& entry;
+    bool created;
+  };
+
   FlowEntry* find(const FlowKey& key);
-  FlowEntry& get_or_create(const FlowKey& key, sim::Time now);
+  // Single-hash lookup-or-insert: one try_emplace probes and reserves the
+  // bucket in the same pass (the old find-then-emplace hashed twice on the
+  // create path).
+  FindResult find_or_create(const FlowKey& key, sim::Time now);
   bool erase(const FlowKey& key);
+
+  // Monotonic membership-change counter: bumped on every insert, erase and
+  // GC sweep that removed something. Starts at 1 so a zero-initialised cache
+  // stamp can never match. Entry *pointers* are stable across rehash (values
+  // are unique_ptr), so a cached pointer is valid exactly as long as the
+  // version it was stamped with — this is what AcdcCore's per-direction
+  // lookup caches key on.
+  std::uint64_t version() const { return version_; }
 
   // Removes entries idle for longer than `idle_timeout`, and FIN-marked
   // entries idle for longer than `fin_linger`.
@@ -46,6 +62,7 @@ class FlowTable {
   std::unordered_map<FlowKey, std::unique_ptr<FlowEntry>, FlowKeyHash>
       entries_;
   Stats stats_;
+  std::uint64_t version_ = 1;
 };
 
 }  // namespace acdc::vswitch

@@ -5,7 +5,8 @@
 namespace acdc::vswitch {
 
 void ReceiverModule::process_ingress_data(net::Packet& packet) {
-  FlowEntry& entry = core_.entry(FlowKey::from_packet(packet));
+  FlowEntry& entry =
+      core_.entry(FlowKey::from_packet(packet), AcdcCore::kCacheRcvIngressData);
   entry.last_activity = core_.sim->now();
   ReceiverFlowState& r = entry.rcv;
 
@@ -49,7 +50,8 @@ void ReceiverModule::process_egress_ack(
     net::Packet& ack, const std::function<void(net::PacketPtr)>& emit) {
   if (!core_.config.generate_feedback) return;
   // The ACK acknowledges the reverse flow — the data direction we count.
-  FlowEntry* entry = core_.table.find(FlowKey::from_packet(ack).reversed());
+  FlowEntry* entry = core_.find(FlowKey::from_packet(ack).reversed(),
+                                AcdcCore::kCacheRcvEgressAck);
   if (entry == nullptr) return;
   entry->last_activity = core_.sim->now();
   const ReceiverFlowState& r = entry->rcv;

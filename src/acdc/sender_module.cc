@@ -94,7 +94,8 @@ bool SenderModule::police(FlowEntry& entry, const net::Packet& packet) {
 }
 
 bool SenderModule::process_egress(net::Packet& packet) {
-  FlowEntry& entry = core_.entry(FlowKey::from_packet(packet));
+  FlowEntry& entry =
+      core_.entry(FlowKey::from_packet(packet), AcdcCore::kCacheSndEgress);
   entry.last_activity = core_.sim->now();
 
   if (packet.tcp.flags.syn) {
@@ -117,7 +118,8 @@ bool SenderModule::process_egress(net::Packet& packet) {
 
 bool SenderModule::process_ingress_ack(net::Packet& packet) {
   // This ACK acknowledges the reverse flow: data we sent.
-  FlowEntry& entry = core_.entry(FlowKey::from_packet(packet).reversed());
+  FlowEntry& entry = core_.entry(FlowKey::from_packet(packet).reversed(),
+                                 AcdcCore::kCacheSndIngressAck);
   entry.last_activity = core_.sim->now();
   SenderFlowState& s = entry.snd;
   ++core_.stats.acks_processed;

@@ -88,7 +88,7 @@ void AcdcVswitch::handle_ingress(net::PacketPtr packet) {
 net::PacketPtr AcdcVswitch::craft_ack_toward_vm(const FlowEntry& entry) const {
   // Build an ACK as the remote end would have sent it for data flow
   // entry.key (so it arrives "from" the receiver).
-  auto p = std::make_unique<net::Packet>();
+  auto p = net::make_packet();
   p->ip.src = entry.key.dst_ip;
   p->ip.dst = entry.key.src_ip;
   p->tcp.src_port = entry.key.dst_port;
@@ -142,6 +142,18 @@ bool AcdcVswitch::send_dupacks(const FlowKey& key, int count) {
   return true;
 }
 
+void AcdcVswitch::attach_observability(ObsHooks hooks) {
+  core_.trace = hooks.recorder;
+  core_.trace_source = hooks.recorder != nullptr
+                           ? hooks.recorder->register_source(hooks.name)
+                           : 0;
+  // An empty on_window means "no opinion": re-attaching recorder/metrics
+  // (e.g. Scenario::enable_tracing) must not silently drop a callback a
+  // caller installed earlier.
+  if (hooks.on_window) core_.on_window = std::move(hooks.on_window);
+  if (hooks.metrics != nullptr) register_metrics(*hooks.metrics, hooks.name);
+}
+
 void AcdcVswitch::register_metrics(obs::MetricsRegistry& registry,
                                    const std::string& prefix) const {
   const AcdcStats& s = core_.stats;
@@ -161,6 +173,9 @@ void AcdcVswitch::register_metrics(obs::MetricsRegistry& registry,
                             &s.injected_dupacks);
   registry.register_counter(prefix + ".injected_window_updates",
                             &s.injected_window_updates);
+  registry.register_counter(prefix + ".flow_cache_hits", &s.flow_cache_hits);
+  registry.register_counter(prefix + ".flow_cache_misses",
+                            &s.flow_cache_misses);
   registry.register_gauge(prefix + ".flow_entries", [this] {
     return static_cast<double>(core_.table.size());
   });

@@ -33,27 +33,28 @@ class AcdcVswitch : public net::DuplexFilter {
   FlowTable& flows() { return core_.table; }
   const AcdcStats& stats() const { return core_.stats; }
 
-  // Legacy observability: computed enforcement window per processed ACK.
-  // A thin adapter over the recorder's kWindowEnforced event — both are fed
-  // from the same emission point (AcdcCore::emit_window_enforced), so an
-  // attached FlightRecorder sees exactly what this callback sees.
+  // Bundled observability wiring. One call replaces the old set_trace /
+  // register_metrics / set_window_observer trio so a vSwitch is instrumented
+  // atomically: trace events and metrics share `name`, and the legacy
+  // window callback is fed from the same emission point as the recorder's
+  // kWindowEnforced event (AcdcCore::emit_window_enforced).
+  struct ObsHooks {
+    obs::FlightRecorder* recorder = nullptr;  // nullptr = tracing off
+    obs::MetricsRegistry* metrics = nullptr;  // nullptr = no metrics export
+    std::string name = "acdc";  // trace-source name and metrics prefix
+    // Computed enforcement window per processed ACK (Fig. 9/10 logging).
+    // Empty = keep whatever callback is already installed.
+    std::function<void(const FlowKey&, sim::Time, std::int64_t)> on_window;
+  };
+  void attach_observability(ObsHooks hooks);
+
+  // Deprecated shim over attach_observability for callers that wire only
+  // the window callback; leaves any attached recorder/metrics in place.
+  // Removal plan: DESIGN.md, "Observability consolidation".
   void set_window_observer(
       std::function<void(const FlowKey&, sim::Time, std::int64_t)> fn) {
     core_.on_window = std::move(fn);
   }
-
-  // Flight-recorder wiring; events are attributed to `name`.
-  void set_trace(obs::FlightRecorder* recorder,
-                 const std::string& name = "acdc") {
-    core_.trace = recorder;
-    core_.trace_source =
-        recorder != nullptr ? recorder->register_source(name) : 0;
-  }
-
-  // Absorbs AcdcStats plus a live flow-table-size gauge into the registry
-  // as `prefix.*`.
-  void register_metrics(obs::MetricsRegistry& registry,
-                        const std::string& prefix) const;
 
   // ---- §3.3 flexibility features ----
   // Crafts a TCP window update toward the VM for data flow `key`
@@ -72,6 +73,10 @@ class AcdcVswitch : public net::DuplexFilter {
   void ensure_timers();
   void run_inactivity_scan();
   void run_gc();
+  // Absorbs AcdcStats plus a live flow-table-size gauge into the registry
+  // as `prefix.*` (attach_observability's metrics half).
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const;
   net::PacketPtr craft_ack_toward_vm(const FlowEntry& entry) const;
 
   AcdcCore core_;

@@ -12,16 +12,16 @@ ScenarioConfig scenario_config_for(Mode mode, std::int64_t mtu_bytes,
 }
 
 tcp::TcpConfig host_tcp_config(const Scenario& scenario, Mode mode,
-                               const std::string& host_cc) {
+                               tcp::CcId host_cc) {
   switch (mode) {
     case Mode::kCubic:
-      return scenario.tcp_config("cubic");
+      return scenario.tcp_config(tcp::CcId::kCubic);
     case Mode::kDctcp:
-      return scenario.tcp_config("dctcp");
+      return scenario.tcp_config(tcp::CcId::kDctcp);
     case Mode::kAcdc:
       return scenario.tcp_config(host_cc);
   }
-  return scenario.tcp_config("cubic");
+  return scenario.tcp_config(tcp::CcId::kCubic);
 }
 
 std::vector<vswitch::AcdcVswitch*> apply_mode(

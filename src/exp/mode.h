@@ -20,7 +20,7 @@ ScenarioConfig scenario_config_for(Mode mode, std::int64_t mtu_bytes = 9000,
 // The host TCP stack config for this mode (`host_cc` only affects kAcdc,
 // whose point is that the tenant stack is arbitrary — Table 1).
 tcp::TcpConfig host_tcp_config(const Scenario& scenario, Mode mode,
-                               const std::string& host_cc = "cubic");
+                               tcp::CcId host_cc = tcp::CcId::kCubic);
 
 // Installs AC/DC vSwitches on the given hosts when the mode requires it.
 // Returns the vswitches (empty for other modes). Call before opening

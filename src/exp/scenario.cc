@@ -33,11 +33,12 @@ host::Host* Scenario::add_host(const std::string& name) {
   return raw;
 }
 
-net::SwitchConfig Scenario::switch_config(bool red_enabled) const {
+net::SwitchConfig Scenario::switch_config(const SwitchOptions& options) const {
   net::SwitchConfig sc;
-  sc.shared_buffer_bytes = config_.switch_buffer_bytes;
+  sc.shared_buffer_bytes =
+      options.buffer_bytes.value_or(config_.switch_buffer_bytes);
   sc.buffer_alpha = config_.switch_buffer_alpha;
-  if (red_enabled) {
+  if (options.red.value_or(config_.red_enabled)) {
     sc.red_min_bytes = config_.derived_red_k();
     sc.red_max_bytes = config_.derived_red_k();
     sc.red_max_probability = 1.0;
@@ -45,13 +46,10 @@ net::SwitchConfig Scenario::switch_config(bool red_enabled) const {
   return sc;
 }
 
-net::Switch* Scenario::add_switch(const std::string& name) {
-  return add_switch(name, config_.red_enabled);
-}
-
-net::Switch* Scenario::add_switch(const std::string& name, bool red_enabled) {
+net::Switch* Scenario::add_switch(const std::string& name,
+                                  const SwitchOptions& options) {
   switches_.push_back(std::make_unique<net::Switch>(
-      &sim_, name, switch_config(red_enabled), &rng_));
+      &sim_, name, switch_config(options), &rng_));
   net::Switch* raw = switches_.back().get();
   if (recorder_) {
     raw->set_trace(recorder_.get());
@@ -100,8 +98,9 @@ vswitch::AcdcVswitch* Scenario::attach_acdc(
   const std::string name = "acdc." + h->name();
   acdc_filters_.emplace_back(raw, name);
   if (recorder_) {
-    raw->set_trace(recorder_.get(), name);
-    raw->register_metrics(*metrics_, name);
+    raw->attach_observability(
+        {.recorder = recorder_.get(), .metrics = metrics_.get(),
+         .name = name});
   }
   return raw;
 }
@@ -117,13 +116,13 @@ net::TokenBucketShaper* Scenario::attach_shaper(
   return raw;
 }
 
-tcp::TcpConfig Scenario::tcp_config(const std::string& cc) const {
+tcp::TcpConfig Scenario::tcp_config(tcp::CcId cc) const {
   tcp::TcpConfig cfg;
   cfg.mss = config_.mss();
   cfg.cc = cc;
   cfg.min_rto = sim::milliseconds(10);  // paper §5 system settings
   cfg.sack = true;
-  cfg.ecn = cc == "dctcp";  // DCTCP requires ECN; others default off
+  cfg.ecn = cc == tcp::CcId::kDctcp;  // DCTCP requires ECN; others off
   // Deployed DCTCP marks control packets ECT too, so handshakes survive
   // saturated marking queues (see TcpConfig::ect_on_control).
   cfg.ect_on_control = cfg.ecn;
@@ -196,8 +195,9 @@ obs::FlightRecorder& Scenario::enable_tracing(std::size_t ring_capacity,
       sw->register_metrics(*metrics_);
     }
     for (const auto& [vs, name] : acdc_filters_) {
-      vs->set_trace(recorder_.get(), name);
-      vs->register_metrics(*metrics_, name);
+      vs->attach_observability(
+          {.recorder = recorder_.get(), .metrics = metrics_.get(),
+           .name = name});
     }
     if (metrics_interval > 0) {
       metrics_->schedule_sampling(&sim_, metrics_interval);

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -69,10 +70,20 @@ class Scenario {
   sim::Rng& rng() { return rng_; }
   const ScenarioConfig& config() const { return config_; }
 
+  // Per-switch overrides. Every field defaults to "inherit from
+  // ScenarioConfig", so `add_switch("sw")` builds the paper-standard switch
+  // and call sites that differ say which knob they turn by name:
+  //   add_switch("tor", {.red = false});
+  //   add_switch("spine", {.buffer_bytes = 1 << 20});
+  struct SwitchOptions {
+    std::optional<bool> red;                     // WRED/ECN marking
+    std::optional<std::int64_t> buffer_bytes;    // shared buffer size
+  };
+
   // ---- Topology ----
   host::Host* add_host(const std::string& name);
-  net::Switch* add_switch(const std::string& name);
-  net::Switch* add_switch(const std::string& name, bool red_enabled);
+  net::Switch* add_switch(const std::string& name,
+                          const SwitchOptions& options = {});
   // Full-duplex host <-> switch attachment with routes installed.
   void attach(host::Host* h, net::Switch* sw);
   // Full-duplex switch <-> switch trunk; returns the two unidirectional
@@ -88,7 +99,7 @@ class Scenario {
 
   // ---- TCP configs ----
   // Paper defaults: RTOmin 10ms, SACK on, window scaling, MSS from MTU.
-  tcp::TcpConfig tcp_config(const std::string& cc) const;
+  tcp::TcpConfig tcp_config(tcp::CcId cc) const;
 
   // ---- Apps (owned by the scenario) ----
   host::BulkApp* add_bulk_flow(host::Host* sender, host::Host* receiver,
@@ -131,7 +142,7 @@ class Scenario {
   obs::MetricsRegistry* metrics() { return metrics_.get(); }
 
  private:
-  net::SwitchConfig switch_config(bool red_enabled) const;
+  net::SwitchConfig switch_config(const SwitchOptions& options) const;
   // Interposes a FaultInjector in front of `sink` when link faults are
   // configured; otherwise returns `sink` unchanged.
   net::PacketSink* wrap_link(net::PacketSink* sink);

@@ -24,7 +24,9 @@ std::uint8_t TcpOptions::wire_size() const {
 }
 
 PacketPtr clone_packet(const Packet& p) {
-  return std::make_unique<Packet>(p);
+  PacketPtr c = make_packet();
+  *c = p;
+  return c;
 }
 
 }  // namespace acdc::net

@@ -2,8 +2,10 @@
 // options AC/DC cares about (MSS, window scale, SACK, and the AC/DC PACK
 // congestion-feedback option carried as an experimental TCP option).
 //
-// The simulator moves packets around as unique_ptr<Packet>; payload bytes are
-// synthetic (only the size is tracked). A separate wire codec
+// The simulator moves packets around as PacketPtr — a unique_ptr whose
+// deleter recycles the object through net::PacketPool, so steady-state
+// forwarding performs no heap traffic (see net/packet_pool.h). Payload bytes
+// are synthetic (only the size is tracked). A separate wire codec
 // (net/wire.h) serialises these structures to real RFC-layout bytes with
 // checksums; it backs the datapath microbenchmarks and codec tests.
 #pragma once
@@ -12,8 +14,8 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <vector>
 
+#include "net/small_vec.h"
 #include "sim/time.h"
 
 namespace acdc::net {
@@ -80,15 +82,29 @@ struct AcdcFeedback {
   bool operator==(const AcdcFeedback&) const = default;
 };
 
+// A legal TCP header carries at most 4 SACK blocks (2 + 8*4 = 34 bytes of a
+// 40-byte option budget), so the inline capacity covers every wire-valid
+// packet; only malformed test inputs spill to the heap.
+using SackBlocks = SmallVec<SackBlock, 4>;
+
 struct TcpOptions {
   std::optional<std::uint16_t> mss;         // kind 2, SYN only
   std::optional<std::uint8_t> window_scale; // kind 3, SYN only
   bool sack_permitted = false;              // kind 4, SYN only
-  std::vector<SackBlock> sack;              // kind 5, up to 4 blocks
+  SackBlocks sack;                          // kind 5, up to 4 blocks
   std::optional<AcdcFeedback> acdc;         // kind 253 (PACK payload)
 
   // Serialised size in bytes, padded to a multiple of 4.
   std::uint8_t wire_size() const;
+
+  // Back to defaults, retaining grown SACK storage for pooled reuse.
+  void reset_for_reuse() {
+    mss.reset();
+    window_scale.reset();
+    sack_permitted = false;
+    sack.clear();
+    acdc.reset();
+  }
 
   bool operator==(const TcpOptions&) const = default;
 };
@@ -145,9 +161,34 @@ struct Packet {
     return tcp.flags.ack && !tcp.flags.syn && !tcp.flags.fin &&
            !tcp.flags.rst && payload_bytes == 0;
   }
+
+  // Restores the default-constructed state (called by the pool on release).
+  void reset_for_reuse() {
+    ip = Ipv4Header{};
+    tcp.src_port = 0;
+    tcp.dst_port = 0;
+    tcp.seq = 0;
+    tcp.ack_seq = 0;
+    tcp.flags = TcpFlags{};
+    tcp.window_raw = 0;
+    tcp.reserved_vm_ecn = false;
+    tcp.options.reset_for_reuse();
+    payload_bytes = 0;
+    acdc_fack = false;
+    uid = 0;
+    enqueued_at = 0;
+  }
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+// Returns packets to the pool instead of the heap (net/packet_pool.cc).
+struct PacketDeleter {
+  void operator()(Packet* p) const noexcept;
+};
+
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+// The only packet factory: serves from the pool's freelist in steady state.
+PacketPtr make_packet();
 
 PacketPtr clone_packet(const Packet& p);
 

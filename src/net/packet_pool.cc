@@ -1,0 +1,94 @@
+#include "net/packet_pool.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define ACDC_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ACDC_ASAN 1
+#endif
+#endif
+
+#ifdef ACDC_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace acdc::net {
+
+namespace {
+
+void poison(Packet* p) {
+#ifdef ACDC_ASAN
+  __asan_poison_memory_region(p, sizeof(Packet));
+#else
+  (void)p;
+#endif
+}
+
+void unpoison(Packet* p) {
+#ifdef ACDC_ASAN
+  __asan_unpoison_memory_region(p, sizeof(Packet));
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace
+
+PacketPool::PacketPool() {
+  const char* env = std::getenv("ACDC_PACKET_POOL");
+  if (env != nullptr &&
+      (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0)) {
+    enabled_ = false;
+  }
+}
+
+PacketPool& PacketPool::instance() {
+  // Leaked on purpose: the freelist stays reachable (so LeakSanitizer is
+  // quiet) and a release during static destruction cannot touch a dead pool.
+  static PacketPool* pool = new PacketPool();
+  return *pool;
+}
+
+Packet* PacketPool::acquire() {
+  if (!freelist_.empty()) {
+    Packet* p = freelist_.back();
+    freelist_.pop_back();
+    unpoison(p);
+    ++stats_.reuses;
+    return p;  // reset happened at release time
+  }
+  ++stats_.fresh_allocs;
+  return new Packet();
+}
+
+void PacketPool::release(Packet* p) noexcept {
+  if (p == nullptr) return;
+  if (!enabled_ || freelist_.size() >= kMaxPooled) {
+    ++stats_.deletes;
+    delete p;
+    return;
+  }
+  p->reset_for_reuse();
+  ++stats_.releases;
+  freelist_.push_back(p);
+  poison(p);
+}
+
+void PacketPool::trim() noexcept {
+  for (Packet* p : freelist_) {
+    unpoison(p);
+    delete p;
+  }
+  freelist_.clear();
+}
+
+void PacketDeleter::operator()(Packet* p) const noexcept {
+  PacketPool::instance().release(p);
+}
+
+PacketPtr make_packet() { return PacketPtr(PacketPool::instance().acquire()); }
+
+}  // namespace acdc::net

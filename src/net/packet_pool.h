@@ -1,0 +1,58 @@
+// Packet freelist: steady-state forwarding recycles Packet objects instead
+// of hitting operator new/delete once per packet. Single-threaded by design
+// (the simulator is single-threaded); the pool is a process-wide,
+// intentionally-leaked singleton so destruction order can never invalidate a
+// late-released packet.
+//
+// Debuggability:
+//  - ACDC_PACKET_POOL=0 (or "off") disables recycling entirely — every
+//    release becomes a real delete, so heap tools see the original lifetime.
+//  - Under AddressSanitizer, pooled packets are poisoned while they sit in
+//    the freelist, so a use-after-recycle faults exactly like a
+//    use-after-free would (this is what the CI pooled-datapath ASan sweep
+//    leans on).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace acdc::net {
+
+class PacketPool {
+ public:
+  struct Stats {
+    std::int64_t fresh_allocs = 0;  // freelist empty -> operator new
+    std::int64_t reuses = 0;        // served from the freelist
+    std::int64_t releases = 0;      // returned to the freelist
+    std::int64_t deletes = 0;       // pool disabled or freelist at cap
+  };
+
+  static PacketPool& instance();
+
+  // Returns a default-state Packet (fields reset, grown option storage
+  // retained). Caller owns it; release() or PacketDeleter returns it.
+  Packet* acquire();
+  void release(Packet* p) noexcept;
+
+  const Stats& stats() const { return stats_; }
+  std::size_t free_count() const { return freelist_.size(); }
+  bool enabled() const { return enabled_; }
+
+  // Frees every pooled packet (test isolation between measurements).
+  void trim() noexcept;
+
+ private:
+  PacketPool();
+  ~PacketPool() = delete;  // leaked singleton
+
+  // Bounds pool memory under pathological churn; past this, release deletes.
+  static constexpr std::size_t kMaxPooled = 1 << 16;
+
+  std::vector<Packet*> freelist_;
+  Stats stats_;
+  bool enabled_ = true;
+};
+
+}  // namespace acdc::net

@@ -1,0 +1,135 @@
+// A small-vector for trivially-copyable elements: up to N elements live
+// inline (no heap), larger sizes spill to a heap buffer. Used for TCP option
+// storage (SACK blocks) so steady-state packets carry their options without
+// heap traffic — a wire-legal TCP header holds at most 4 SACK blocks, so the
+// spill path exists only for deliberately malformed test inputs.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+namespace acdc::net {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is for POD-like elements only");
+
+ public:
+  SmallVec() = default;
+
+  SmallVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVec(const SmallVec& other) { assign(other.data(), other.size_); }
+
+  SmallVec(SmallVec&& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      assign(other.inline_, other.size_);
+      other.size_ = 0;
+    }
+  }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.data(), other.size_);
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this == &other) return *this;
+    if (other.heap_ != nullptr) {
+      delete[] heap_;
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      assign(other.inline_, other.size_);
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  SmallVec& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.size());
+    return *this;
+  }
+
+  ~SmallVec() { delete[] heap_; }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    data()[size_++] = v;
+  }
+
+  // Keeps existing elements; new elements (if any) are value-initialized.
+  void resize(std::size_t n) {
+    if (n > capacity_) grow(n);
+    for (std::size_t i = size_; i < n; ++i) data()[i] = T{};
+    size_ = n;
+  }
+
+  void clear() { size_ = 0; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  // True while elements live in the inline buffer (no heap spill yet).
+  bool is_inline() const { return heap_ == nullptr; }
+
+  T* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const T* data() const { return heap_ != nullptr ? heap_ : inline_; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+
+  T& front() { return data()[0]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& front() const { return data()[0]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  void assign(const T* src, std::size_t n) {
+    if (n > capacity_) grow(n);
+    if (n > 0) std::memcpy(data(), src, n * sizeof(T));
+    size_ = n;
+  }
+
+  void grow(std::size_t at_least) {
+    const std::size_t new_cap = std::max(at_least, capacity_ * 2);
+    T* bigger = new T[new_cap];
+    if (size_ > 0) std::memcpy(bigger, data(), size_ * sizeof(T));
+    delete[] heap_;
+    heap_ = bigger;
+    capacity_ = new_cap;
+  }
+
+  T inline_[N] = {};
+  T* heap_ = nullptr;
+  std::size_t capacity_ = N;
+  std::size_t size_ = 0;
+};
+
+}  // namespace acdc::net

@@ -5,51 +5,135 @@
 
 namespace acdc::sim {
 
-EventId EventQueue::schedule(Time at, std::function<void()> action) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(action)});
+namespace {
+
+constexpr EventId pack_id(std::uint32_t generation, std::uint32_t slot) {
+  return (static_cast<EventId>(generation) << 32) | slot;
+}
+
+constexpr std::uint32_t id_generation(EventId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
+constexpr std::uint32_t id_slot(EventId id) {
+  return static_cast<std::uint32_t>(id);
+}
+
+}  // namespace
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    slots_[index].next_free = kNoSlot;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.action.reset();
+  slot.armed = false;
+  slot.cancelled = false;
+  // Bumping the generation here invalidates every EventId already handed out
+  // for this slot, so cancels arriving after the fire are no-ops.
+  ++slot.generation;
+  if (slot.generation == 0) slot.generation = 1;  // keep ids nonzero
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  Entry moving = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(moving, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = moving;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Entry moving = heap_[i];
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child =
+        first_child + 4 <= n ? first_child + 4 : n;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], moving)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moving;
+}
+
+void EventQueue::pop_heap_top() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+EventId EventQueue::schedule(Time at, EventAction action) {
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.action = std::move(action);
+  slot.armed = true;
+  heap_.push_back(Entry{at, next_seq_++, index});
+  sift_up(heap_.size() - 1);
   ++live_count_;
-  return id;
+  return pack_id(slot.generation, index);
 }
 
 void EventQueue::cancel(EventId id) {
   if (id == kInvalidEventId) return;
-  // Only record ids that may still be pending; ids from the future are bugs.
-  if (id >= next_id_) return;
-  if (cancelled_.insert(id).second && live_count_ > 0) {
-    --live_count_;
+  const std::uint32_t index = id_slot(id);
+  if (index >= slots_.size()) return;
+  Slot& slot = slots_[index];
+  if (!slot.armed || slot.cancelled || slot.generation != id_generation(id)) {
+    return;  // already fired, already cancelled, or a recycled slot
   }
+  slot.cancelled = true;
+  assert(live_count_ > 0);
+  --live_count_;
 }
 
 void EventQueue::drop_cancelled_head() {
   while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+    const std::uint32_t index = heap_[0].slot;
+    if (!slots_[index].cancelled) return;
+    release_slot(index);
+    pop_heap_top();
   }
 }
 
 Time EventQueue::next_time() const {
-  // const_cast-free variant: the heap may have cancelled entries at the top;
-  // we must skip them without mutating. Copying the heap would be O(n), so we
-  // keep a mutable view via the non-const overload used by run_next and only
-  // approximate here when the head is cancelled.
+  // The head may hold cancelled tombstones; reaping them early keeps this
+  // O(1) amortized and is observably pure, so the const_cast is safe.
   auto* self = const_cast<EventQueue*>(this);
   self->drop_cancelled_head();
   if (heap_.empty()) return kNoTime;
-  return heap_.top().at;
+  return heap_[0].at;
 }
 
 EventQueue::Next EventQueue::take_next() {
   drop_cancelled_head();
   assert(!heap_.empty());
-  // Move the action out before popping so the entry can be released.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
+  const Entry top = heap_[0];
+  Slot& slot = slots_[top.slot];
+  Next next{top.at, std::move(slot.action)};
+  release_slot(top.slot);
+  pop_heap_top();
   --live_count_;
   ++executed_;
-  return Next{entry.at, std::move(entry.action)};
+  return next;
 }
 
 }  // namespace acdc::sim

@@ -1,17 +1,31 @@
-// Binary-heap event queue with cancellable entries.
+// Allocation-free event queue: a 4-ary heap of POD entries over out-of-line
+// slot storage, with generation-tagged O(1) lazy cancellation.
+//
+// Design notes (this is the simulator's hottest structure):
+//  - Heap entries are 24-byte PODs {time, seq, slot}; sift operations move
+//    only these, never the callbacks.
+//  - Callbacks live in a slot arena (EventAction, small-buffer optimized) and
+//    are addressed by index; slots are recycled through a freelist, so
+//    steady-state schedule/cancel/fire churn performs zero heap traffic once
+//    the arena and heap vectors reach their high-water marks.
+//  - An EventId packs {generation, slot}. cancel() validates the generation,
+//    so a stale id (slot since recycled) is a no-op — the same contract the
+//    old unordered_set gave, without the per-cancel node allocation.
+//  - Ties break by schedule order (monotonic `seq`), preserving the seed's
+//    determinism contract exactly.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_function.h"
 #include "sim/time.h"
 
 namespace acdc::sim {
 
 // Identifies a scheduled event so it can be cancelled (e.g. TCP RTO timers).
+// Packed {generation:32, slot:32}; generations start at 1 so no valid id is
+// ever 0.
 using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
@@ -20,10 +34,11 @@ class EventQueue {
  public:
   // Schedules `action` at absolute time `at`. Ties are broken by insertion
   // order so the simulation is deterministic.
-  EventId schedule(Time at, std::function<void()> action);
+  EventId schedule(Time at, EventAction action);
 
-  // Cancels a pending event. Cancelling an already-fired or invalid id is a
-  // no-op, which keeps timer bookkeeping in callers simple.
+  // Cancels a pending event. Cancelling an already-fired, already-cancelled
+  // or invalid id is a no-op, which keeps timer bookkeeping in callers
+  // simple.
   void cancel(EventId id);
 
   bool empty() const { return live_count_ == 0; }
@@ -34,7 +49,7 @@ class EventQueue {
 
   struct Next {
     Time at = 0;
-    std::function<void()> action;
+    EventAction action;
   };
 
   // Pops the earliest event without running it, so the caller can advance
@@ -43,24 +58,44 @@ class EventQueue {
 
   std::uint64_t executed_count() const { return executed_; }
 
+  // Capacity introspection for the perf tests: arena / heap high-water
+  // marks (steady state must not grow them).
+  std::size_t slot_capacity() const { return slots_.size(); }
+  std::size_t heap_capacity() const { return heap_.capacity(); }
+
  private:
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
   struct Entry {
     Time at = 0;
-    EventId id = kInvalidEventId;
-    std::function<void()> action;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
-    }
+    std::uint64_t seq = 0;   // tie-break: insertion order
+    std::uint32_t slot = 0;  // index into slots_
   };
 
+  struct Slot {
+    EventAction action;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNoSlot;
+    bool armed = false;      // between schedule and fire/skip
+    bool cancelled = false;  // lazily reaped when it reaches the heap top
+  };
+
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void pop_heap_top();
   void drop_cancelled_head();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
-  EventId next_id_ = 1;
+  std::vector<Entry> heap_;  // 4-ary min-heap ordered by earlier()
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::uint64_t next_seq_ = 1;
   std::size_t live_count_ = 0;
   std::uint64_t executed_ = 0;
 };

@@ -1,0 +1,133 @@
+// A small-buffer-optimized, move-only callable for the event hot path.
+//
+// std::function's inline buffer (16 bytes on libstdc++) is too small for the
+// timer lambdas this simulator schedules — an RTO re-arm capturing `this`
+// plus a couple of values spills to the heap, which puts one allocation on
+// every timer churn. InlineFunction stores callables up to kInlineBytes
+// in-place; larger ones (rare: scenario-construction conveniences, test
+// glue) fall back to a single heap cell so nothing breaks, it just isn't
+// free. The event queue stores these out-of-line in slot storage, so heap
+// sift operations never touch them.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace acdc::sim {
+
+inline constexpr std::size_t kInlineFunctionBytes = 48;
+
+template <typename Signature,
+          std::size_t InlineBytes = kInlineFunctionBytes>
+class InlineFunction;
+
+template <std::size_t InlineBytes>
+class InlineFunction<void(), InlineBytes> {
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vtable_ = &kInlineVtable<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      vtable_ = &kHeapVtable<Fn>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { steal(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() { vtable_->invoke(storage_); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  void reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  // True when callables of type F avoid the heap fallback (used by tests to
+  // pin down the allocation-free guarantee).
+  template <typename F>
+  static constexpr bool stores_inline() {
+    return fits_inline<std::decay_t<F>>();
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*move)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= InlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static Fn* as(void* storage) {
+    return std::launder(reinterpret_cast<Fn*>(storage));
+  }
+
+  template <typename Fn>
+  static constexpr VTable kInlineVtable = {
+      [](void* s) { (*as<Fn>(s))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn(std::move(*as<Fn>(src)));
+        as<Fn>(src)->~Fn();
+      },
+      [](void* s) { as<Fn>(s)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr VTable kHeapVtable = {
+      [](void* s) { (**as<Fn*>(s))(); },
+      [](void* dst, void* src) {
+        // The stored Fn* is trivially destructible; relocating it is a copy.
+        ::new (dst) Fn*(*as<Fn*>(src));
+      },
+      [](void* s) { delete *as<Fn*>(s); },
+  };
+
+  void steal(InlineFunction& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      other.vtable_->move(storage_, other.storage_);
+      vtable_ = other.vtable_;
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  const VTable* vtable_ = nullptr;
+};
+
+// The callback type every scheduled event carries.
+using EventAction = InlineFunction<void()>;
+
+}  // namespace acdc::sim

@@ -5,12 +5,12 @@
 
 namespace acdc::sim {
 
-EventId Simulator::schedule(Time delay, std::function<void()> action) {
+EventId Simulator::schedule(Time delay, EventAction action) {
   assert(delay >= 0);
   return queue_.schedule(now_ + delay, std::move(action));
 }
 
-EventId Simulator::schedule_at(Time at, std::function<void()> action) {
+EventId Simulator::schedule_at(Time at, EventAction action) {
   assert(at >= now_);
   return queue_.schedule(at, std::move(action));
 }

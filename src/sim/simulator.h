@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 
 #include "sim/event_queue.h"
@@ -22,11 +21,13 @@ class Simulator {
 
   Time now() const { return now_; }
 
-  // Schedules `action` to run `delay` from now (delay >= 0).
-  EventId schedule(Time delay, std::function<void()> action);
+  // Schedules `action` to run `delay` from now (delay >= 0). EventAction is
+  // small-buffer optimized: callables up to kInlineFunctionBytes schedule
+  // without touching the heap.
+  EventId schedule(Time delay, EventAction action);
 
   // Schedules `action` at absolute time `at` (at >= now()).
-  EventId schedule_at(Time at, std::function<void()> action);
+  EventId schedule_at(Time at, EventAction action);
 
   void cancel(EventId id) { queue_.cancel(id); }
 

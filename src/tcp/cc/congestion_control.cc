@@ -18,16 +18,24 @@ void CongestionControl::on_ack(CcState& s, const AckSample& ack) {
   reno_increase(s, ack);
 }
 
-std::unique_ptr<CongestionControl> make_congestion_control(
-    std::string_view name) {
-  if (name == "reno") return std::make_unique<NewReno>();
-  if (name == "cubic") return std::make_unique<Cubic>();
-  if (name == "dctcp") return std::make_unique<Dctcp>();
-  if (name == "vegas") return std::make_unique<Vegas>();
-  if (name == "illinois") return std::make_unique<Illinois>();
-  if (name == "highspeed") return std::make_unique<HighSpeed>();
-  if (name == "aggressive") return std::make_unique<AggressiveCc>();
-  return nullptr;
+std::unique_ptr<CongestionControl> make_congestion_control(CcId id) {
+  switch (id) {
+    case CcId::kReno:
+      return std::make_unique<NewReno>();
+    case CcId::kCubic:
+      return std::make_unique<Cubic>();
+    case CcId::kDctcp:
+      return std::make_unique<Dctcp>();
+    case CcId::kVegas:
+      return std::make_unique<Vegas>();
+    case CcId::kIllinois:
+      return std::make_unique<Illinois>();
+    case CcId::kHighspeed:
+      return std::make_unique<HighSpeed>();
+    case CcId::kAggressive:
+      return std::make_unique<AggressiveCc>();
+  }
+  return std::make_unique<Cubic>();  // unreachable for valid enum values
 }
 
 }  // namespace acdc::tcp

@@ -19,6 +19,7 @@
 #include <string_view>
 
 #include "sim/time.h"
+#include "tcp/cc/cc_id.h"
 
 namespace acdc::tcp {
 
@@ -80,9 +81,9 @@ class CongestionControl {
 
 using CcFactory = std::unique_ptr<CongestionControl> (*)();
 
-// Creates an algorithm by name: "reno", "cubic", "dctcp", "vegas",
-// "illinois", "highspeed", "aggressive". Returns nullptr for unknown names.
-std::unique_ptr<CongestionControl> make_congestion_control(
-    std::string_view name);
+// The algorithm registry: every CcId maps to a factory, so this never
+// returns nullptr. Names are parsed into CcId at the CLI edge only
+// (tcp::parse_cc_id in tcp/cc/cc_id.h).
+std::unique_ptr<CongestionControl> make_congestion_control(CcId id);
 
 }  // namespace acdc::tcp

@@ -26,7 +26,7 @@ TcpConnection::TcpConnection(sim::Simulator* sim, TcpConfig config,
       rtt_(config_.min_rto, config_.initial_rto) {
   cc_ = make_congestion_control(config_.cc);
   assert(cc_ != nullptr && "unknown congestion control algorithm");
-  dctcp_echo_ = config_.cc == "dctcp";
+  dctcp_echo_ = config_.cc == CcId::kDctcp;
   effective_mss_ = config_.mss;
   cc_state_.mss = effective_mss_;
   cc_state_.cwnd = config_.initial_cwnd;
@@ -171,7 +171,7 @@ void TcpConnection::try_send() {
 }
 
 net::PacketPtr TcpConnection::build_packet(const TxSegment& seg) const {
-  auto p = std::make_unique<net::Packet>();
+  auto p = net::make_packet();
   p->ip.src = local_.ip;
   p->ip.dst = remote_.ip;
   p->tcp.src_port = local_.port;
@@ -322,7 +322,7 @@ void TcpConnection::react_to_ece() {
   trace_cwnd();
 }
 
-void TcpConnection::apply_sack(const std::vector<net::SackBlock>& blocks) {
+void TcpConnection::apply_sack(const net::SackBlocks& blocks) {
   if (!sack_ok_ || blocks.empty()) return;
   for (const net::SackBlock& b : blocks) {
     if (!any_sacked_ || seq_gt(b.end, highest_sacked_)) {
@@ -606,8 +606,8 @@ std::uint16_t TcpConnection::advertised_window_raw() const {
   return static_cast<std::uint16_t>(std::min<std::int64_t>(raw, 65535));
 }
 
-std::vector<net::SackBlock> TcpConnection::current_sack_blocks() const {
-  std::vector<net::SackBlock> blocks;
+net::SackBlocks TcpConnection::current_sack_blocks() const {
+  net::SackBlocks blocks;
   if (!sack_ok_) return blocks;
   for (const auto& [start, end] : out_of_order_) {
     blocks.push_back(net::SackBlock{start, end});
@@ -622,7 +622,7 @@ void TcpConnection::send_ack_now() {
     sim_->cancel(delack_timer_);
     delack_timer_ = sim::kInvalidEventId;
   }
-  auto p = std::make_unique<net::Packet>();
+  auto p = net::make_packet();
   p->ip.src = local_.ip;
   p->ip.dst = remote_.ip;
   p->tcp.src_port = local_.port;

@@ -57,7 +57,7 @@ struct TcpConfig {
   // Upper bound on CWND in packets (Linux's snd_cwnd_clamp, Fig. 6); 0 = off.
   double cwnd_clamp_packets = 0.0;
   // Congestion control algorithm (see make_congestion_control()).
-  std::string cc = "cubic";
+  CcId cc = CcId::kCubic;
   Seq initial_seq = 10'000;
 };
 
@@ -172,12 +172,12 @@ class TcpConnection {
   void send_ack_now();
   void maybe_send_ack(bool forced);
   std::uint16_t advertised_window_raw() const;
-  std::vector<net::SackBlock> current_sack_blocks() const;
+  net::SackBlocks current_sack_blocks() const;
 
   // ---- Loss handling ----
   void enter_recovery();
   void on_dupack(const net::Packet& packet);
-  void apply_sack(const std::vector<net::SackBlock>& blocks);
+  void apply_sack(const net::SackBlocks& blocks);
   bool retransmit_first_unsacked(bool skip_retransmitted);
   bool retransmit_next_hole();
   void on_rto_fire();

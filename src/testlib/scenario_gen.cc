@@ -37,8 +37,9 @@ struct Digest {
   }
 };
 
-const char* tenant_cc_pool[] = {"cubic", "reno", "vegas", "illinois",
-                                "highspeed"};
+constexpr tcp::CcId tenant_cc_pool[] = {
+    tcp::CcId::kCubic, tcp::CcId::kReno, tcp::CcId::kVegas,
+    tcp::CcId::kIllinois, tcp::CcId::kHighspeed};
 
 // Everything a sampled topology exposes to the harness: the scenario, the
 // host list (transfer indices refer to it) and the switches to audit.

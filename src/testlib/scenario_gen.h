@@ -19,6 +19,7 @@
 #include "acdc/policy.h"
 #include "net/fault.h"
 #include "sim/time.h"
+#include "tcp/cc/cc_id.h"
 
 namespace acdc::testlib {
 
@@ -35,7 +36,7 @@ struct TransferPlan {
   int dst = 1;
   std::int64_t bytes = 100'000;
   sim::Time start = 0;
-  std::string host_cc = "cubic";  // tenant stack algorithm
+  tcp::CcId host_cc = tcp::CcId::kCubic;  // tenant stack algorithm
 };
 
 struct ScenarioPlan {

@@ -45,7 +45,9 @@ class SenderModuleTest : public ::testing::Test {
  protected:
   SenderModuleTest() : sender_(core_) { core_.sim = &sim_; }
 
-  FlowEntry& entry() { return core_.entry(data_key()); }
+  FlowEntry& entry() {
+    return core_.entry(data_key(), AcdcCore::kCacheSndEgress);
+  }
 
   // Lvalue helper for one-shot egress packets.
   bool egress(net::Packet p) { return sender_.process_egress(p); }

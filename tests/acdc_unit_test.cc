@@ -39,12 +39,15 @@ TEST(FlowKeyTest, FromPacket) {
 TEST(FlowTableTest, CreateFindErase) {
   FlowTable table;
   EXPECT_EQ(table.find(key_ab()), nullptr);
-  FlowEntry& e = table.get_or_create(key_ab(), 100);
+  auto [e, created] = table.find_or_create(key_ab(), 100);
+  EXPECT_TRUE(created);
   EXPECT_EQ(e.created_at, 100);
   EXPECT_EQ(table.size(), 1u);
   EXPECT_EQ(table.find(key_ab()), &e);
-  // Same key -> same entry.
-  EXPECT_EQ(&table.get_or_create(key_ab(), 200), &e);
+  // Same key -> same entry, not re-created.
+  auto again = table.find_or_create(key_ab(), 200);
+  EXPECT_EQ(&again.entry, &e);
+  EXPECT_FALSE(again.created);
   EXPECT_EQ(table.size(), 1u);
   EXPECT_TRUE(table.erase(key_ab()));
   EXPECT_FALSE(table.erase(key_ab()));
@@ -53,7 +56,7 @@ TEST(FlowTableTest, CreateFindErase) {
 
 TEST(FlowTableTest, StatsCountLookups) {
   FlowTable table;
-  table.get_or_create(key_ab(), 0);
+  table.find_or_create(key_ab(), 0);
   table.find(key_ab());
   table.find(key_ab().reversed());
   EXPECT_EQ(table.stats().inserts, 1);
@@ -61,18 +64,37 @@ TEST(FlowTableTest, StatsCountLookups) {
   EXPECT_EQ(table.stats().hits, 1);
 }
 
+TEST(FlowTableTest, VersionTracksMembershipChanges) {
+  FlowTable table;
+  const std::uint64_t v0 = table.version();
+  EXPECT_GE(v0, 1u);  // never 0: a zero-initialised cache stamp can't match
+  table.find_or_create(key_ab(), 0);
+  const std::uint64_t v1 = table.version();
+  EXPECT_GT(v1, v0);
+  // Pure lookups leave the version alone.
+  table.find(key_ab());
+  table.find_or_create(key_ab(), 5);
+  EXPECT_EQ(table.version(), v1);
+  table.erase(key_ab());
+  EXPECT_GT(table.version(), v1);
+  // A failed erase is not a membership change.
+  const std::uint64_t v2 = table.version();
+  table.erase(key_ab());
+  EXPECT_EQ(table.version(), v2);
+}
+
 TEST(FlowTableTest, GarbageCollectsIdleAndFin) {
   FlowTable table;
-  FlowEntry& idle = table.get_or_create(key_ab(), 0);
+  FlowEntry& idle = table.find_or_create(key_ab(), 0).entry;
   idle.last_activity = 0;
   FlowKey k2 = key_ab();
   k2.src_port = 40'001;
-  FlowEntry& finished = table.get_or_create(k2, 0);
+  FlowEntry& finished = table.find_or_create(k2, 0).entry;
   finished.fin_seen = true;
   finished.last_activity = sim::seconds(5);
   FlowKey k3 = key_ab();
   k3.src_port = 40'002;
-  FlowEntry& live = table.get_or_create(k3, 0);
+  FlowEntry& live = table.find_or_create(k3, 0).entry;
   live.last_activity = sim::seconds(15);
 
   // At t=10s with 60s idle timeout and 1s FIN linger: only `finished` goes.

@@ -93,7 +93,7 @@ struct AcdcPair {
 
 TcpConfig cubic_cfg() {
   TcpConfig c;
-  c.cc = "cubic";
+  c.cc = tcp::CcId::kCubic;
   c.mss = 1448;
   return c;
 }
@@ -202,7 +202,7 @@ TEST(AcdcVswitchTest, PolicingDropsNonConformingFlow) {
   net.tap_ab->mark_all_ = true;  // heavy congestion -> tiny enforced window
 
   TcpConfig rogue = cubic_cfg();
-  rogue.cc = "aggressive";
+  rogue.cc = tcp::CcId::kAggressive;
   rogue.ignore_peer_rwnd = true;
   net.start_transfer(5'000'000, rogue);
   net.sim.run_until(sim::seconds(2));
@@ -345,7 +345,7 @@ TEST(AcdcVswitchTest, DctcpHostStackUnderAcdcStaysQuiet) {
   AcdcPair net;
   net.tap_ab->mark_all_ = true;
   TcpConfig d = cubic_cfg();
-  d.cc = "dctcp";
+  d.cc = tcp::CcId::kDctcp;
   d.ecn = true;
   TcpConnection* c = net.start_transfer(1'000'000, d);
   net.sim.run_until(sim::seconds(2));

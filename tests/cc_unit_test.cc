@@ -30,14 +30,21 @@ AckSample ack_of(int packets, sim::Time rtt = sim::microseconds(100)) {
   return a;
 }
 
-TEST(CcRegistryTest, KnownNamesResolve) {
-  for (const char* name : {"reno", "cubic", "dctcp", "vegas", "illinois",
-                           "highspeed", "aggressive"}) {
-    auto cc = make_congestion_control(name);
-    ASSERT_NE(cc, nullptr) << name;
-    EXPECT_EQ(cc->name(), name);
+TEST(CcRegistryTest, EveryIdResolvesAndRoundTrips) {
+  for (CcId id : {CcId::kReno, CcId::kCubic, CcId::kDctcp, CcId::kVegas,
+                  CcId::kIllinois, CcId::kHighspeed, CcId::kAggressive}) {
+    auto cc = make_congestion_control(id);
+    ASSERT_NE(cc, nullptr) << to_string(id);
+    // The algorithm's self-reported name is the canonical CLI spelling.
+    EXPECT_EQ(cc->name(), to_string(id));
+    EXPECT_EQ(parse_cc_id(cc->name()), id);
   }
-  EXPECT_EQ(make_congestion_control("bbr"), nullptr);
+}
+
+TEST(CcRegistryTest, ParseRejectsUnknownNames) {
+  EXPECT_EQ(parse_cc_id("bbr"), std::nullopt);
+  EXPECT_EQ(parse_cc_id(""), std::nullopt);
+  EXPECT_EQ(parse_cc_id("CUBIC"), std::nullopt);  // names are lowercase
 }
 
 TEST(RenoTest, SlowStartDoublesPerRtt) {
@@ -241,11 +248,10 @@ TEST(AggressiveTest, NeverBacksOff) {
 
 // Property sweep: every algorithm keeps cwnd within sane bounds through a
 // randomized ack/loss schedule.
-class CcPropertyTest : public ::testing::TestWithParam<const char*> {};
+class CcPropertyTest : public ::testing::TestWithParam<CcId> {};
 
 TEST_P(CcPropertyTest, WindowStaysSane) {
   auto cc = make_congestion_control(GetParam());
-  ASSERT_NE(cc, nullptr);
   CcState s = make_state(10, 64);
   cc->init(s);
   std::mt19937_64 rng(testlib::test_seed(99));
@@ -264,15 +270,16 @@ TEST_P(CcPropertyTest, WindowStaysSane) {
       a.ece = rng() % 10 == 0;
       cc->on_ack(s, a);
     }
-    ASSERT_GE(s.cwnd, 1.0) << GetParam() << " at step " << i;
-    ASSERT_LT(s.cwnd, 1e7) << GetParam() << " at step " << i;
-    ASSERT_FALSE(std::isnan(s.cwnd)) << GetParam();
+    ASSERT_GE(s.cwnd, 1.0) << to_string(GetParam()) << " at step " << i;
+    ASSERT_LT(s.cwnd, 1e7) << to_string(GetParam()) << " at step " << i;
+    ASSERT_FALSE(std::isnan(s.cwnd)) << to_string(GetParam());
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CcPropertyTest,
-                         ::testing::Values("reno", "cubic", "dctcp", "vegas",
-                                           "illinois", "highspeed"));
+                         ::testing::Values(CcId::kReno, CcId::kCubic, CcId::kDctcp,
+                                           CcId::kVegas, CcId::kIllinois,
+                                           CcId::kHighspeed));
 
 }  // namespace
 }  // namespace acdc::tcp

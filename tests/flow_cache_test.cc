@@ -1,0 +1,105 @@
+// Per-direction flow-lookup cache tests: hits must return the same entry
+// the table would, and every membership change (erase, GC, new insert)
+// must invalidate cached pointers — including cached negative results.
+#include <gtest/gtest.h>
+
+#include "acdc/core.h"
+#include "sim/simulator.h"
+
+namespace acdc::vswitch {
+namespace {
+
+FlowKey key_n(std::uint16_t port) {
+  return FlowKey{net::make_ip(10, 0, 0, 1), net::make_ip(10, 0, 0, 2), port,
+                 5000};
+}
+
+class FlowCacheTest : public ::testing::Test {
+ protected:
+  FlowCacheTest() { core_.sim = &sim_; }
+
+  sim::Simulator sim_;
+  AcdcCore core_;
+};
+
+TEST_F(FlowCacheTest, RepeatLookupHitsCache) {
+  const FlowKey k = key_n(40'000);
+  FlowEntry& e1 = core_.entry(k, AcdcCore::kCacheSndEgress);
+  const std::int64_t misses = core_.stats.flow_cache_misses;
+  FlowEntry& e2 = core_.entry(k, AcdcCore::kCacheSndEgress);
+  EXPECT_EQ(&e1, &e2);
+  EXPECT_EQ(core_.stats.flow_cache_misses, misses);
+  EXPECT_GE(core_.stats.flow_cache_hits, 1);
+}
+
+TEST_F(FlowCacheTest, SlotsAreIndependentPerDirection) {
+  const FlowKey data = key_n(40'000);
+  const FlowKey ack = data.reversed();
+  core_.entry(data, AcdcCore::kCacheSndEgress);
+  core_.entry(ack, AcdcCore::kCacheSndIngressAck);
+  // Creating the ack flow bumped the table version, so re-stamp both slots
+  // before measuring steady state.
+  core_.entry(data, AcdcCore::kCacheSndEgress);
+  core_.entry(ack, AcdcCore::kCacheSndIngressAck);
+  const std::int64_t misses = core_.stats.flow_cache_misses;
+  // Alternating directions must not evict each other.
+  for (int i = 0; i < 10; ++i) {
+    core_.entry(data, AcdcCore::kCacheSndEgress);
+    core_.entry(ack, AcdcCore::kCacheSndIngressAck);
+  }
+  EXPECT_EQ(core_.stats.flow_cache_misses, misses);
+}
+
+TEST_F(FlowCacheTest, EraseInvalidatesCachedEntry) {
+  const FlowKey k = key_n(40'000);
+  core_.entry(k, AcdcCore::kCacheSndEgress);
+  core_.entry(k, AcdcCore::kCacheSndEgress);  // now cached
+  ASSERT_TRUE(core_.table.erase(k));
+  // The cached pointer is dangling; the version bump must force a re-lookup
+  // which re-creates the entry rather than returning stale memory.
+  FlowEntry& fresh = core_.entry(k, AcdcCore::kCacheSndEgress);
+  EXPECT_EQ(core_.table.size(), 1u);
+  EXPECT_EQ(core_.table.find(k), &fresh);
+}
+
+TEST_F(FlowCacheTest, GcInvalidatesCachedEntry) {
+  const FlowKey k = key_n(40'000);
+  FlowEntry& e = core_.entry(k, AcdcCore::kCacheSndEgress);
+  e.last_activity = 0;
+  core_.entry(k, AcdcCore::kCacheSndEgress);  // cached
+  ASSERT_EQ(core_.table.collect_garbage(sim::seconds(120), sim::seconds(60),
+                                        sim::seconds(1)),
+            1u);
+  EXPECT_EQ(core_.table.size(), 0u);
+  const std::int64_t misses = core_.stats.flow_cache_misses;
+  core_.entry(k, AcdcCore::kCacheSndEgress);
+  EXPECT_GT(core_.stats.flow_cache_misses, misses)
+      << "GC must invalidate the cache, not serve the dead entry";
+  EXPECT_EQ(core_.table.size(), 1u);
+}
+
+TEST_F(FlowCacheTest, NegativeResultIsCachedAndInvalidatedByInsert) {
+  const FlowKey k = key_n(40'000);
+  EXPECT_EQ(core_.find(k, AcdcCore::kCacheRcvEgressAck), nullptr);
+  const std::int64_t misses = core_.stats.flow_cache_misses;
+  EXPECT_EQ(core_.find(k, AcdcCore::kCacheRcvEgressAck), nullptr);
+  EXPECT_EQ(core_.stats.flow_cache_misses, misses) << "miss should be cached";
+
+  // Creating the flow bumps the version; the cached nullptr must die.
+  FlowEntry& e = core_.entry(k, AcdcCore::kCacheSndEgress);
+  EXPECT_EQ(core_.find(k, AcdcCore::kCacheRcvEgressAck), &e);
+}
+
+TEST_F(FlowCacheTest, CreationStillInitialisesPolicyAndVcc) {
+  // The cached path must not skip the create-time hook that binds policy
+  // and initialises the virtual CC.
+  FlowPolicy p;
+  p.kind = VccKind::kDctcp;
+  core_.policy.set_default(p);
+  FlowEntry& e = core_.entry(key_n(40'000), AcdcCore::kCacheSndEgress);
+  EXPECT_EQ(e.policy.kind, VccKind::kDctcp);
+  EXPECT_GT(e.snd.cwnd_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace acdc::vswitch

@@ -141,7 +141,7 @@ TEST(AppTest, BulkAppMeasuresCompletion) {
   exp::Star star(cfg);
   exp::Scenario& s = star.scenario();
   auto* app = s.add_bulk_flow(star.host(0), star.host(1),
-                              s.tcp_config("dctcp"), sim::milliseconds(5),
+                              s.tcp_config(tcp::CcId::kDctcp), sim::milliseconds(5),
                               10'000'000);
   s.run_until(sim::milliseconds(200));
   EXPECT_TRUE(app->completed());
@@ -158,7 +158,7 @@ TEST(AppTest, BulkAppUnlimitedStops) {
   exp::Star star(cfg);
   exp::Scenario& s = star.scenario();
   auto* app = s.add_bulk_flow(star.host(0), star.host(1),
-                              s.tcp_config("dctcp"), 0);
+                              s.tcp_config(tcp::CcId::kDctcp), 0);
   app->stop_at(sim::milliseconds(50));
   s.run_until(sim::milliseconds(200));
   const std::int64_t at_stop = app->delivered_bytes();
@@ -176,7 +176,7 @@ TEST(AppTest, MessageAppRecordsFcts) {
   exp::Scenario& s = star.scenario();
   stats::FctCollector fct(10'000);
   auto* app = s.add_message_app(star.host(0), star.host(1),
-                                s.tcp_config("dctcp"), 0,
+                                s.tcp_config(tcp::CcId::kDctcp), 0,
                                 sim::milliseconds(10), 5'000, &fct);
   s.run_until(sim::milliseconds(205));
   EXPECT_GE(app->messages_sent(), 19);
@@ -194,7 +194,7 @@ TEST(AppTest, EchoAppMeasuresRtt) {
   exp::Star star(cfg);
   exp::Scenario& s = star.scenario();
   auto* probe = s.add_rtt_probe(star.host(0), star.host(1),
-                                s.tcp_config("dctcp"), 0,
+                                s.tcp_config(tcp::CcId::kDctcp), 0,
                                 sim::milliseconds(1));
   s.run_until(sim::milliseconds(100));
   EXPECT_GT(probe->rtt_ms().count(), 50u);

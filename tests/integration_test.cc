@@ -30,7 +30,7 @@ struct DumbbellRun {
   double drop_rate = 0.0;
 };
 
-DumbbellRun run_dumbbell(Mode mode, const std::string& host_cc = "cubic",
+DumbbellRun run_dumbbell(Mode mode, tcp::CcId host_cc = tcp::CcId::kCubic,
                          sim::Time duration = sim::seconds(1.5)) {
   DumbbellConfig cfg;
   cfg.scenario = exp::scenario_config_for(mode);
@@ -97,12 +97,13 @@ TEST(DumbbellIntegrationTest, AcdcMatchesDctcpRttAndBeatsCubic) {
 
 TEST(DumbbellIntegrationTest, AcdcWorksWithEveryHostStack) {
   // Table 1's point: any tenant stack under AC/DC behaves like DCTCP.
-  for (const char* cc : {"reno", "vegas", "illinois", "highspeed"}) {
+  for (tcp::CcId cc : {tcp::CcId::kReno, tcp::CcId::kVegas,
+                       tcp::CcId::kIllinois, tcp::CcId::kHighspeed}) {
     const DumbbellRun r = run_dumbbell(Mode::kAcdc, cc, sim::seconds(1));
     double total = 0;
     for (double g : r.goodputs_gbps) total += g;
-    EXPECT_GT(total, 7.5) << cc;
-    EXPECT_GT(r.jain, 0.9) << cc;
+    EXPECT_GT(total, 7.5) << tcp::to_string(cc);
+    EXPECT_GT(r.jain, 0.9) << tcp::to_string(cc);
     EXPECT_LT(r.rtt_p50_ms, 1.0) << cc;
   }
 }
@@ -150,8 +151,9 @@ TEST(WindowTrackingIntegrationTest, AcdcRwndTracksDctcpCwnd) {
 
 TEST(HeterogeneousStacksIntegrationTest, AcdcRestoresFairness) {
   // Figs. 1 and 17: five different stacks on the dumbbell.
-  const std::vector<std::string> stacks = {"cubic", "illinois", "highspeed",
-                                           "reno", "vegas"};
+  const std::vector<tcp::CcId> stacks = {
+      tcp::CcId::kCubic, tcp::CcId::kIllinois, tcp::CcId::kHighspeed,
+      tcp::CcId::kReno, tcp::CcId::kVegas};
   auto run = [&](Mode mode) {
     DumbbellConfig cfg;
     cfg.scenario = exp::scenario_config_for(mode);
@@ -201,9 +203,9 @@ TEST(EcnCoexistenceIntegrationTest, AcdcFixesStarvation) {
       exp::apply_mode(s, hosts, Mode::kAcdc);
     }
     auto* cubic_flow = s.add_bulk_flow(bell.sender(0), bell.receiver(0),
-                                       s.tcp_config("cubic"), 0);
+                                       s.tcp_config(tcp::CcId::kCubic), 0);
     auto* dctcp_flow = s.add_bulk_flow(bell.sender(1), bell.receiver(1),
-                                       s.tcp_config("dctcp"), 0);
+                                       s.tcp_config(tcp::CcId::kDctcp), 0);
     s.run_until(sim::seconds(1.5));
     const double cubic_g =
         cubic_flow->goodput_bps(sim::milliseconds(300), sim::seconds(1.5));
@@ -240,7 +242,7 @@ TEST(QosIntegrationTest, BetaPrioritiesOrderThroughput) {
     p.beta = betas[i];
     vs->policy().set_default(p);
     apps.push_back(s.add_bulk_flow(bell.sender(i), bell.receiver(i),
-                                   s.tcp_config("cubic"), 0));
+                                   s.tcp_config(tcp::CcId::kCubic), 0));
   }
   s.run_until(sim::seconds(1.5));
   std::vector<double> g;

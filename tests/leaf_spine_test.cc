@@ -19,11 +19,11 @@ TEST(LeafSpineTest, AllPairsReachable) {
     for (int h = 0; h < fabric.hosts_per_leaf(); ++h) {
       const int dl = (l + 1) % fabric.leaves();
       apps.push_back(s.add_bulk_flow(fabric.host(l, h), fabric.host(dl, h),
-                                     s.tcp_config("cubic"), 0, 50'000));
+                                     s.tcp_config(tcp::CcId::kCubic), 0, 50'000));
       // Intra-leaf too.
       apps.push_back(s.add_bulk_flow(
           fabric.host(l, h), fabric.host(l, (h + 1) % fabric.hosts_per_leaf()),
-          s.tcp_config("cubic"), 0, 50'000));
+          s.tcp_config(tcp::CcId::kCubic), 0, 50'000));
     }
   }
   s.run_until(sim::milliseconds(200));
@@ -41,7 +41,7 @@ TEST(LeafSpineTest, EcmpSpreadsFlowsAcrossSpines) {
   std::vector<host::BulkApp*> apps;
   for (int i = 0; i < 16; ++i) {
     apps.push_back(s.add_bulk_flow(fabric.host(0, 0), fabric.host(1, 0),
-                                   s.tcp_config("cubic"), 0, 200'000));
+                                   s.tcp_config(tcp::CcId::kCubic), 0, 200'000));
   }
   s.run_until(sim::milliseconds(300));
   for (auto* a : apps) ASSERT_TRUE(a->completed());
@@ -57,7 +57,7 @@ TEST(LeafSpineTest, IntraLeafTrafficStaysLocal) {
   exp::LeafSpine fabric(cfg);
   exp::Scenario& s = fabric.scenario();
   auto* app = s.add_bulk_flow(fabric.host(0, 0), fabric.host(0, 1),
-                              s.tcp_config("cubic"), 0, 500'000);
+                              s.tcp_config(tcp::CcId::kCubic), 0, 500'000);
   s.run_until(sim::milliseconds(100));
   EXPECT_TRUE(app->completed());
   EXPECT_EQ(fabric.uplink(0, 0)->transmitted_packets(), 0);
@@ -73,7 +73,7 @@ TEST(LeafSpineTest, NoRoutingFailures) {
   exp::Scenario& s = fabric.scenario();
   for (int l = 0; l < 3; ++l) {
     s.add_bulk_flow(fabric.host(l, 0), fabric.host((l + 1) % 3, 1),
-                    s.tcp_config("cubic"), 0, 100'000);
+                    s.tcp_config(tcp::CcId::kCubic), 0, 100'000);
   }
   s.run_until(sim::milliseconds(200));
   for (int l = 0; l < 3; ++l) {
@@ -101,7 +101,7 @@ TEST(LeafSpineTest, AcdcWorksAcrossTheFabric) {
   std::vector<host::BulkApp*> apps;
   for (int h = 0; h < 4; ++h) {
     apps.push_back(s.add_bulk_flow(fabric.host(0, h), fabric.host(1, 0),
-                                   s.tcp_config("cubic"),
+                                   s.tcp_config(tcp::CcId::kCubic),
                                    h * sim::milliseconds(1)));
   }
   s.run_until(sim::seconds(1));

@@ -243,7 +243,7 @@ TEST(ObsIntegrationTest, TracedAcdcRunEmitsDatapathEvents) {
   s.attach_acdc(star.host(0), {});
   s.attach_acdc(star.host(1), {});
 
-  const tcp::TcpConfig tenant = s.tcp_config("cubic");
+  const tcp::TcpConfig tenant = s.tcp_config(tcp::CcId::kCubic);
   s.add_bulk_flow(star.host(0), star.host(1), tenant, 0, 8 * 1024 * 1024);
   s.run_until(sim::milliseconds(50));
 

@@ -13,7 +13,7 @@ namespace acdc::net {
 namespace {
 
 PacketPtr make_data(std::int64_t payload, Ecn ecn = Ecn::kNotEct) {
-  auto p = std::make_unique<Packet>();
+  auto p = make_packet();
   p->payload_bytes = payload;
   p->ip.ecn = ecn;
   return p;

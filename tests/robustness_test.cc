@@ -148,7 +148,7 @@ TEST(PackCounterTest, FeedbackCountersWrapModulo32) {
 
 // Property sweep: every CC delivers exactly under random drop/dup/reorder.
 struct ChaosParam {
-  const char* cc;
+  tcp::CcId cc;
   double drop;
   double dup;
   double reorder;
@@ -175,15 +175,15 @@ TEST_P(ChaosSweepTest, ExactDeliveryUnderImpairment) {
 
 INSTANTIATE_TEST_SUITE_P(
     Impairments, ChaosSweepTest,
-    ::testing::Values(ChaosParam{"cubic", 0.02, 0.0, 0.0},
-                      ChaosParam{"cubic", 0.0, 0.05, 0.0},
-                      ChaosParam{"cubic", 0.0, 0.0, 0.05},
-                      ChaosParam{"cubic", 0.01, 0.02, 0.02},
-                      ChaosParam{"reno", 0.02, 0.01, 0.01},
-                      ChaosParam{"dctcp", 0.02, 0.01, 0.01},
-                      ChaosParam{"vegas", 0.02, 0.01, 0.01},
-                      ChaosParam{"illinois", 0.02, 0.01, 0.01},
-                      ChaosParam{"highspeed", 0.02, 0.01, 0.01}));
+    ::testing::Values(ChaosParam{tcp::CcId::kCubic, 0.02, 0.0, 0.0},
+                      ChaosParam{tcp::CcId::kCubic, 0.0, 0.05, 0.0},
+                      ChaosParam{tcp::CcId::kCubic, 0.0, 0.0, 0.05},
+                      ChaosParam{tcp::CcId::kCubic, 0.01, 0.02, 0.02},
+                      ChaosParam{tcp::CcId::kReno, 0.02, 0.01, 0.01},
+                      ChaosParam{tcp::CcId::kDctcp, 0.02, 0.01, 0.01},
+                      ChaosParam{tcp::CcId::kVegas, 0.02, 0.01, 0.01},
+                      ChaosParam{tcp::CcId::kIllinois, 0.02, 0.01, 0.01},
+                      ChaosParam{tcp::CcId::kHighspeed, 0.02, 0.01, 0.01}));
 
 // AC/DC under chaos: delivery still exact, enforcement invariants hold.
 class AcdcChaosTest : public ::testing::TestWithParam<int> {};

@@ -49,7 +49,7 @@ TEST(TcpEdgeTest, RstTearsDownImmediately) {
   bool closed = false;
   c->on_closed = [&] { closed = true; };
   // Deliver a crafted RST.
-  auto rst = std::make_unique<net::Packet>();
+  auto rst = net::make_packet();
   rst->ip.src = net.b->ip();
   rst->ip.dst = net.a->ip();
   rst->tcp.src_port = 80;

@@ -85,7 +85,7 @@ struct Pair {
   }
 };
 
-TcpConfig cfg(const std::string& cc = "cubic") {
+TcpConfig cfg(tcp::CcId cc = tcp::CcId::kCubic) {
   TcpConfig c;
   c.cc = cc;
   c.mss = 1448;
@@ -131,7 +131,7 @@ TEST(TcpHandshakeTest, EstablishesAndNegotiates) {
 TEST(TcpHandshakeTest, EcnNegotiationRequiresBothSides) {
   {
     Pair net;
-    TcpConfig e = cfg("dctcp");
+    TcpConfig e = cfg(tcp::CcId::kDctcp);
     ASSERT_TRUE(e.ecn || (e.ecn = true));
     net.b->listen(80, e);
     TcpConnection* c = net.a->connect(net.b->ip(), 80, e);
@@ -141,7 +141,7 @@ TEST(TcpHandshakeTest, EcnNegotiationRequiresBothSides) {
   }
   {
     Pair net;
-    TcpConfig e = cfg("dctcp");
+    TcpConfig e = cfg(tcp::CcId::kDctcp);
     e.ecn = true;
     net.b->listen(80, cfg());  // server refuses ECN
     TcpConnection* c = net.a->connect(net.b->ip(), 80, e);
@@ -234,7 +234,7 @@ TEST(TcpTransferTest, IgnorePeerRwndExceedsWindow) {
   TcpConfig tiny = cfg();
   tiny.receive_buffer_bytes = 16 * 1024;
   net.b->listen(80, tiny);
-  TcpConfig rogue = cfg("aggressive");
+  TcpConfig rogue = cfg(tcp::CcId::kAggressive);
   rogue.ignore_peer_rwnd = true;
   TcpConnection* c = net.a->connect(net.b->ip(), 80, rogue);
   bool exceeded = false;
@@ -326,7 +326,7 @@ TEST(TcpEcnTest, ClassicEcnReducesOncePerWindow) {
 TEST(TcpEcnTest, DctcpAlphaRisesUnderPersistentMarking) {
   CeMarkFilter mark;
   Pair net(&mark);
-  TcpConfig e = cfg("dctcp");
+  TcpConfig e = cfg(tcp::CcId::kDctcp);
   e.ecn = true;
   net.b->listen(80, e);
   TcpConnection* c = net.a->connect(net.b->ip(), 80, e);
@@ -400,7 +400,7 @@ TEST(TcpDelayedAckTest, DelayedAckStillDelivers) {
 
 // Parameterised sweep: every congestion-control algorithm completes a
 // transfer over a clean link and over a lossy link.
-class CcSweepTest : public ::testing::TestWithParam<const char*> {};
+class CcSweepTest : public ::testing::TestWithParam<tcp::CcId> {};
 
 TEST_P(CcSweepTest, CleanTransfer) {
   Pair net;
@@ -422,8 +422,10 @@ TEST_P(CcSweepTest, LossyTransfer) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CcSweepTest,
-                         ::testing::Values("reno", "cubic", "dctcp", "vegas",
-                                           "illinois", "highspeed"));
+                         ::testing::Values(tcp::CcId::kReno, tcp::CcId::kCubic,
+                                           tcp::CcId::kDctcp, tcp::CcId::kVegas,
+                                           tcp::CcId::kIllinois,
+                                           tcp::CcId::kHighspeed));
 
 }  // namespace
 }  // namespace acdc

@@ -15,7 +15,7 @@ namespace acdc {
 namespace {
 
 net::PacketPtr packet_to(net::IpAddr dst, std::int64_t payload = 1000) {
-  auto p = std::make_unique<net::Packet>();
+  auto p = net::make_packet();
   p->ip.dst = dst;
   p->payload_bytes = payload;
   return p;
@@ -164,10 +164,10 @@ TEST(TopologyTest, DumbbellAllPairsReachable) {
   std::vector<host::BulkApp*> apps;
   for (int i = 0; i < 3; ++i) {
     apps.push_back(s.add_bulk_flow(bell.sender(i), bell.receiver(i),
-                                   s.tcp_config("cubic"), 0, 50'000));
+                                   s.tcp_config(tcp::CcId::kCubic), 0, 50'000));
     // And the reverse direction.
     apps.push_back(s.add_bulk_flow(bell.receiver(i), bell.sender(i),
-                                   s.tcp_config("cubic"), 0, 50'000));
+                                   s.tcp_config(tcp::CcId::kCubic), 0, 50'000));
   }
   s.run_until(sim::milliseconds(100));
   for (auto* a : apps) EXPECT_TRUE(a->completed());
@@ -181,12 +181,12 @@ TEST(TopologyTest, ParkingLotAllFlowsReachable) {
   exp::Scenario& s = lot.scenario();
   std::vector<host::BulkApp*> apps;
   apps.push_back(s.add_bulk_flow(lot.long_sender(), lot.long_receiver(),
-                                 s.tcp_config("cubic"), 0, 50'000));
+                                 s.tcp_config(tcp::CcId::kCubic), 0, 50'000));
   for (int i = 0; i < 3; ++i) {
     apps.push_back(s.add_bulk_flow(lot.cross_sender(i), lot.long_receiver(),
-                                   s.tcp_config("cubic"), 0, 50'000));
+                                   s.tcp_config(tcp::CcId::kCubic), 0, 50'000));
     apps.push_back(s.add_bulk_flow(lot.cross_sender(i), lot.cross_receiver(i),
-                                   s.tcp_config("cubic"), 0, 50'000));
+                                   s.tcp_config(tcp::CcId::kCubic), 0, 50'000));
   }
   s.run_until(sim::milliseconds(200));
   for (auto* a : apps) EXPECT_TRUE(a->completed());
@@ -203,7 +203,7 @@ TEST(TopologyTest, StarFullMeshReachable) {
     for (int j = 0; j < 5; ++j) {
       if (i == j) continue;
       apps.push_back(s.add_bulk_flow(star.host(i), star.host(j),
-                                     s.tcp_config("cubic"), 0, 20'000));
+                                     s.tcp_config(tcp::CcId::kCubic), 0, 20'000));
     }
   }
   s.run_until(sim::milliseconds(200));

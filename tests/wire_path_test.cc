@@ -55,7 +55,7 @@ class WireRoundTripFilter : public net::DuplexFilter {
     }
     // Forward the PARSED packet: if anything was lost in the bytes, the
     // transfer itself breaks.
-    auto out = std::make_unique<net::Packet>(q);
+    auto out = net::clone_packet(q);
     out->acdc_fack = p->acdc_fack;  // simulator-only marker, not on-wire
     return out;
   }
