@@ -14,6 +14,9 @@
 //               defeats the single-entry flow cache on purpose.
 //   events    — RTO-style timer churn: re-arm (cancel+schedule) a far timer
 //               and fire a near one each iteration.
+//   parallel  — an 8-shard leaf-spine fabric with ring bulk traffic, run on
+//               the conservative parallel engine at 1/2/4/8 worker threads:
+//               end-to-end events/sec and the t8-vs-t1 speedup.
 //
 // Output: a flat JSON object on stdout (or --json <path>); bench/run_perf.sh
 // merges it with the committed pre-PR baseline into BENCH_datapath.json.
@@ -22,9 +25,12 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "acdc/vswitch.h"
 #include "alloc_probe.h"
+#include "exp/leaf_spine.h"
 #include "sim/simulator.h"
 
 namespace acdc {
@@ -175,6 +181,53 @@ Sample run_events(std::uint64_t iters) {
   return s;
 }
 
+struct ParallelSample {
+  int threads = 0;
+  double events_per_sec = 0;
+  double wall_secs = 0;
+  std::uint64_t events = 0;
+  bool parallel = false;  // false when the partition fell back to serial
+};
+
+// End-to-end parallel workload: an 8-leaf/4-spine fabric partitioned into 8
+// shards (one leaf + its hosts per shard), with every host running a bulk
+// flow to its peer under the next leaf — all traffic crosses a shard cut.
+// The shard count is fixed so the event stream is identical at every thread
+// count; only wall time should change.
+ParallelSample run_parallel_leaf_spine(int threads, sim::Time horizon) {
+  exp::LeafSpineConfig cfg;
+  cfg.leaves = 8;
+  cfg.spines = 4;
+  cfg.hosts_per_leaf = 6;
+  cfg.scenario.seed = 7;
+  exp::LeafSpine fabric(cfg);
+  exp::Scenario& sc = fabric.scenario();
+  const exp::PartitionReport report = sc.enable_parallel(8, threads);
+
+  const tcp::TcpConfig tcp_cfg = sc.tcp_config(tcp::CcId::kCubic);
+  int pair = 0;
+  for (int l = 0; l < cfg.leaves; ++l) {
+    for (int i = 0; i < cfg.hosts_per_leaf; ++i) {
+      sc.add_bulk_flow(fabric.host(l, i),
+                       fabric.host((l + 1) % cfg.leaves, i), tcp_cfg,
+                       sim::microseconds(10 + pair));
+      ++pair;
+    }
+  }
+
+  const auto t0 = Clock::now();
+  sc.run_until(horizon);
+  const auto t1 = Clock::now();
+
+  ParallelSample s;
+  s.threads = threads;
+  s.wall_secs = std::chrono::duration<double>(t1 - t0).count();
+  s.events = sc.executed_events();
+  s.events_per_sec = static_cast<double>(s.events) / s.wall_secs;
+  s.parallel = report.parallel;
+  return s;
+}
+
 }  // namespace
 }  // namespace acdc
 
@@ -183,6 +236,7 @@ int main(int argc, char** argv) {
   std::uint64_t multiflow_iters = 2'000'000;
   std::uint64_t event_iters = 1'000'000;
   int flows = 1024;
+  std::int64_t parallel_ms = 40;  // simulated horizon; 0 skips the sweep
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -200,12 +254,15 @@ int main(int argc, char** argv) {
       event_iters = std::strtoull(next("--event-iters"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--flows") == 0) {
       flows = std::atoi(next("--flows"));
+    } else if (std::strcmp(argv[i], "--parallel-ms") == 0) {
+      parallel_ms = std::atoll(next("--parallel-ms"));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json_path = next("--json");
     } else {
       std::fprintf(stderr,
                    "usage: %s [--packet-iters N] [--multiflow-iters N] "
-                   "[--event-iters N] [--flows N] [--json PATH]\n",
+                   "[--event-iters N] [--flows N] [--parallel-ms N] "
+                   "[--json PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -214,6 +271,19 @@ int main(int argc, char** argv) {
   const acdc::Sample ping = acdc::run_pingpong(packet_iters);
   const acdc::Sample multi = acdc::run_multiflow(multiflow_iters, flows);
   const acdc::Sample events = acdc::run_events(event_iters);
+
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::vector<acdc::ParallelSample> sweep;
+  if (parallel_ms > 0) {
+    const acdc::sim::Time horizon = acdc::sim::milliseconds(parallel_ms);
+    for (int t : {1, 2, 4, 8}) {
+      sweep.push_back(acdc::run_parallel_leaf_spine(t, horizon));
+      const acdc::ParallelSample& s = sweep.back();
+      std::fprintf(stderr, "parallel t%d: %.2f Mev/s (%.0f ms wall, %s)\n",
+                   s.threads, s.events_per_sec / 1e6, s.wall_secs * 1e3,
+                   s.parallel ? "sharded" : "serial fallback");
+    }
+  }
 
   std::FILE* out = stdout;
   if (!json_path.empty()) {
@@ -235,11 +305,27 @@ int main(int argc, char** argv) {
                "  \"events_per_sec\": %.0f,\n"
                "  \"ns_per_event\": %.2f,\n"
                "  \"allocs_per_event_steady\": %.4f,\n"
-               "  \"flows_multiflow\": %d\n"
-               "}\n",
+               "  \"flows_multiflow\": %d",
                ping.per_sec, ping.ns_each, ping.allocs_each, multi.per_sec,
                multi.ns_each, multi.allocs_each, events.per_sec,
                events.ns_each, events.allocs_each, flows);
+  if (!sweep.empty()) {
+    std::fprintf(out,
+                 ",\n"
+                 "  \"hw_threads\": %u,\n"
+                 "  \"parallel_sim_ms\": %lld,\n"
+                 "  \"parallel_sharded\": %s",
+                 hw_threads, static_cast<long long>(parallel_ms),
+                 sweep[0].parallel ? "true" : "false");
+    for (const acdc::ParallelSample& s : sweep) {
+      std::fprintf(out,
+                   ",\n  \"parallel_events_per_sec_t%d\": %.0f", s.threads,
+                   s.events_per_sec);
+    }
+    std::fprintf(out, ",\n  \"parallel_speedup_t8\": %.3f",
+                 sweep.back().events_per_sec / sweep.front().events_per_sec);
+  }
+  std::fprintf(out, "\n}\n");
   if (out != stdout) std::fclose(out);
   std::fprintf(stderr,
                "pingpong: %.2f Mpps (%.1f ns/pkt, %.3f allocs/pkt)\n"

@@ -38,14 +38,15 @@ int main() {
     double cwnd_mss;
   };
   std::vector<std::pair<double, Pair>> series;  // (seconds since start, windows)
-  vswitches[0]->set_window_observer([&](const vswitch::FlowKey&, sim::Time t,
-                                        std::int64_t rwnd) {
+  vswitches[0]->attach_observability({.on_window = [&](const vswitch::FlowKey&,
+                                                       sim::Time t,
+                                                       std::int64_t rwnd) {
     if (conn0 == nullptr) return;
     if (flow_start == sim::kNoTime) flow_start = t;
     series.push_back({sim::to_seconds(t - flow_start),
                       Pair{static_cast<double>(rwnd) / mss,
                            static_cast<double>(conn0->cwnd_bytes()) / mss}});
-  });
+  }});
 
   const tcp::TcpConfig tcp = exp::host_tcp_config(s, exp::Mode::kDctcp);
   std::vector<host::BulkApp*> apps;

@@ -38,8 +38,9 @@ int main() {
   std::vector<Sample> series;
   std::int64_t limiting = 0;
   std::int64_t total = 0;
-  vswitches[0]->set_window_observer([&](const vswitch::FlowKey&, sim::Time t,
-                                        std::int64_t rwnd) {
+  vswitches[0]->attach_observability({.on_window = [&](const vswitch::FlowKey&,
+                                                       sim::Time t,
+                                                       std::int64_t rwnd) {
     if (conn0 == nullptr) return;
     if (flow_start == sim::kNoTime) flow_start = t;
     const double cwnd = static_cast<double>(conn0->cwnd_bytes());
@@ -47,7 +48,7 @@ int main() {
     if (static_cast<double>(rwnd) < cwnd) ++limiting;
     series.push_back({sim::to_seconds(t - flow_start),
                       static_cast<double>(rwnd) / mss, cwnd / mss});
-  });
+  }});
 
   const tcp::TcpConfig tcp = s.tcp_config(tcp::CcId::kCubic);
   std::vector<host::BulkApp*> apps;

@@ -67,7 +67,7 @@ class ShuffleDriver {
   std::size_t completed_ = 0;
 };
 
-stats::FctCollector run(exp::Mode mode) {
+std::unique_ptr<stats::FctCollector> run(exp::Mode mode) {
   exp::StarConfig sc;
   sc.scenario = exp::scenario_config_for(mode);
   sc.hosts = 17;
@@ -78,12 +78,12 @@ stats::FctCollector run(exp::Mode mode) {
   exp::apply_mode(s, hosts, mode);
   const tcp::TcpConfig tcp = exp::host_tcp_config(s, mode);
 
-  stats::FctCollector fct(10 * 1024 * 1024);
+  auto fct = std::make_unique<stats::FctCollector>(10 * 1024 * 1024);
   std::vector<std::unique_ptr<ShuffleDriver>> drivers;
   for (int i = 0; i < star.host_count(); ++i) {
-    drivers.push_back(std::make_unique<ShuffleDriver>(s, star, i, tcp, &fct));
+    drivers.push_back(std::make_unique<ShuffleDriver>(s, star, i, tcp, fct.get()));
     s.add_message_app(star.host(i), star.host((i + 8) % star.host_count()),
-                      tcp, 0, sim::milliseconds(100), kMouseBytes, &fct);
+                      tcp, 0, sim::milliseconds(100), kMouseBytes, fct.get());
   }
   s.run_until(sim::seconds(4));
   return fct;
@@ -105,17 +105,17 @@ void print_fct(const char* title, const stats::Sampler& c,
 int main() {
   std::printf("Fig. 22 — shuffle workload (17 hosts, <=2 concurrent "
               "transfers per sender)\n");
-  const stats::FctCollector cubic = run(exp::Mode::kCubic);
-  const stats::FctCollector dctcp = run(exp::Mode::kDctcp);
-  const stats::FctCollector acdc = run(exp::Mode::kAcdc);
+  const auto cubic = run(exp::Mode::kCubic);
+  const auto dctcp = run(exp::Mode::kDctcp);
+  const auto acdc = run(exp::Mode::kAcdc);
 
-  print_fct("Fig. 22a — mice (16KB) FCT (ms)", cubic.mice_ms(),
-            dctcp.mice_ms(), acdc.mice_ms());
-  print_fct("Fig. 22b — background FCT (ms)", cubic.background_ms(),
-            dctcp.background_ms(), acdc.background_ms());
+  print_fct("Fig. 22a — mice (16KB) FCT (ms)", cubic->mice_ms(),
+            dctcp->mice_ms(), acdc->mice_ms());
+  print_fct("Fig. 22b — background FCT (ms)", cubic->background_ms(),
+            dctcp->background_ms(), acdc->background_ms());
   std::printf("\nMedian mice FCT reduction vs CUBIC (paper: DCTCP 72%%, "
               "AC/DC 71%%): DCTCP %.0f%%, AC/DC %.0f%%\n",
-              100 * (1 - dctcp.mice_ms().median() / cubic.mice_ms().median()),
-              100 * (1 - acdc.mice_ms().median() / cubic.mice_ms().median()));
+              100 * (1 - dctcp->mice_ms().median() / cubic->mice_ms().median()),
+              100 * (1 - acdc->mice_ms().median() / cubic->mice_ms().median()));
   return 0;
 }

@@ -59,7 +59,7 @@ class TraceApp {
   std::size_t established_ = 0;
 };
 
-stats::FctCollector run(exp::Mode mode,
+std::unique_ptr<stats::FctCollector> run(exp::Mode mode,
                         const workload::EmpiricalSizeDistribution& dist) {
   exp::StarConfig sc;
   sc.scenario = exp::scenario_config_for(mode);
@@ -71,11 +71,11 @@ stats::FctCollector run(exp::Mode mode,
   exp::apply_mode(s, hosts, mode);
   const tcp::TcpConfig tcp = exp::host_tcp_config(s, mode);
 
-  stats::FctCollector fct(kMiceThreshold);
+  auto fct = std::make_unique<stats::FctCollector>(kMiceThreshold);
   std::vector<std::unique_ptr<TraceApp>> apps;
   for (int i = 0; i < star.host_count(); ++i) {
     for (int a = 0; a < kAppsPerServer; ++a) {
-      apps.push_back(std::make_unique<TraceApp>(s, star, i, dist, tcp, &fct));
+      apps.push_back(std::make_unique<TraceApp>(s, star, i, dist, tcp, fct.get()));
     }
   }
   s.run_until(sim::seconds(2));
@@ -84,26 +84,26 @@ stats::FctCollector run(exp::Mode mode,
 
 void run_workload(const char* name,
                   const workload::EmpiricalSizeDistribution& dist) {
-  const stats::FctCollector cubic = run(exp::Mode::kCubic, dist);
-  const stats::FctCollector dctcp = run(exp::Mode::kDctcp, dist);
-  const stats::FctCollector acdc = run(exp::Mode::kAcdc, dist);
+  const auto cubic = run(exp::Mode::kCubic, dist);
+  const auto dctcp = run(exp::Mode::kDctcp, dist);
+  const auto acdc = run(exp::Mode::kAcdc, dist);
   stats::Table t({"percentile", "CUBIC ms", "DCTCP ms", "AC/DC ms"});
   for (double p : {25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
     t.add_row({stats::Table::num(p),
-               stats::Table::num(cubic.mice_ms().percentile(p)),
-               stats::Table::num(dctcp.mice_ms().percentile(p)),
-               stats::Table::num(acdc.mice_ms().percentile(p))});
+               stats::Table::num(cubic->mice_ms().percentile(p)),
+               stats::Table::num(dctcp->mice_ms().percentile(p)),
+               stats::Table::num(acdc->mice_ms().percentile(p))});
   }
   char title[128];
   std::snprintf(title, sizeof(title),
                 "Fig. 23 — %s: mice (<10KB) FCT (ms); %zu/%zu/%zu mice",
-                name, cubic.mice_ms().count(), dctcp.mice_ms().count(),
-                acdc.mice_ms().count());
+                name, cubic->mice_ms().count(), dctcp->mice_ms().count(),
+                acdc->mice_ms().count());
   t.print(title);
   std::printf("median mice FCT reduction vs CUBIC: DCTCP %.0f%%, AC/DC "
               "%.0f%%\n",
-              100 * (1 - dctcp.mice_ms().median() / cubic.mice_ms().median()),
-              100 * (1 - acdc.mice_ms().median() / cubic.mice_ms().median()));
+              100 * (1 - dctcp->mice_ms().median() / cubic->mice_ms().median()),
+              100 * (1 - acdc->mice_ms().median() / cubic->mice_ms().median()));
 }
 
 }  // namespace

@@ -32,14 +32,38 @@ if [[ ! -x "$bench_bin" ]]; then
   cmake --build "$build_dir" --target bench_datapath_pps -j "$(nproc)" >&2
 fi
 
+# Benchmarks want a quiet machine: warn when any CPU is not on the
+# `performance` governor (frequency ramps skew ns/packet numbers).
+gov_file=/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor
+if [[ -r "$gov_file" ]]; then
+  governors="$(cat /sys/devices/system/cpu/cpu*/cpufreq/scaling_governor \
+               | sort -u | tr '\n' ' ')"
+  if [[ "$governors" != "performance " ]]; then
+    echo "warning: CPU governor is '${governors% }', not 'performance';" \
+         "numbers will be noisy (sudo cpupower frequency-set -g performance)" >&2
+  fi
+fi
+
+# Pin the bench to a fixed set of CPUs when taskset is available, so the
+# scheduler does not migrate it mid-measurement. The parallel sweep needs
+# up to 8 workers; pin to the first min(8, nproc) CPUs.
+pin=()
+if command -v taskset >/dev/null 2>&1; then
+  ncpu="$(nproc)"
+  last=$(( ncpu < 8 ? ncpu - 1 : 7 ))
+  pin=(taskset -c "0-$last")
+  [[ "$last" == 0 ]] && pin=(taskset -c 0)
+fi
+
 iters=()
 if [[ "$quick" == 1 ]]; then
-  iters=(--packet-iters 400000 --multiflow-iters 400000 --event-iters 200000)
+  iters=(--packet-iters 400000 --multiflow-iters 400000 --event-iters 200000
+         --parallel-ms 10)
 fi
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
-"$bench_bin" "${iters[@]}" --json "$raw"
+"${pin[@]}" "$bench_bin" "${iters[@]}" --json "$raw"
 
 CHECK="$check" RAW="$raw" OUT="$out" \
 BASELINE="$repo_root/bench/perf_baseline.json" python3 - <<'PY'
@@ -71,6 +95,9 @@ print(f"wrote {os.environ['OUT']}")
 for k, v in merged["speedup"].items():
     print(f"  {k}: {v}x vs baseline ({baseline['recorded_at_commit']})")
 print(f"  allocs/packet steady: {current['allocs_per_packet_steady']}")
+if "parallel_speedup_t8" in current:
+    print(f"  parallel speedup t8/t1: {current['parallel_speedup_t8']}x "
+          f"({current['hw_threads']} hw threads)")
 
 if os.environ["CHECK"] == "1":
     # Regression gate: each throughput metric must stay within 20% of the
@@ -86,6 +113,14 @@ if os.environ["CHECK"] == "1":
     if current["allocs_per_packet_steady"] > 0.01:
         failed.append("allocs_per_packet_steady "
                       f"{current['allocs_per_packet_steady']} > 0.01")
+    # The sharded engine must scale on real multi-core hardware. Only
+    # enforced with >= 8 hardware threads: below that, barrier spinning on
+    # an oversubscribed machine legitimately makes t8 slower than t1.
+    if current.get("hw_threads", 0) >= 8:
+        speedup = current.get("parallel_speedup_t8", 0)
+        if speedup < 3.0:
+            failed.append(f"parallel_speedup_t8 {speedup} < 3.0 "
+                          f"on {current['hw_threads']} hw threads")
     if failed:
         print("PERF REGRESSION:", *failed, sep="\n  ", file=sys.stderr)
         sys.exit(1)

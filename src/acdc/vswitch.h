@@ -12,6 +12,7 @@
 // (vSwitch-generated window updates and duplicate ACKs).
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <string>
 
@@ -48,12 +49,12 @@ class AcdcVswitch : public net::DuplexFilter {
   };
   void attach_observability(ObsHooks hooks);
 
-  // Deprecated shim over attach_observability for callers that wire only
-  // the window callback; leaves any attached recorder/metrics in place.
-  // Removal plan: DESIGN.md, "Observability consolidation".
-  void set_window_observer(
-      std::function<void(const FlowKey&, sim::Time, std::int64_t)> fn) {
-    core_.on_window = std::move(fn);
+  // Re-homes the vSwitch core onto a shard's simulator. Only legal before
+  // any packet has been processed (the periodic scan/GC timers arm lazily
+  // on first traffic).
+  void rebind_simulator(sim::Simulator* sim) {
+    assert(!scan_armed_ && !gc_armed_);
+    core_.sim = sim;
   }
 
   // ---- §3.3 flexibility features ----

@@ -31,12 +31,9 @@ LeafSpine::LeafSpine(const LeafSpineConfig& config)
     for (int s = 0; s < config.spines; ++s) {
       net::Switch* leaf = leaf_switches_[static_cast<std::size_t>(l)];
       net::Switch* spine = spine_switches_[static_cast<std::size_t>(s)];
-      net::Port* up = leaf->add_port(config.uplink_rate,
-                                     scenario_.config().switch_link_delay);
-      up->set_peer(spine);
-      net::Port* down = spine->add_port(config.uplink_rate,
-                                        scenario_.config().switch_link_delay);
-      down->set_peer(leaf);
+      // Built as a scenario trunk so the links are recorded for the
+      // partitioner (and get fault injectors when configured).
+      auto [up, down] = scenario_.trunk(leaf, spine, config.uplink_rate);
       ups.push_back(up);
       spine_to_leaf[static_cast<std::size_t>(s)].push_back(down);
       uplinks_.push_back(up);

@@ -1,0 +1,120 @@
+#include "exp/partition.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace acdc::exp {
+
+namespace {
+
+int div_ceil(int a, int b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+PartitionResult partition_topology(const PartitionInput& input) {
+  PartitionResult out;
+  const int nodes = input.hosts + input.switches;
+  const int shards = std::clamp(input.shards, 1, std::max(1, nodes));
+  out.shards = shards;
+  out.host_shard.assign(static_cast<std::size_t>(input.hosts), 0);
+  out.switch_shard.assign(static_cast<std::size_t>(input.switches), 0);
+  if (shards <= 1) return out;
+
+  // Switch-level view of the topology: trunk adjacency plus total degree
+  // (trunks and attached hosts) so the busiest switches are placed first.
+  std::vector<std::vector<int>> trunk_neighbors(
+      static_cast<std::size_t>(input.switches));
+  std::vector<int> degree(static_cast<std::size_t>(input.switches), 0);
+  // A host's ToR: the first switch it attaches to.
+  std::vector<int> host_tor(static_cast<std::size_t>(input.hosts), -1);
+  for (const PartitionInput::Edge& e : input.edges) {
+    if (e.host_side) {
+      ++degree[static_cast<std::size_t>(e.sw_a)];
+      if (host_tor[static_cast<std::size_t>(e.host)] < 0) {
+        host_tor[static_cast<std::size_t>(e.host)] = e.sw_a;
+      }
+    } else {
+      trunk_neighbors[static_cast<std::size_t>(e.sw_a)].push_back(e.sw_b);
+      trunk_neighbors[static_cast<std::size_t>(e.sw_b)].push_back(e.sw_a);
+      ++degree[static_cast<std::size_t>(e.sw_a)];
+      ++degree[static_cast<std::size_t>(e.sw_b)];
+    }
+  }
+
+  // 1. Switches, descending degree (index breaks ties), greedy min-cut with
+  //    a balance cap so one shard can't swallow the whole fabric.
+  std::vector<int> order(static_cast<std::size_t>(input.switches));
+  for (int i = 0; i < input.switches; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int da = degree[static_cast<std::size_t>(a)];
+    const int db = degree[static_cast<std::size_t>(b)];
+    return da != db ? da > db : a < b;
+  });
+
+  constexpr int kUnassigned = -1;
+  std::vector<int> sw_shard(static_cast<std::size_t>(input.switches),
+                            kUnassigned);
+  std::vector<int> sw_load(static_cast<std::size_t>(shards), 0);
+  const int sw_cap =
+      input.switches > 0 ? div_ceil(input.switches, shards) : 1;
+  for (int sw : order) {
+    int best = -1;
+    long best_cut = std::numeric_limits<long>::max();
+    int best_load = std::numeric_limits<int>::max();
+    for (int s = 0; s < shards; ++s) {
+      if (sw_load[static_cast<std::size_t>(s)] >= sw_cap) continue;
+      long cut = 0;
+      for (int nb : trunk_neighbors[static_cast<std::size_t>(sw)]) {
+        const int ns = sw_shard[static_cast<std::size_t>(nb)];
+        if (ns != kUnassigned && ns != s) ++cut;
+      }
+      if (cut < best_cut ||
+          (cut == best_cut && sw_load[static_cast<std::size_t>(s)] < best_load)) {
+        best = s;
+        best_cut = cut;
+        best_load = sw_load[static_cast<std::size_t>(s)];
+      }
+    }
+    sw_shard[static_cast<std::size_t>(sw)] = best;
+    ++sw_load[static_cast<std::size_t>(best)];
+  }
+
+  // 2. Hosts follow their ToR when there's room; overflow spills to the
+  //    least host-loaded shard (lowest index breaks ties).
+  std::vector<int> host_load(static_cast<std::size_t>(shards), 0);
+  const int host_cap = input.hosts > 0 ? div_ceil(input.hosts, shards) : 1;
+  for (int h = 0; h < input.hosts; ++h) {
+    int target = -1;
+    const int tor = host_tor[static_cast<std::size_t>(h)];
+    if (tor >= 0) {
+      const int s = sw_shard[static_cast<std::size_t>(tor)];
+      if (host_load[static_cast<std::size_t>(s)] < host_cap) target = s;
+    }
+    if (target < 0) {
+      int best_load = std::numeric_limits<int>::max();
+      for (int s = 0; s < shards; ++s) {
+        if (host_load[static_cast<std::size_t>(s)] < best_load) {
+          best_load = host_load[static_cast<std::size_t>(s)];
+          target = s;
+        }
+      }
+    }
+    out.host_shard[static_cast<std::size_t>(h)] = target;
+    ++host_load[static_cast<std::size_t>(target)];
+  }
+  for (int i = 0; i < input.switches; ++i) {
+    out.switch_shard[static_cast<std::size_t>(i)] =
+        sw_shard[static_cast<std::size_t>(i)];
+  }
+
+  for (const PartitionInput::Edge& e : input.edges) {
+    const int a = e.host_side ? out.host_shard[static_cast<std::size_t>(e.host)]
+                              : out.switch_shard[static_cast<std::size_t>(e.sw_a)];
+    const int b = e.host_side ? out.switch_shard[static_cast<std::size_t>(e.sw_a)]
+                              : out.switch_shard[static_cast<std::size_t>(e.sw_b)];
+    if (a != b) ++out.cut_links;
+  }
+  return out;
+}
+
+}  // namespace acdc::exp

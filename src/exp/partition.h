@@ -1,0 +1,47 @@
+// Topology partitioner for the parallel simulation engine: assigns every
+// host and switch to a shard, trying to keep links shard-local (cut links
+// bound the lookahead and cost a mailbox hop) while keeping shards balanced
+// enough that worker threads have comparable work.
+//
+// Deterministic by construction — assignments depend only on the topology
+// and the requested shard count, never on iteration order of hash maps or
+// on thread timing.
+#pragma once
+
+#include <vector>
+
+namespace acdc::exp {
+
+struct PartitionInput {
+  int hosts = 0;
+  int switches = 0;
+  int shards = 1;  // requested; clamped to [1, hosts + switches]
+
+  // One entry per full-duplex link.
+  struct Edge {
+    bool host_side = false;  // host <-> switch when true, else trunk
+    int host = -1;           // valid when host_side
+    int sw_a = -1;           // the switch (host links) or trunk endpoint a
+    int sw_b = -1;           // trunk endpoint b
+  };
+  std::vector<Edge> edges;
+};
+
+struct PartitionResult {
+  int shards = 1;                 // shard count actually used
+  int cut_links = 0;              // full-duplex links crossing shards
+  std::vector<int> host_shard;    // by host index
+  std::vector<int> switch_shard;  // by switch index
+};
+
+// Min-cut-ish greedy heuristic:
+//   1. Switches are placed in descending-degree order; each goes to the
+//      shard that cuts the fewest trunks to already-placed neighbours,
+//      breaking ties by switch load then shard index, under a
+//      ceil(switches/shards) balance cap.
+//   2. Hosts follow their ToR's shard (host links are usually the cheapest
+//      to keep local) under a ceil(hosts/shards) cap; overflow goes to the
+//      least host-loaded shard.
+PartitionResult partition_topology(const PartitionInput& input);
+
+}  // namespace acdc::exp

@@ -2,7 +2,18 @@
 
 #include <cassert>
 
+#include "exp/partition.h"
+#include "net/packet_pool.h"
+
 namespace acdc::exp {
+
+namespace {
+
+// Per-switch RNG substreams live far above the per-link fault-injector
+// streams (1..N), so adding links never collides with adding switches.
+constexpr std::uint64_t kSwitchRngStreamBase = 0x5357'0000'0000'0000ull;
+
+}  // namespace
 
 const char* to_string(Mode mode) {
   switch (mode) {
@@ -20,15 +31,17 @@ Scenario::Scenario(const ScenarioConfig& config)
     : config_(config), rng_(config.seed) {}
 
 host::Host* Scenario::add_host(const std::string& name) {
+  assert(shard_sims_.empty() && "topology is frozen after enable_parallel");
   host::HostConfig hc;
   hc.link_rate = config_.link_rate;
   hc.link_delay = config_.host_link_delay;
   const net::IpAddr ip = net::make_ip(10, 0, 0, next_host_id_++);
   hosts_.push_back(std::make_unique<host::Host>(&sim_, name, ip, hc));
   host::Host* raw = hosts_.back().get();
-  if (recorder_) {
-    raw->set_trace(recorder_.get());
-    raw->register_metrics(*metrics_);
+  host_index_.emplace(raw, static_cast<int>(hosts_.size()) - 1);
+  if (!shard_recorders_.empty()) {
+    raw->set_trace(shard_recorders_[0].get());
+    raw->register_metrics(*shard_metrics_[0]);
   }
   return raw;
 }
@@ -48,59 +61,238 @@ net::SwitchConfig Scenario::switch_config(const SwitchOptions& options) const {
 
 net::Switch* Scenario::add_switch(const std::string& name,
                                   const SwitchOptions& options) {
+  assert(shard_sims_.empty() && "topology is frozen after enable_parallel");
+  // Each switch draws (RED marking) from its own RNG substream: shards must
+  // not share mutable RNG state, and per-switch streams also keep draws
+  // independent of unrelated switches in serial runs.
+  const std::uint64_t stream =
+      kSwitchRngStreamBase + static_cast<std::uint64_t>(switches_.size());
+  switch_rngs_.push_back(std::make_unique<sim::Rng>(rng_.split(stream)));
   switches_.push_back(std::make_unique<net::Switch>(
-      &sim_, name, switch_config(options), &rng_));
+      &sim_, name, switch_config(options), switch_rngs_.back().get()));
   net::Switch* raw = switches_.back().get();
-  if (recorder_) {
-    raw->set_trace(recorder_.get());
-    raw->register_metrics(*metrics_);
+  switch_index_.emplace(raw, static_cast<int>(switches_.size()) - 1);
+  if (!shard_recorders_.empty()) {
+    raw->set_trace(shard_recorders_[0].get());
+    raw->register_metrics(*shard_metrics_[0]);
   }
   return raw;
 }
 
-net::PacketSink* Scenario::wrap_link(net::PacketSink* sink) {
+net::PacketSink* Scenario::wrap_link(net::PacketSink* sink,
+                                     net::FaultInjector*& injector) {
+  injector = nullptr;
   if (!config_.link_faults.any()) return sink;
   // Stream ids start at 1: stream 0 is reserved for future scenario-level
   // draws so adding links never collides with it.
   injectors_.push_back(std::make_unique<net::FaultInjector>(
       &sim_, rng_.split(injectors_.size() + 1), config_.link_faults));
   injectors_.back()->set_target(sink);
-  return injectors_.back().get();
+  injector = injectors_.back().get();
+  return injector;
 }
 
 void Scenario::attach(host::Host* h, net::Switch* sw) {
+  assert(shard_sims_.empty() && "topology is frozen after enable_parallel");
+  LinkRec rec{};
+  rec.host_side = true;
+  rec.host = host_index_.at(h);
+  rec.sw_a = switch_index_.at(sw);
+  rec.sw_b = -1;
+  rec.delay = config_.host_link_delay;
   // Host -> switch direction.
-  h->nic().tx_port().set_peer(wrap_link(sw));
+  rec.a_to_b = &h->nic().tx_port();
+  rec.head_a_to_b = wrap_link(sw, rec.inj_a_to_b);
+  rec.a_to_b->set_peer(rec.head_a_to_b);
   // Switch -> host direction.
-  net::Port* to_host =
-      sw->add_port(config_.link_rate, config_.host_link_delay);
-  to_host->set_peer(wrap_link(&h->nic()));
-  sw->add_route(h->ip(), to_host);
+  rec.b_to_a = sw->add_port(config_.link_rate, config_.host_link_delay);
+  rec.head_b_to_a = wrap_link(&h->nic(), rec.inj_b_to_a);
+  rec.b_to_a->set_peer(rec.head_b_to_a);
+  sw->add_route(h->ip(), rec.b_to_a);
+  links_.push_back(rec);
 }
 
 std::pair<net::Port*, net::Port*> Scenario::trunk(net::Switch* a,
-                                                  net::Switch* b) {
-  net::Port* ab = a->add_port(config_.link_rate, config_.switch_link_delay);
-  ab->set_peer(wrap_link(b));
-  net::Port* ba = b->add_port(config_.link_rate, config_.switch_link_delay);
-  ba->set_peer(wrap_link(a));
-  return {ab, ba};
+                                                  net::Switch* b,
+                                                  sim::Rate rate) {
+  assert(shard_sims_.empty() && "topology is frozen after enable_parallel");
+  const sim::Rate r = rate > 0 ? rate : config_.link_rate;
+  LinkRec rec{};
+  rec.host_side = false;
+  rec.host = -1;
+  rec.sw_a = switch_index_.at(a);
+  rec.sw_b = switch_index_.at(b);
+  rec.delay = config_.switch_link_delay;
+  rec.a_to_b = a->add_port(r, config_.switch_link_delay);
+  rec.head_a_to_b = wrap_link(b, rec.inj_a_to_b);
+  rec.a_to_b->set_peer(rec.head_a_to_b);
+  rec.b_to_a = b->add_port(r, config_.switch_link_delay);
+  rec.head_b_to_a = wrap_link(a, rec.inj_b_to_a);
+  rec.b_to_a->set_peer(rec.head_b_to_a);
+  links_.push_back(rec);
+  return {rec.a_to_b, rec.b_to_a};
+}
+
+int Scenario::link_shard(const LinkRec& link, bool a_side) const {
+  if (a_side) {
+    return link.host_side
+               ? report_.host_shard[static_cast<std::size_t>(link.host)]
+               : report_.switch_shard[static_cast<std::size_t>(link.sw_a)];
+  }
+  return link.host_side
+             ? report_.switch_shard[static_cast<std::size_t>(link.sw_a)]
+             : report_.switch_shard[static_cast<std::size_t>(link.sw_b)];
+}
+
+sim::par::Mailbox* Scenario::mailbox_for(int src_shard, int dst_shard) {
+  for (const auto& mb : mailboxes_) {
+    if (mb->src_shard() == src_shard && mb->dst_shard() == dst_shard) {
+      return mb.get();
+    }
+  }
+  mailboxes_.push_back(
+      std::make_unique<sim::par::Mailbox>(src_shard, dst_shard));
+  return mailboxes_.back().get();
+}
+
+PartitionReport Scenario::enable_parallel(int shards, int threads) {
+  assert(executor_ == nullptr && shard_sims_.empty() &&
+         "enable_parallel may only be called once");
+  assert(shard_recorders_.empty() &&
+         "call enable_parallel before enable_tracing");
+  assert(filters_.empty() && bulk_apps_.empty() && echo_apps_.empty() &&
+         message_apps_.empty() &&
+         "call enable_parallel before vSwitches/shapers/apps");
+
+  report_ = PartitionReport{};
+  report_.host_shard.assign(hosts_.size(), 0);
+  report_.switch_shard.assign(switches_.size(), 0);
+  if (shards <= 1 || threads <= 0) {
+    report_.fallback_reason = "fewer than two shards requested";
+    return report_;
+  }
+
+  PartitionInput in;
+  in.hosts = static_cast<int>(hosts_.size());
+  in.switches = static_cast<int>(switches_.size());
+  in.shards = shards;
+  for (const LinkRec& l : links_) {
+    in.edges.push_back({l.host_side, l.host, l.sw_a, l.sw_b});
+  }
+  const PartitionResult pr = partition_topology(in);
+  report_.host_shard = pr.host_shard;
+  report_.switch_shard = pr.switch_shard;
+  report_.cut_links = pr.cut_links;
+
+  if (pr.cut_links == 0) {
+    report_.fallback_reason = "partition left no cut links";
+    return report_;
+  }
+  sim::Time lookahead = sim::kNoTime;
+  for (const LinkRec& l : links_) {
+    if (link_shard(l, true) == link_shard(l, false)) continue;
+    if (lookahead == sim::kNoTime || l.delay < lookahead) lookahead = l.delay;
+  }
+  if (lookahead <= 0) {
+    report_.fallback_reason = "zero lookahead on a cut link";
+    return report_;
+  }
+
+  // Commit: per-shard simulators, component re-homing, mailbox rewiring.
+  shard_sims_.reserve(static_cast<std::size_t>(pr.shards));
+  for (int s = 0; s < pr.shards; ++s) {
+    shard_sims_.push_back(std::make_unique<sim::Simulator>());
+  }
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    hosts_[i]->rebind_simulator(shard_sims_[static_cast<std::size_t>(
+        report_.host_shard[i])].get());
+  }
+  for (std::size_t j = 0; j < switches_.size(); ++j) {
+    switches_[j]->rebind_simulator(shard_sims_[static_cast<std::size_t>(
+        report_.switch_shard[j])].get());
+  }
+  for (const LinkRec& l : links_) {
+    const int sa = link_shard(l, true);
+    const int sb = link_shard(l, false);
+    // A FaultInjector is the delivery head of its direction, so it runs —
+    // and schedules its reorder timers — on the destination shard.
+    if (l.inj_a_to_b != nullptr) {
+      l.inj_a_to_b->rebind_simulator(
+          shard_sims_[static_cast<std::size_t>(sb)].get());
+    }
+    if (l.inj_b_to_a != nullptr) {
+      l.inj_b_to_a->rebind_simulator(
+          shard_sims_[static_cast<std::size_t>(sa)].get());
+    }
+    if (sa == sb) continue;
+    mailbox_peers_.push_back(std::make_unique<net::MailboxPeer>(
+        mailbox_for(sa, sb), l.head_a_to_b));
+    l.a_to_b->set_remote_peer(mailbox_peers_.back().get());
+    mailbox_peers_.push_back(std::make_unique<net::MailboxPeer>(
+        mailbox_for(sb, sa), l.head_b_to_a));
+    l.b_to_a->set_remote_peer(mailbox_peers_.back().get());
+  }
+
+  sim::par::ParallelExecutor::Config cfg;
+  for (const auto& s : shard_sims_) cfg.shards.push_back(s.get());
+  for (const auto& mb : mailboxes_) cfg.mailboxes.push_back(mb.get());
+  cfg.lookahead = lookahead;
+  cfg.threads = threads;
+  executor_ = std::make_unique<sim::par::ParallelExecutor>(std::move(cfg));
+
+  report_.parallel = true;
+  report_.shards = pr.shards;
+  report_.threads = executor_->threads();
+  report_.lookahead = lookahead;
+  return report_;
+}
+
+sim::Simulator* Scenario::sim_for(host::Host* h) {
+  if (shard_sims_.empty()) return &sim_;
+  return shard_sims_[static_cast<std::size_t>(shard_of(h))].get();
+}
+
+int Scenario::shard_of(host::Host* h) const {
+  if (shard_sims_.empty()) return 0;
+  return report_.host_shard[static_cast<std::size_t>(host_index_.at(h))];
+}
+
+sim::Time Scenario::now() const {
+  return shard_sims_.empty() ? sim_.now() : shard_sims_[0]->now();
+}
+
+std::uint64_t Scenario::executed_events() const {
+  if (shard_sims_.empty()) return sim_.executed_events();
+  std::uint64_t total = 0;
+  for (const auto& s : shard_sims_) total += s->executed_events();
+  return total;
+}
+
+void Scenario::run_until(sim::Time t) {
+  if (executor_ != nullptr) {
+    executor_->run_until(t);
+  } else {
+    sim_.run_until(t);
+  }
 }
 
 vswitch::AcdcVswitch* Scenario::attach_acdc(
     host::Host* h, const vswitch::AcdcConfig& config) {
   vswitch::AcdcConfig cfg = config;
   if (cfg.mtu_bytes == 9000) cfg.mtu_bytes = config_.mtu_bytes;
-  auto vs = std::make_unique<vswitch::AcdcVswitch>(&sim_, cfg);
+  auto vs = std::make_unique<vswitch::AcdcVswitch>(sim_for(h), cfg);
   vswitch::AcdcVswitch* raw = vs.get();
   filters_.push_back(std::move(vs));
   h->add_filter(raw);
   const std::string name = "acdc." + h->name();
   acdc_filters_.emplace_back(raw, name);
-  if (recorder_) {
-    raw->attach_observability(
-        {.recorder = recorder_.get(), .metrics = metrics_.get(),
-         .name = name});
+  if (!shard_recorders_.empty()) {
+    const std::size_t s = static_cast<std::size_t>(shard_of(h));
+    vswitch::AcdcVswitch::ObsHooks hooks;
+    hooks.recorder = shard_recorders_[s].get();
+    hooks.metrics = shard_metrics_[s].get();
+    hooks.name = name;
+    raw->attach_observability(hooks);
   }
   return raw;
 }
@@ -109,7 +301,7 @@ net::TokenBucketShaper* Scenario::attach_shaper(
     host::Host* h, sim::Rate rate, std::int64_t burst_bytes,
     std::int64_t backlog_limit_bytes) {
   auto shaper = std::make_unique<net::TokenBucketShaper>(
-      &sim_, rate, burst_bytes, backlog_limit_bytes);
+      sim_for(h), rate, burst_bytes, backlog_limit_bytes);
   net::TokenBucketShaper* raw = shaper.get();
   filters_.push_back(std::move(shaper));
   h->add_filter(raw);
@@ -136,16 +328,19 @@ host::BulkApp* Scenario::add_bulk_flow(host::Host* sender,
                                        std::int64_t total_bytes) {
   tcp::TcpConfig receiver_cfg = cfg;
   bulk_apps_.push_back(std::make_unique<host::BulkApp>(
-      &sim_, sender, receiver, next_port_++, cfg, receiver_cfg, start,
-      total_bytes));
+      sim_for(sender), sender, receiver, next_port_++, cfg, receiver_cfg,
+      start, total_bytes, sim_for(receiver)));
   return bulk_apps_.back().get();
 }
 
 host::EchoApp* Scenario::add_rtt_probe(host::Host* client, host::Host* server,
                                        const tcp::TcpConfig& cfg,
                                        sim::Time start, sim::Time interval) {
+  // The app's timers and RTT bookkeeping all run client-side; the echo
+  // logic lives in the server host's own connection callbacks.
   echo_apps_.push_back(std::make_unique<host::EchoApp>(
-      &sim_, client, server, next_port_++, cfg, cfg, start, interval));
+      sim_for(client), client, server, next_port_++, cfg, cfg, start,
+      interval));
   return echo_apps_.back().get();
 }
 
@@ -157,8 +352,8 @@ host::MessageApp* Scenario::add_message_app(host::Host* sender,
                                             std::int64_t bytes,
                                             stats::FctCollector* collector) {
   message_apps_.push_back(std::make_unique<host::MessageApp>(
-      &sim_, sender, receiver, next_port_++, cfg, cfg, start, interval, bytes,
-      collector));
+      sim_for(sender), sender, receiver, next_port_++, cfg, cfg, start,
+      interval, bytes, collector));
   return message_apps_.back().get();
 }
 
@@ -183,28 +378,64 @@ net::QueueStats Scenario::fabric_stats() const {
 
 obs::FlightRecorder& Scenario::enable_tracing(std::size_t ring_capacity,
                                               sim::Time metrics_interval) {
-  if (!recorder_) {
-    recorder_ = std::make_unique<obs::FlightRecorder>(ring_capacity);
-    metrics_ = std::make_unique<obs::MetricsRegistry>();
-    for (const auto& h : hosts_) {
-      h->set_trace(recorder_.get());
-      h->register_metrics(*metrics_);
+  if (shard_recorders_.empty()) {
+    const std::size_t shard_count =
+        shard_sims_.empty() ? 1 : shard_sims_.size();
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      shard_recorders_.push_back(
+          std::make_unique<obs::FlightRecorder>(ring_capacity));
+      shard_metrics_.push_back(std::make_unique<obs::MetricsRegistry>());
+      // Sampled on the shard's worker thread, so the gauges report that
+      // thread's (= that shard's) packet pool.
+      net::PacketPool::register_metrics(*shard_metrics_.back());
     }
-    for (const auto& sw : switches_) {
-      sw->set_trace(recorder_.get());
-      sw->register_metrics(*metrics_);
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      const std::size_t s = shard_sims_.empty()
+                                ? 0
+                                : static_cast<std::size_t>(
+                                      report_.host_shard[i]);
+      hosts_[i]->set_trace(shard_recorders_[s].get());
+      hosts_[i]->register_metrics(*shard_metrics_[s]);
     }
+    for (std::size_t j = 0; j < switches_.size(); ++j) {
+      const std::size_t s = shard_sims_.empty()
+                                ? 0
+                                : static_cast<std::size_t>(
+                                      report_.switch_shard[j]);
+      switches_[j]->set_trace(shard_recorders_[s].get());
+      switches_[j]->register_metrics(*shard_metrics_[s]);
+    }
+    // vSwitches only exist before enable_parallel in serial scenarios
+    // (enable_parallel asserts no filters), so shard 0 is always right.
     for (const auto& [vs, name] : acdc_filters_) {
-      vs->attach_observability(
-          {.recorder = recorder_.get(), .metrics = metrics_.get(),
-           .name = name});
+      vswitch::AcdcVswitch::ObsHooks hooks;
+      hooks.recorder = shard_recorders_[0].get();
+      hooks.metrics = shard_metrics_[0].get();
+      hooks.name = name;
+      vs->attach_observability(hooks);
     }
     if (metrics_interval > 0) {
-      metrics_->schedule_sampling(&sim_, metrics_interval);
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        sim::Simulator* sim =
+            shard_sims_.empty() ? &sim_ : shard_sims_[s].get();
+        shard_metrics_[s]->schedule_sampling(sim, metrics_interval);
+      }
     }
   }
-  recorder_->set_enabled(true);
-  return *recorder_;
+  for (const auto& rec : shard_recorders_) rec->set_enabled(true);
+  return *shard_recorders_[0];
+}
+
+std::vector<obs::FlightRecorder*> Scenario::recorders() {
+  std::vector<obs::FlightRecorder*> out;
+  for (const auto& rec : shard_recorders_) out.push_back(rec.get());
+  return out;
+}
+
+std::vector<obs::MetricsRegistry*> Scenario::metrics_registries() {
+  std::vector<obs::MetricsRegistry*> out;
+  for (const auto& reg : shard_metrics_) out.push_back(reg.get());
+  return out;
 }
 
 }  // namespace acdc::exp

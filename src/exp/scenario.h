@@ -2,12 +2,19 @@
 // owns the simulator, RNG, hosts, switches, datapath filters and apps, and
 // provides the paper's standard configurations (10G links, 9MB shared
 // switch buffers, WRED/ECN marking thresholds, RTOmin = 10ms).
+//
+// A scenario can optionally run on the sharded parallel engine: after the
+// topology is built, enable_parallel() partitions hosts and switches into
+// shards, gives each shard a private Simulator, rewires cross-shard links
+// through SPSC mailboxes and routes run_until() through the conservative
+// ParallelExecutor. Same seed, same results on 1 or N threads.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "acdc/vswitch.h"
@@ -16,10 +23,12 @@
 #include "host/echo_app.h"
 #include "host/host.h"
 #include "host/message_app.h"
+#include "net/shard_link.h"
 #include "net/switch.h"
 #include "net/token_bucket.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "sim/parallel/executor.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
@@ -62,6 +71,19 @@ struct ScenarioConfig {
   }
 };
 
+// Outcome of enable_parallel(): either the executor is live (parallel ==
+// true) or the scenario stays on the serial engine, with the reason.
+struct PartitionReport {
+  bool parallel = false;
+  int shards = 1;   // effective shard count (1 when serial)
+  int threads = 1;  // worker threads actually used
+  int cut_links = 0;
+  sim::Time lookahead = 0;       // min propagation delay over cut links
+  std::string fallback_reason;   // set when parallel == false
+  std::vector<int> host_shard;   // by host creation index
+  std::vector<int> switch_shard; // by switch creation index
+};
+
 class Scenario {
  public:
   explicit Scenario(const ScenarioConfig& config);
@@ -88,7 +110,29 @@ class Scenario {
   void attach(host::Host* h, net::Switch* sw);
   // Full-duplex switch <-> switch trunk; returns the two unidirectional
   // egress ports (a->b, b->a) so callers can install routes/inspect queues.
-  std::pair<net::Port*, net::Port*> trunk(net::Switch* a, net::Switch* b);
+  // rate == 0 inherits ScenarioConfig::link_rate.
+  std::pair<net::Port*, net::Port*> trunk(net::Switch* a, net::Switch* b,
+                                          sim::Rate rate = 0);
+
+  // ---- Parallel execution ----
+  // Partitions the topology into `shards` shards (exp/partition.h) and runs
+  // subsequent run_until() calls on up to `threads` worker threads. Must be
+  // called after the topology is built (add_host/attach/trunk) and before
+  // tracing, vSwitches, shapers or apps exist — those bind to shard
+  // simulators. Falls back to the serial engine (report.parallel == false)
+  // when the partition yields no cut links or zero lookahead.
+  PartitionReport enable_parallel(int shards, int threads);
+  const PartitionReport& partition() const { return report_; }
+  sim::par::ParallelExecutor* executor() { return executor_.get(); }
+
+  // The simulator that owns `h`'s events: a shard simulator when
+  // partitioned, the scenario-wide one otherwise.
+  sim::Simulator* sim_for(host::Host* h);
+  int shard_of(host::Host* h) const;
+  // Current simulation time (shard clocks agree at run_until boundaries).
+  sim::Time now() const;
+  // Executed events summed across shards (or the serial simulator's count).
+  std::uint64_t executed_events() const;
 
   // ---- Datapath ----
   vswitch::AcdcVswitch* attach_acdc(host::Host* h,
@@ -117,7 +161,7 @@ class Scenario {
     return bulk_apps_;
   }
 
-  void run_until(sim::Time t) { sim_.run_until(t); }
+  void run_until(sim::Time t);
 
   // Aggregate switch queue statistics across all switches.
   net::QueueStats fabric_stats() const;
@@ -134,34 +178,83 @@ class Scenario {
   // Turns on the flight recorder + metrics registry and wires them into
   // every host, switch and AC/DC vSwitch — both already-created and
   // future ones. Idempotent; a metrics_interval of 0 disables periodic
-  // snapshots (metrics can still be sampled manually).
+  // snapshots (metrics can still be sampled manually). On a partitioned
+  // scenario each shard gets its own recorder/registry (trace rings are
+  // single-writer); the return value and recorder()/metrics() refer to
+  // shard 0, recorders()/metrics_registries() expose them all.
   obs::FlightRecorder& enable_tracing(
       std::size_t ring_capacity = std::size_t{1} << 16,
       sim::Time metrics_interval = sim::milliseconds(1));
-  obs::FlightRecorder* recorder() { return recorder_.get(); }
-  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  obs::FlightRecorder* recorder() {
+    return shard_recorders_.empty() ? nullptr : shard_recorders_[0].get();
+  }
+  obs::MetricsRegistry* metrics() {
+    return shard_metrics_.empty() ? nullptr : shard_metrics_[0].get();
+  }
+  std::vector<obs::FlightRecorder*> recorders();
+  std::vector<obs::MetricsRegistry*> metrics_registries();
 
  private:
   net::SwitchConfig switch_config(const SwitchOptions& options) const;
   // Interposes a FaultInjector in front of `sink` when link faults are
-  // configured; otherwise returns `sink` unchanged.
-  net::PacketSink* wrap_link(net::PacketSink* sink);
+  // configured; otherwise returns `sink` unchanged. `injector` reports the
+  // interposed injector (nullptr when none).
+  net::PacketSink* wrap_link(net::PacketSink* sink,
+                             net::FaultInjector*& injector);
+
+  // One full-duplex link, recorded so enable_parallel can partition the
+  // topology and rewire cut links through mailboxes.
+  struct LinkRec {
+    bool host_side;  // host <-> switch when true, else switch trunk
+    int host;        // host index (host_side only)
+    int sw_a;        // the switch (host links) or trunk endpoint a
+    int sw_b;        // trunk endpoint b (-1 for host links)
+    net::Port* a_to_b;             // egress port on the a side
+    net::Port* b_to_a;             // egress port on the b side
+    net::PacketSink* head_a_to_b;  // delivery head on the b side
+    net::PacketSink* head_b_to_a;  // delivery head on the a side
+    net::FaultInjector* inj_a_to_b;
+    net::FaultInjector* inj_b_to_a;
+    sim::Time delay;
+  };
+
+  sim::par::Mailbox* mailbox_for(int src_shard, int dst_shard);
+  int link_shard(const LinkRec& link, bool a_side) const;
 
   ScenarioConfig config_;
   sim::Simulator sim_;
   sim::Rng rng_;
+
+  // ---- Topology record + parallel engine ----
+  // Declared before every component container: hosts, apps, injectors and
+  // vSwitches cancel timers on their bound shard simulator in their
+  // destructors, so the shard simulators (and the mailboxes their pending
+  // events reference) must be destroyed after them — i.e. declared first.
+  std::vector<LinkRec> links_;
+  std::unordered_map<const host::Host*, int> host_index_;
+  std::unordered_map<const net::Switch*, int> switch_index_;
+  PartitionReport report_;
+  std::vector<std::unique_ptr<sim::Simulator>> shard_sims_;
+  std::vector<std::unique_ptr<sim::par::Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<net::MailboxPeer>> mailbox_peers_;
+
   std::vector<std::unique_ptr<host::Host>> hosts_;
+  std::vector<std::unique_ptr<sim::Rng>> switch_rngs_;
   std::vector<std::unique_ptr<net::Switch>> switches_;
   std::vector<std::unique_ptr<net::DuplexFilter>> filters_;
   std::vector<std::unique_ptr<net::FaultInjector>> injectors_;
   std::vector<std::pair<vswitch::AcdcVswitch*, std::string>> acdc_filters_;
-  std::unique_ptr<obs::FlightRecorder> recorder_;
-  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::vector<std::unique_ptr<obs::FlightRecorder>> shard_recorders_;
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> shard_metrics_;
   std::vector<std::unique_ptr<host::BulkApp>> bulk_apps_;
   std::vector<std::unique_ptr<host::EchoApp>> echo_apps_;
   std::vector<std::unique_ptr<host::MessageApp>> message_apps_;
   net::TcpPort next_port_ = 5000;
   std::uint8_t next_host_id_ = 1;
+
+  // Declared last so it is destroyed first: the executor joins its worker
+  // threads before anything they touch goes away.
+  std::unique_ptr<sim::par::ParallelExecutor> executor_;
 };
 
 }  // namespace acdc::exp

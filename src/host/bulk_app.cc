@@ -7,20 +7,24 @@ namespace acdc::host {
 BulkApp::BulkApp(sim::Simulator* sim, Host* sender, Host* receiver,
                  net::TcpPort port, tcp::TcpConfig sender_config,
                  tcp::TcpConfig receiver_config, sim::Time start_time,
-                 std::int64_t total_bytes)
+                 std::int64_t total_bytes, sim::Simulator* receiver_sim)
     : sim_(sim),
+      receiver_sim_(receiver_sim != nullptr ? receiver_sim : sim),
       sender_(sender),
       receiver_(receiver),
       port_(port),
       sender_config_(std::move(sender_config)),
       total_bytes_(total_bytes),
       start_time_(start_time) {
+  // Delivery accounting runs on the receiver's shard; it must read that
+  // shard's clock.
   receiver_->listen(port_, receiver_config,
                     [this](tcp::TcpConnection* conn) {
                       server_conn_ = conn;
                       conn->on_deliver = [this](std::int64_t total) {
-                        deliveries_.add(sim_->now(), static_cast<double>(
-                                                         total - last_delivered_));
+                        deliveries_.add(receiver_sim_->now(),
+                                        static_cast<double>(
+                                            total - last_delivered_));
                         last_delivered_ = total;
                       };
                     });

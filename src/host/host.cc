@@ -123,6 +123,13 @@ void Host::receive(net::PacketPtr packet) {
   ++demux_misses_;
 }
 
+void Host::rebind_simulator(sim::Simulator* sim) {
+  assert(connections_.empty() &&
+         "partition the scenario before opening connections");
+  sim_ = sim;
+  nic_.rebind_simulator(sim);
+}
+
 void Host::set_trace(obs::FlightRecorder* recorder) {
   trace_ = recorder;
   nic_.set_trace(recorder);

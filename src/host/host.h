@@ -64,6 +64,10 @@ class Host : public net::PacketSink {
   }
   std::int64_t demux_misses() const { return demux_misses_; }
 
+  // Re-homes the host (NIC, future connections and app timers) onto a
+  // shard's simulator. Partitioning happens before any connection exists.
+  void rebind_simulator(sim::Simulator* sim);
+
   // Wires the flight recorder into the NIC and into every connection —
   // existing and future (each gets its own "<host>.tcp:<port>" source).
   void set_trace(obs::FlightRecorder* recorder);

@@ -11,6 +11,7 @@
 // traffic, not just hand-built packets.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 
 #include "net/packet.h"
@@ -62,6 +63,13 @@ class FaultInjector : public PacketSink {
 
   void set_target(PacketSink* target) { target_ = target; }
   PacketSink* target() const { return target_; }
+
+  // Re-homes the injector onto a shard's simulator (it runs on the delivery
+  // side of its link). Only legal before traffic: no packet may be held.
+  void rebind_simulator(sim::Simulator* sim) {
+    assert(held_ == nullptr && hold_timer_ == sim::kInvalidEventId);
+    sim_ = sim;
+  }
 
   void receive(PacketPtr packet) override;
 

@@ -30,6 +30,9 @@ class Nic : public PacketSink {
   std::int64_t received_packets() const { return received_packets_; }
   std::int64_t received_bytes() const { return received_bytes_; }
 
+  // Re-homes the NIC (and its TX port) onto a shard's simulator.
+  void rebind_simulator(sim::Simulator* sim) { tx_port_.rebind_simulator(sim); }
+
   // Flight-recorder / metrics wiring (covers the TX port and its queue).
   void set_trace(obs::FlightRecorder* recorder) { tx_port_.set_trace(recorder); }
   void register_metrics(obs::MetricsRegistry& registry,

@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+
+#include "obs/metrics.h"
 
 #if defined(__SANITIZE_ADDRESS__)
 #define ACDC_ASAN 1
@@ -45,14 +48,40 @@ PacketPool::PacketPool() {
   }
 }
 
+namespace {
+
+// All pools ever created, kept reachable forever: pools are thread-local
+// but intentionally leaked, and LeakSanitizer only stays quiet if a root
+// still points at them after their threads exit. The vector itself is
+// leaked too so static destruction cannot drop the root.
+std::mutex& pool_registry_mutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+std::vector<PacketPool*>& pool_registry() {
+  static std::vector<PacketPool*>* pools = new std::vector<PacketPool*>();
+  return *pools;
+}
+
+}  // namespace
+
 PacketPool& PacketPool::instance() {
-  // Leaked on purpose: the freelist stays reachable (so LeakSanitizer is
-  // quiet) and a release during static destruction cannot touch a dead pool.
-  static PacketPool* pool = new PacketPool();
+  // One pool per thread: each simulator shard worker gets a private,
+  // lock-free freelist. Leaked on purpose (see pool_registry) so a release
+  // during static destruction cannot touch a dead pool.
+  thread_local PacketPool* pool = [] {
+    auto* p = new PacketPool();
+    std::lock_guard<std::mutex> lock(pool_registry_mutex());
+    pool_registry().push_back(p);
+    return p;
+  }();
   return *pool;
 }
 
 Packet* PacketPool::acquire() {
+  ++live_;
+  if (live_ > hwm_) hwm_ = live_;
   if (!freelist_.empty()) {
     Packet* p = freelist_.back();
     freelist_.pop_back();
@@ -66,6 +95,7 @@ Packet* PacketPool::acquire() {
 
 void PacketPool::release(Packet* p) noexcept {
   if (p == nullptr) return;
+  --live_;
   if (!enabled_ || freelist_.size() >= kMaxPooled) {
     ++stats_.deletes;
     delete p;
@@ -83,6 +113,20 @@ void PacketPool::trim() noexcept {
     delete p;
   }
   freelist_.clear();
+}
+
+void PacketPool::register_metrics(obs::MetricsRegistry& registry) {
+  // Gauges resolve instance() at sample time, so a registry sampled on a
+  // shard's worker thread reports that shard's pool.
+  registry.register_gauge("net.pool_free", [] {
+    return static_cast<double>(PacketPool::instance().free_count());
+  });
+  registry.register_gauge("net.pool_live", [] {
+    return static_cast<double>(PacketPool::instance().live());
+  });
+  registry.register_gauge("net.pool_hwm", [] {
+    return static_cast<double>(PacketPool::instance().live_high_water());
+  });
 }
 
 void PacketDeleter::operator()(Packet* p) const noexcept {

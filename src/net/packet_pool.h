@@ -1,8 +1,11 @@
 // Packet freelist: steady-state forwarding recycles Packet objects instead
-// of hitting operator new/delete once per packet. Single-threaded by design
-// (the simulator is single-threaded); the pool is a process-wide,
-// intentionally-leaked singleton so destruction order can never invalidate a
-// late-released packet.
+// of hitting operator new/delete once per packet. The pool is thread-local
+// so every simulator shard (one worker thread each, see sim/parallel) owns
+// a private freelist and the datapath hot path stays lock-free; a packet
+// that crosses shards via a mailbox is simply recycled into the receiving
+// thread's pool. Pools are intentionally leaked and kept reachable through
+// a process-wide registry, so destruction order can never invalidate a late
+// release and LeakSanitizer stays quiet.
 //
 // Debuggability:
 //  - ACDC_PACKET_POOL=0 (or "off") disables recycling entirely — every
@@ -18,6 +21,10 @@
 
 #include "net/packet.h"
 
+namespace acdc::obs {
+class MetricsRegistry;
+}
+
 namespace acdc::net {
 
 class PacketPool {
@@ -29,6 +36,7 @@ class PacketPool {
     std::int64_t deletes = 0;       // pool disabled or freelist at cap
   };
 
+  // The calling thread's pool (created and registered on first use).
   static PacketPool& instance();
 
   // Returns a default-state Packet (fields reset, grown option storage
@@ -40,18 +48,32 @@ class PacketPool {
   std::size_t free_count() const { return freelist_.size(); }
   bool enabled() const { return enabled_; }
 
+  // Packets this pool has handed out minus packets returned to it. Negative
+  // on a thread that mostly frees packets born on other shards; the sum
+  // over all pools is the process-wide in-flight packet count.
+  std::int64_t live() const { return live_; }
+  std::int64_t live_high_water() const { return hwm_; }
+
   // Frees every pooled packet (test isolation between measurements).
   void trim() noexcept;
 
+  // Registers `net.pool_free`, `net.pool_live` and `net.pool_hwm` gauges
+  // that read the pool of whichever thread samples the registry — with
+  // per-shard registries sampled on their own worker threads, each registry
+  // reports its shard's pool.
+  static void register_metrics(obs::MetricsRegistry& registry);
+
  private:
   PacketPool();
-  ~PacketPool() = delete;  // leaked singleton
+  ~PacketPool() = delete;  // leaked, reachable via the registry
 
   // Bounds pool memory under pathological churn; past this, release deletes.
   static constexpr std::size_t kMaxPooled = 1 << 16;
 
   std::vector<Packet*> freelist_;
   Stats stats_;
+  std::int64_t live_ = 0;
+  std::int64_t hwm_ = 0;
   bool enabled_ = true;
 };
 

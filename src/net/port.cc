@@ -53,16 +53,23 @@ void Port::start_transmission() {
   ++transmitted_packets_;
   transmitted_bytes_ += packet->wire_bytes();
 
-  // Deliver at tx + propagation; free the transmitter at tx.
-  PacketSink* peer = peer_;
-  Packet* raw = packet.release();
-  sim_->schedule(tx + propagation_delay_, [peer, raw] {
-    if (peer != nullptr) {
-      peer->receive(PacketPtr(raw));
-    } else {
-      delete raw;
-    }
-  });
+  // Deliver at tx + propagation; free the transmitter at tx. A remote peer
+  // (cross-shard link) takes the delivery time with the packet instead of a
+  // local event.
+  if (remote_peer_ != nullptr) {
+    remote_peer_->deliver(packet.release(),
+                          sim_->now() + tx + propagation_delay_);
+  } else {
+    PacketSink* peer = peer_;
+    Packet* raw = packet.release();
+    sim_->schedule(tx + propagation_delay_, [peer, raw] {
+      if (peer != nullptr) {
+        peer->receive(PacketPtr(raw));
+      } else {
+        delete raw;
+      }
+    });
+  }
   sim_->schedule(tx, [this] { start_transmission(); });
   if (on_drain_) on_drain_();
 }

@@ -3,6 +3,7 @@
 // Full-duplex links are a pair of Ports, one per direction.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -14,12 +15,31 @@
 
 namespace acdc::net {
 
+// Boundary for links that leave this simulator shard: instead of scheduling
+// the delivery locally, the transmitting Port hands the raw packet plus its
+// absolute delivery time to the RemotePeer (a cross-shard mailbox adapter,
+// see net/shard_link.h). Ownership of the packet transfers on deliver().
+class RemotePeer {
+ public:
+  virtual ~RemotePeer() = default;
+  virtual void deliver(Packet* packet, sim::Time at) = 0;
+};
+
 class Port : public PacketSink {
  public:
   Port(sim::Simulator* sim, std::string name, sim::Rate rate,
        sim::Time propagation_delay, std::unique_ptr<Queue> queue);
 
   void set_peer(PacketSink* peer) { peer_ = peer; }
+  // Routes deliveries through a cross-shard mailbox instead of `peer`;
+  // nullptr restores local delivery.
+  void set_remote_peer(RemotePeer* remote) { remote_peer_ = remote; }
+  // Re-homes the port onto a shard's simulator. Only legal while idle (no
+  // transmission in progress), i.e. during partitioning before any traffic.
+  void rebind_simulator(sim::Simulator* sim) {
+    assert(!transmitting_);
+    sim_ = sim;
+  }
 
   // Queues the packet for transmission (may drop per the queue's policy).
   void receive(PacketPtr packet) override { send(std::move(packet)); }
@@ -56,6 +76,7 @@ class Port : public PacketSink {
   sim::Time propagation_delay_;
   std::unique_ptr<Queue> queue_;
   PacketSink* peer_ = nullptr;
+  RemotePeer* remote_peer_ = nullptr;
   std::function<void()> on_drain_;
   obs::FlightRecorder* trace_ = nullptr;
   std::uint32_t trace_source_ = 0;

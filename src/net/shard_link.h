@@ -1,0 +1,38 @@
+// Bridges a Port whose peer lives on another simulator shard to the
+// parallel executor's mailbox fabric. The transmitting shard's Port calls
+// MailboxPeer::deliver (producer side, own thread); the executor later
+// replays the message on the destination shard, where the trampoline
+// reconstructs the PacketPtr and feeds the real sink — an ingress
+// FaultInjector, a Switch, or a host NIC.
+#pragma once
+
+#include "net/packet.h"
+#include "net/port.h"
+#include "sim/parallel/spsc_mailbox.h"
+
+namespace acdc::net {
+
+class MailboxPeer : public RemotePeer {
+ public:
+  MailboxPeer(sim::par::Mailbox* mailbox, PacketSink* sink)
+      : mailbox_(mailbox), sink_(sink) {}
+
+  void deliver(Packet* packet, sim::Time at) override {
+    mailbox_->send(at, &deliver_packet, &dispose_packet, sink_, packet);
+  }
+
+ private:
+  static void deliver_packet(void* ctx, void* payload) {
+    static_cast<PacketSink*>(ctx)->receive(
+        PacketPtr(static_cast<Packet*>(payload)));
+  }
+  static void dispose_packet(void* /*ctx*/, void* payload) {
+    // Undelivered at teardown: recycle through the destroying thread's pool.
+    PacketPtr reclaim(static_cast<Packet*>(payload));
+  }
+
+  sim::par::Mailbox* mailbox_;
+  PacketSink* sink_;
+};
+
+}  // namespace acdc::net

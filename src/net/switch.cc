@@ -37,6 +37,11 @@ Port* Switch::add_port(sim::Rate rate, sim::Time propagation_delay) {
   return ports_.back().get();
 }
 
+void Switch::rebind_simulator(sim::Simulator* sim) {
+  sim_ = sim;
+  for (const auto& port : ports_) port->rebind_simulator(sim);
+}
+
 void Switch::set_trace(obs::FlightRecorder* recorder) {
   trace_ = recorder;
   for (const auto& port : ports_) port->set_trace(recorder);

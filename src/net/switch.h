@@ -61,6 +61,10 @@ class Switch : public PacketSink {
   std::int64_t routing_failures() const { return routing_failures_; }
   const std::vector<std::unique_ptr<Port>>& ports() const { return ports_; }
 
+  // Re-homes the switch and all of its ports onto a shard's simulator
+  // (partitioning happens before traffic, so every port is idle).
+  void rebind_simulator(sim::Simulator* sim);
+
   // Flight-recorder wiring for every existing and future port queue.
   void set_trace(obs::FlightRecorder* recorder);
   // `<name>.*` per-port counters plus shared-buffer pool usage.

@@ -1,0 +1,70 @@
+// Sense-reversing spin barrier for the epoch protocol. Epochs are short
+// (often a handful of events per shard), so a futex/condvar barrier would
+// dominate the run; this one is a single cache line of shared state and
+// costs two atomic RMWs per thread per phase when cores are available.
+// When the machine is oversubscribed (more workers than cores) arrivals
+// degrade to sched_yield so a descheduled straggler is not spun against.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sched.h>
+#endif
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace acdc::sim::par {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int participants)
+      : participants_(static_cast<std::uint32_t>(participants)) {}
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  // Blocks until all participants arrive. Release/acquire on the phase word
+  // makes every write before arrive_and_wait() on one thread visible after
+  // it returns on every other thread.
+  void arrive_and_wait() {
+    const std::uint32_t phase = phase_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        participants_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      phase_.store(phase + 1, std::memory_order_release);
+      return;
+    }
+    int spins = 0;
+    while (phase_.load(std::memory_order_acquire) == phase) {
+      if (++spins < kSpinLimit) {
+        cpu_relax();
+      } else {
+#if defined(__unix__) || defined(__APPLE__)
+        sched_yield();
+#endif
+      }
+    }
+  }
+
+ private:
+  // Low on purpose: with fewer cores than workers, spinning only delays the
+  // thread whose arrival everyone is waiting for.
+  static constexpr int kSpinLimit = 256;
+
+  const std::uint32_t participants_;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<std::uint32_t> phase_{0};
+};
+
+}  // namespace acdc::sim::par

@@ -1,0 +1,169 @@
+#include "sim/parallel/executor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace acdc::sim::par {
+
+namespace {
+
+// min over the kNoTime-means-empty domain.
+Time merge_min(Time a, Time b) {
+  if (a == kNoTime) return b;
+  if (b == kNoTime) return a;
+  return a < b ? a : b;
+}
+
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(Config config)
+    : shards_(std::move(config.shards)),
+      mailboxes_(std::move(config.mailboxes)),
+      lookahead_(config.lookahead),
+      thread_count_(std::max(
+          1, std::min(config.threads, static_cast<int>(shards_.size())))),
+      barrier_(thread_count_) {
+  assert(lookahead_ > 0);
+  assert(!shards_.empty());
+
+  inboxes_.resize(shards_.size());
+  scratch_.resize(shards_.size());
+  for (Mailbox* mb : mailboxes_) {
+    assert(mb->dst_shard() >= 0 &&
+           mb->dst_shard() < static_cast<int>(shards_.size()));
+    inboxes_[static_cast<std::size_t>(mb->dst_shard())].push_back(mb);
+  }
+  mins_.resize(static_cast<std::size_t>(thread_count_));
+  epochs_.resize(1);
+  messages_.resize(static_cast<std::size_t>(thread_count_));
+
+  workers_.reserve(static_cast<std::size_t>(thread_count_ - 1));
+  for (int tid = 1; tid < thread_count_; ++tid) {
+    workers_.emplace_back([this, tid] { worker_main(tid); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ParallelExecutor::run_until(Time deadline) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    deadline_ = deadline;
+    ++round_;
+  }
+  cv_.notify_all();
+  // The caller's thread is worker 0; when it leaves the loop every other
+  // worker has passed the final barrier of this round, so all shard state
+  // is safe to read until the next run_until.
+  epoch_loop(0, deadline);
+}
+
+void ParallelExecutor::worker_main(int tid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Time deadline;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || round_ != seen; });
+      if (stop_) return;
+      seen = round_;
+      deadline = deadline_;
+    }
+    epoch_loop(tid, deadline);
+  }
+}
+
+void ParallelExecutor::drain_shard(int shard) {
+  const auto s = static_cast<std::size_t>(shard);
+  std::vector<InMsg>& merged = scratch_[s];
+  merged.clear();
+  for (Mailbox* mb : inboxes_[s]) {
+    // Adapter so SpscQueue::drain can annotate each message with its
+    // source shard for the deterministic merge key.
+    struct Tagger {
+      std::vector<InMsg>* out;
+      int src;
+      void push_back(const CrossShardMsg& m) {
+        out->push_back(InMsg{m, src});
+      }
+    } tagger{&merged, mb->src_shard()};
+    mb->drain(tagger);
+  }
+  if (merged.empty()) return;
+  std::sort(merged.begin(), merged.end(), [](const InMsg& a, const InMsg& b) {
+    if (a.msg.at != b.msg.at) return a.msg.at < b.msg.at;
+    if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
+    return a.msg.seq < b.msg.seq;
+  });
+  Simulator* sim = shards_[s];
+  for (const InMsg& in : merged) {
+    // Safety invariant of the epoch protocol: mail is always in the
+    // receiver's future.
+    assert(in.msg.at >= sim->now());
+    // 24 captured bytes — fits EventAction's inline storage, so merging
+    // mail stays allocation-free.
+    sim->schedule_at(in.msg.at,
+                     [deliver = in.msg.deliver, ctx = in.msg.ctx,
+                      payload = in.msg.payload] { deliver(ctx, payload); });
+  }
+}
+
+void ParallelExecutor::epoch_loop(int tid, Time deadline) {
+  const auto t = static_cast<std::size_t>(tid);
+  const int n_shards = static_cast<int>(shards_.size());
+  for (;;) {
+    // Drain phase: merge inbound mail, publish my earliest pending event.
+    Time local = kNoTime;
+    for (int s = tid; s < n_shards; s += thread_count_) {
+      drain_shard(s);
+      messages_[t].v += scratch_[static_cast<std::size_t>(s)].size();
+      local = merge_min(local,
+                        shards_[static_cast<std::size_t>(s)]->next_event_time());
+    }
+    mins_[t].v = local;
+    barrier_.arrive_and_wait();
+
+    // Every thread computes the identical global minimum.
+    Time global = kNoTime;
+    for (const PaddedTime& m : mins_) global = merge_min(global, m.v);
+
+    if (global == kNoTime || global > deadline) {
+      // Nothing left inside the window on any shard; catch every clock up
+      // to the deadline and finish the round.
+      for (int s = tid; s < n_shards; s += thread_count_) {
+        shards_[static_cast<std::size_t>(s)]->advance_to(deadline);
+      }
+      barrier_.arrive_and_wait();
+      return;
+    }
+
+    // Process phase: the safe window is [global, global + lookahead) —
+    // clipped to the deadline (deadline events inclusive, as run_until).
+    Time window = global + lookahead_;
+    if (window > deadline) window = deadline + 1;
+    for (int s = tid; s < n_shards; s += thread_count_) {
+      shards_[static_cast<std::size_t>(s)]->run_before(window);
+    }
+    if (tid == 0) ++epochs_[0].v;
+    barrier_.arrive_and_wait();
+  }
+}
+
+ParallelExecutor::Stats ParallelExecutor::stats() const {
+  Stats st;
+  st.epochs = epochs_[0].v;
+  for (const PaddedCount& c : messages_) st.messages += c.v;
+  for (const Simulator* sim : shards_) {
+    st.executed_events += sim->executed_events();
+  }
+  return st;
+}
+
+}  // namespace acdc::sim::par

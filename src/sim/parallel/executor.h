@@ -1,0 +1,111 @@
+// Conservative parallel discrete-event executor (classic lookahead-bounded
+// synchronous PDES, à la CMB without null messages).
+//
+// The topology is split into shards, each owning a private Simulator (clock
+// + event queue). Cross-shard interactions travel through SPSC mailboxes
+// stamped with absolute delivery times. Epochs alternate two phases around
+// a spin barrier:
+//
+//   drain:    every thread merges its shards' inbound mail — sorted by
+//             (deliver_time, source_shard, sequence) so the order is
+//             deterministic — into the shard event queues, then publishes
+//             the earliest pending event time it owns;
+//   process:  after the barrier each thread computes the identical global
+//             minimum `m` and runs its shards up to (but excluding)
+//             `m + lookahead`. Any message emitted in that window carries a
+//             delivery time >= m + lookahead (the lookahead is the minimum
+//             propagation delay over cut links), so it can only land in a
+//             later epoch — no shard ever receives mail in its past.
+//
+// A second barrier ends the epoch so the next drain observes every send.
+// The same seed therefore produces bit-identical per-shard event streams on
+// 1 or N threads: thread count only changes which OS thread hosts a shard,
+// never the order in which a shard's events execute.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/parallel/barrier.h"
+#include "sim/parallel/spsc_mailbox.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace acdc::sim::par {
+
+class ParallelExecutor {
+ public:
+  struct Config {
+    std::vector<Simulator*> shards;   // one Simulator per shard, non-owning
+    std::vector<Mailbox*> mailboxes;  // every cross-shard channel, non-owning
+    Time lookahead = 0;               // must be > 0 (else stay serial)
+    int threads = 1;                  // capped to the shard count
+  };
+
+  explicit ParallelExecutor(Config config);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  // Advances every shard to `deadline`, exchanging cross-shard mail as it
+  // goes. Clocks end exactly at max(now, deadline), mirroring
+  // Simulator::run_until. Call from one thread only (the one that built the
+  // executor); it participates as worker 0.
+  void run_until(Time deadline);
+
+  int threads() const { return thread_count_; }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  struct Stats {
+    std::uint64_t epochs = 0;          // barrier rounds executed
+    std::uint64_t messages = 0;        // cross-shard deliveries merged
+    std::uint64_t executed_events = 0; // summed over shards
+  };
+  Stats stats() const;
+
+ private:
+  // One inbound message annotated with its source shard for the merge sort.
+  struct InMsg {
+    CrossShardMsg msg;
+    int src_shard = 0;
+  };
+  struct alignas(64) PaddedTime {
+    Time v = kNoTime;
+  };
+  struct alignas(64) PaddedCount {
+    std::uint64_t v = 0;
+  };
+
+  void worker_main(int tid);
+  void epoch_loop(int tid, Time deadline);
+  void drain_shard(int shard);
+
+  std::vector<Simulator*> shards_;
+  std::vector<Mailbox*> mailboxes_;
+  Time lookahead_;
+  int thread_count_;
+
+  // inboxes_[s]: every mailbox whose destination is shard s.
+  std::vector<std::vector<Mailbox*>> inboxes_;
+  // Per-shard merge scratch, reused across epochs (consumer-thread-only).
+  std::vector<std::vector<InMsg>> scratch_;
+
+  SpinBarrier barrier_;
+  std::vector<PaddedTime> mins_;       // one slot per thread
+  std::vector<PaddedCount> epochs_;    // written by thread 0 only
+  std::vector<PaddedCount> messages_;  // one slot per thread
+
+  // Worker parking between run_until calls.
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t round_ = 0;
+  Time deadline_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace acdc::sim::par

@@ -1,0 +1,159 @@
+// Cross-shard message channel for the conservative parallel executor.
+//
+// A Mailbox is a lock-free unbounded single-producer/single-consumer queue
+// of CrossShardMsg, one per directed shard pair that shares at least one
+// link. The producer is the source shard's worker thread (ports push during
+// the epoch's processing phase); the consumer is the destination shard's
+// worker thread (the executor drains every inbox at the top of the next
+// epoch, after a barrier, so production and consumption never overlap a
+// message).
+//
+// Determinism: each mailbox stamps messages with a producer-side sequence
+// number. The consumer sorts the union of its inboxes by
+// (deliver_time, source_shard, seq) before inserting into the shard's event
+// queue, so the merged order is a pure function of the simulation state —
+// never of thread timing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace acdc::sim::par {
+
+// A type-erased cross-shard delivery. The payload's meaning is fixed by the
+// function pointers: `deliver` runs on the destination shard at `at` and
+// takes ownership of `payload`; `dispose` reclaims a payload that was never
+// delivered (executor torn down with mail still in flight).
+struct CrossShardMsg {
+  Time at = 0;
+  std::uint64_t seq = 0;
+  void (*deliver)(void* ctx, void* payload) = nullptr;
+  void (*dispose)(void* ctx, void* payload) = nullptr;
+  void* ctx = nullptr;
+  void* payload = nullptr;
+};
+
+// Unbounded SPSC queue of CrossShardMsg, chunked so steady-state traffic
+// recycles nodes instead of allocating per message is not needed: nodes are
+// freed by the consumer as it drains past them, and a node holds 256
+// messages, so allocation is one `new` per 256 cross-shard packets.
+class SpscQueue {
+ public:
+  SpscQueue() {
+    Node* n = new Node();
+    head_.store(n, std::memory_order_relaxed);
+    tail_ = n;
+  }
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  ~SpscQueue() {
+    Node* n = head_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  // Producer side only.
+  void push(const CrossShardMsg& msg) {
+    Node* t = tail_;
+    const std::size_t w = t->write.load(std::memory_order_relaxed);
+    if (w == kNodeCapacity) {
+      Node* n = new Node();
+      n->items[0] = msg;
+      n->write.store(1, std::memory_order_release);
+      t->next.store(n, std::memory_order_release);
+      tail_ = n;
+      return;
+    }
+    t->items[w] = msg;
+    t->write.store(w + 1, std::memory_order_release);
+  }
+
+  // Consumer side only: appends every currently visible message to `out`
+  // and removes it from the queue. Returns the number drained.
+  template <typename Vec>
+  std::size_t drain(Vec& out) {
+    std::size_t drained = 0;
+    Node* h = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::size_t w = h->write.load(std::memory_order_acquire);
+      while (h->read < w) {
+        out.push_back(h->items[h->read++]);
+        ++drained;
+      }
+      if (h->read < kNodeCapacity) break;  // producer may still fill this node
+      Node* next = h->next.load(std::memory_order_acquire);
+      if (next == nullptr) break;
+      delete h;
+      h = next;
+    }
+    head_.store(h, std::memory_order_relaxed);
+    return drained;
+  }
+
+ private:
+  static constexpr std::size_t kNodeCapacity = 256;
+
+  struct Node {
+    CrossShardMsg items[kNodeCapacity];
+    std::atomic<std::size_t> write{0};  // producer cursor (release)
+    std::size_t read = 0;               // consumer cursor (consumer-private)
+    std::atomic<Node*> next{nullptr};
+  };
+
+  std::atomic<Node*> head_;  // consumer end
+  Node* tail_;               // producer end (producer-private)
+};
+
+// Directed shard-pair channel. `send` is producer-thread-only and stamps
+// the per-mailbox sequence number used for deterministic merge ordering.
+class Mailbox {
+ public:
+  Mailbox(int src_shard, int dst_shard)
+      : src_shard_(src_shard), dst_shard_(dst_shard) {}
+
+  int src_shard() const { return src_shard_; }
+  int dst_shard() const { return dst_shard_; }
+
+  void send(Time at, void (*deliver)(void*, void*),
+            void (*dispose)(void*, void*), void* ctx, void* payload) {
+    CrossShardMsg msg;
+    msg.at = at;
+    msg.seq = next_seq_++;
+    msg.deliver = deliver;
+    msg.dispose = dispose;
+    msg.ctx = ctx;
+    msg.payload = payload;
+    queue_.push(msg);
+  }
+
+  template <typename Vec>
+  std::size_t drain(Vec& out) {
+    return queue_.drain(out);
+  }
+
+  // Reclaims payloads that were produced but never delivered (the scenario
+  // was destroyed with packets still crossing a shard boundary).
+  ~Mailbox() {
+    struct Sink {
+      void push_back(const CrossShardMsg& m) {
+        if (m.dispose != nullptr) m.dispose(m.ctx, m.payload);
+      }
+    } sink;
+    queue_.drain(sink);
+  }
+
+ private:
+  int src_shard_;
+  int dst_shard_;
+  std::uint64_t next_seq_ = 0;  // producer-private
+  SpscQueue queue_;
+};
+
+}  // namespace acdc::sim::par

@@ -29,6 +29,14 @@ void Simulator::run_until(Time deadline) {
   if (now_ < deadline) now_ = deadline;
 }
 
+void Simulator::run_before(Time bound) {
+  while (!queue_.empty()) {
+    const Time next = queue_.next_time();
+    if (next == kNoTime || next >= bound) break;
+    step();
+  }
+}
+
 bool Simulator::step() {
   if (queue_.empty()) return false;
   EventQueue::Next next = queue_.take_next();

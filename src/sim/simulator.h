@@ -41,6 +41,21 @@ class Simulator {
   // Runs at most one event. Returns false when the queue is empty.
   bool step();
 
+  // ---- Epoch hooks for the parallel executor (sim/parallel) ----
+  // Runs every event with timestamp strictly below `bound`; the clock stays
+  // at the last executed event (it does NOT jump to bound), so a later
+  // schedule_at from a cross-shard mailbox can still land anywhere in
+  // [now, bound).
+  void run_before(Time bound);
+  // Timestamp of the earliest pending event; kNoTime when the queue is
+  // empty. The shard executor uses this to compute the global safe window.
+  Time next_event_time() const { return queue_.next_time(); }
+  // Moves the clock forward without running anything (end-of-window catch-up
+  // so periodic samplers and run_until callers see a full final interval).
+  void advance_to(Time t) {
+    if (now_ < t) now_ = t;
+  }
+
   std::uint64_t executed_events() const { return queue_.executed_count(); }
 
  private:

@@ -4,6 +4,7 @@ namespace acdc::stats {
 
 void FctCollector::record(std::int64_t size_bytes, sim::Time duration) {
   const double ms = sim::to_milliseconds(duration);
+  std::lock_guard<std::mutex> lock(mutex_);
   all_ms_.add(ms);
   if (size_bytes <= mice_threshold_) {
     mice_ms_.add(ms);

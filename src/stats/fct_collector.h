@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 
 #include "sim/time.h"
 #include "stats/percentile.h"
@@ -16,6 +17,9 @@ class FctCollector {
   explicit FctCollector(std::int64_t mice_threshold_bytes)
       : mice_threshold_(mice_threshold_bytes) {}
 
+  // Thread-safe: one collector is typically shared by message apps whose
+  // senders live on different simulator shards. Cold path (per message
+  // completion, not per packet), so a mutex is fine.
   void record(std::int64_t size_bytes, sim::Time duration);
 
   const Sampler& mice_ms() const { return mice_ms_; }
@@ -24,6 +28,7 @@ class FctCollector {
 
  private:
   std::int64_t mice_threshold_;
+  std::mutex mutex_;
   Sampler mice_ms_;
   Sampler background_ms_;
   Sampler all_ms_;

@@ -239,27 +239,44 @@ void mask_faults(ScenarioPlan& plan, const FaultToggles& keep) {
 RunOutcome run_plan(const ScenarioPlan& plan, const RunOptions& options) {
   BuiltTopology topo = build_topology(plan);
   exp::Scenario& scenario = *topo.scenario;
-  obs::FlightRecorder& recorder =
-      scenario.enable_tracing(options.ring_capacity, /*metrics_interval=*/0);
+  if (options.shards > 1) {
+    scenario.enable_parallel(
+        options.shards,
+        options.threads > 0 ? options.threads : options.shards);
+  }
+  scenario.enable_tracing(options.ring_capacity, /*metrics_interval=*/0);
+  const std::vector<obs::FlightRecorder*> recorders = scenario.recorders();
+  const std::size_t shard_count = recorders.size();
 
-  Digest event_digest;
-  recorder.add_listener([&event_digest](const obs::TraceEvent& ev) {
-    event_digest.mix(static_cast<std::uint64_t>(ev.t));
-    event_digest.mix(static_cast<std::uint64_t>(ev.type));
-    event_digest.mix(ev.source);
-    event_digest.mix((static_cast<std::uint64_t>(ev.src_ip) << 32) |
-                     ev.dst_ip);
-    event_digest.mix((static_cast<std::uint64_t>(ev.src_port) << 16) |
-                     ev.dst_port);
-    event_digest.mix(static_cast<std::uint64_t>(ev.a));
-    event_digest.mix(static_cast<std::uint64_t>(ev.b));
-    event_digest.mix_double(ev.x);
-  });
+  // One digest per shard, mixed on that shard's thread; combined in shard
+  // order after the run so the result is independent of the thread count.
+  std::vector<Digest> shard_digests(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    Digest* digest = &shard_digests[s];
+    recorders[s]->add_listener([digest](const obs::TraceEvent& ev) {
+      digest->mix(static_cast<std::uint64_t>(ev.t));
+      digest->mix(static_cast<std::uint64_t>(ev.type));
+      digest->mix(ev.source);
+      digest->mix((static_cast<std::uint64_t>(ev.src_ip) << 32) |
+                  ev.dst_ip);
+      digest->mix((static_cast<std::uint64_t>(ev.src_port) << 16) |
+                  ev.dst_port);
+      digest->mix(static_cast<std::uint64_t>(ev.a));
+      digest->mix(static_cast<std::uint64_t>(ev.b));
+      digest->mix_double(ev.x);
+    });
+  }
 
+  // Checkers are stateful and not thread-safe: one per shard, fed only by
+  // that shard's recorder and hosts.
   InvariantConfig ic;
   ic.enforce = true;
-  InvariantChecker checker(ic);
-  if (options.check_invariants) checker.subscribe(recorder);
+  std::vector<std::unique_ptr<InvariantChecker>> checkers;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    checkers.push_back(std::make_unique<InvariantChecker>(ic));
+    if (options.check_invariants) checkers[s]->subscribe(*recorders[s]);
+  }
+  InvariantChecker& checker = *checkers[0];
 
   std::vector<vswitch::AcdcVswitch*> vswitches;
   if (options.acdc) {
@@ -271,11 +288,13 @@ RunOutcome run_plan(const ScenarioPlan& plan, const RunOptions& options) {
     policy.max_rwnd_bytes = plan.max_rwnd_bytes;
     policy.police = plan.police;
     for (host::Host* h : topo.hosts) {
-      if (options.check_invariants) h->add_filter(checker.vm_tap(h->name()));
+      InvariantChecker& hc =
+          *checkers[static_cast<std::size_t>(scenario.shard_of(h))];
+      if (options.check_invariants) h->add_filter(hc.vm_tap(h->name()));
       vswitch::AcdcVswitch* vs = scenario.attach_acdc(h, acfg);
       vs->policy().set_default(policy);
       if (options.check_invariants) {
-        h->add_filter(checker.wire_tap(h->name()));
+        h->add_filter(hc.wire_tap(h->name()));
       }
       vswitches.push_back(vs);
     }
@@ -302,7 +321,7 @@ RunOutcome run_plan(const ScenarioPlan& plan, const RunOptions& options) {
 
   RunOutcome out;
   out.completed = all_done;
-  out.end_time = scenario.simulator().now();
+  out.end_time = scenario.now();
   Digest app_digest;
   for (host::BulkApp* a : apps) {
     out.delivered.push_back(a->delivered_bytes());
@@ -330,15 +349,23 @@ RunOutcome run_plan(const ScenarioPlan& plan, const RunOptions& options) {
                    std::to_string(out.faults.codec_checked) +
                    " sampled packets");
     }
-    out.violations = checker.violations();
-    out.violation_count = checker.violation_count();
-    out.packets_checked = checker.packets_checked();
+    for (const auto& c : checkers) {
+      for (const std::string& v : c->violations()) {
+        if (out.violations.size() < ic.max_reported) out.violations.push_back(v);
+      }
+      out.violation_count += c->violation_count();
+      out.packets_checked += c->packets_checked();
+    }
   }
 
-  out.events = recorder.recorded_events();
+  for (const obs::FlightRecorder* rec : recorders) {
+    out.events += rec->recorded_events();
+  }
+  Digest event_digest;
+  for (const Digest& d : shard_digests) event_digest.mix(d.h);
   out.event_digest = event_digest.h;
   if (!options.trace_path.empty()) {
-    obs::write_chrome_trace_file(recorder, scenario.metrics(),
+    obs::write_chrome_trace_file(*recorders[0], scenario.metrics(),
                                  options.trace_path);
   }
   return out;

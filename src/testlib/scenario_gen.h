@@ -82,6 +82,12 @@ struct RunOptions {
   bool check_invariants = true;
   sim::Time horizon = sim::seconds(60);  // hard cap; ends at quiescence
   std::size_t ring_capacity = std::size_t{1} << 12;
+  // shards > 1 partitions the topology and runs on the parallel engine
+  // (exp::Scenario::enable_parallel). The shard count — not the thread
+  // count — determines the event streams, so runs with equal `shards` and
+  // different `threads` must produce identical digests.
+  int shards = 0;
+  int threads = 0;  // worker threads; 0 -> one per shard
   // When set, the retained tail of the event ring is written there as a
   // Chrome trace (chrome://tracing / Perfetto) after the run — the fuzz
   // driver uses this to attach an artifact to a failing seed.

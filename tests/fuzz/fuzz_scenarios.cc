@@ -3,6 +3,11 @@
 //   fuzz_scenarios --seed N --iters K [--differential-every D]
 //                  [--no-drop] [--no-dup] [--no-reorder] [--no-jitter]
 //                  [--horizon-ms M] [--artifact-dir DIR] [--quiet]
+//                  [--shards S] [--threads T]
+//
+// --shards S (S > 1) partitions every sampled topology and runs it on the
+// parallel engine with T worker threads (default: one per shard); results
+// must be identical to the serial engine, so all the oracles stay valid.
 //
 // Iteration i runs the scenario sampled from seed N+i under the full
 // invariant harness; every D-th passing seed is additionally replayed with
@@ -42,6 +47,8 @@ struct DriverOptions {
   std::int64_t horizon_ms = 60'000;
   std::string artifact_dir;
   bool quiet = false;
+  int shards = 0;   // > 1: run on the parallel engine
+  int threads = 0;  // 0 -> one per shard
 };
 
 void usage(const char* argv0) {
@@ -50,6 +57,7 @@ void usage(const char* argv0) {
       "usage: %s [--seed N] [--iters K] [--differential-every D]\n"
       "          [--no-drop] [--no-dup] [--no-reorder] [--no-jitter]\n"
       "          [--horizon-ms M] [--artifact-dir DIR] [--quiet]\n"
+      "          [--shards S] [--threads T]\n"
       "ACDC_TEST_SEED overrides the default --seed.\n",
       argv0);
 }
@@ -71,6 +79,10 @@ bool parse_args(int argc, char** argv, DriverOptions& opt) {
       opt.differential_every = static_cast<int>(v);
     } else if (arg == "--horizon-ms" && next_value(v)) {
       opt.horizon_ms = v;
+    } else if (arg == "--shards" && next_value(v)) {
+      opt.shards = static_cast<int>(v);
+    } else if (arg == "--threads" && next_value(v)) {
+      opt.threads = static_cast<int>(v);
     } else if (arg == "--no-drop") {
       opt.toggles.drop = false;
     } else if (arg == "--no-dup") {
@@ -94,6 +106,8 @@ bool parse_args(int argc, char** argv, DriverOptions& opt) {
 RunOptions run_options(const DriverOptions& opt) {
   RunOptions ro;
   ro.horizon = acdc::sim::milliseconds(opt.horizon_ms);
+  ro.shards = opt.shards;
+  ro.threads = opt.threads;
   return ro;
 }
 
@@ -146,6 +160,8 @@ std::string repro_command(std::uint64_t seed, const FaultToggles& t,
   if (!t.dup) cmd += " --no-dup";
   if (!t.reorder) cmd += " --no-reorder";
   if (!t.jitter) cmd += " --no-jitter";
+  if (opt.shards > 0) cmd += " --shards " + std::to_string(opt.shards);
+  if (opt.threads > 0) cmd += " --threads " + std::to_string(opt.threads);
   return cmd;
 }
 

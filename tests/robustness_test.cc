@@ -205,10 +205,10 @@ TEST_P(AcdcChaosTest, EnforcementSurvivesImpairment) {
   b.nic().tx_port().set_peer(&a.nic());
 
   std::int64_t min_window = std::numeric_limits<std::int64_t>::max();
-  vs_a.set_window_observer(
-      [&](const vswitch::FlowKey&, sim::Time, std::int64_t w) {
+  vs_a.attach_observability(
+      {.on_window = [&](const vswitch::FlowKey&, sim::Time, std::int64_t w) {
         min_window = std::min(min_window, w);
-      });
+      }});
 
   TcpConfig cfg;
   cfg.mss = 1448;
