@@ -1,0 +1,206 @@
+// Flow-churn throughput macrobench — how fast the simulator grinds through
+// complete TCP lifecycles (SYN -> data -> FIN -> table GC) under the
+// open-loop churn engine, with the AC/DC flow table capped so admission,
+// LRU eviction and periodic GC are all on the measured path.
+//
+// Unlike bench_datapath_pps (per-packet microbench on a synthetic packet
+// stream), this drives the full stack end to end: a star fabric, real TCP
+// endpoints, per-host vSwitches, and Poisson arrivals. The headline number
+// is wall-clock flows/sec; steady-state table occupancy and the removal
+// counters come along so a regression in lifecycle cleanup (leaking
+// entries, dead GC) shows up even when raw throughput looks fine.
+//
+// Output: a flat JSON object on stdout (or --json <path>); bench/run_perf.sh
+// merges it with bench/churn_baseline.json into BENCH_datapath.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "workload/churn.h"
+
+namespace acdc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ChurnBenchConfig {
+  int pairs = 4;
+  double flows_per_sec = 5000.0;  // per source
+  std::int64_t message_bytes = 2000;
+  std::int64_t table_cap = 2048;  // per vSwitch
+  std::int64_t sim_ms = 3000;     // arrival window; +1s drain after
+};
+
+struct ChurnBenchResult {
+  double wall_secs = 0;
+  std::uint64_t events = 0;
+  workload::ChurnStats churn;
+  std::size_t table_peak = 0;
+  std::int64_t gc_removed = 0;
+  std::int64_t evictions = 0;
+  std::int64_t peak_concurrent = 0;
+};
+
+ChurnBenchResult run_churn(const ChurnBenchConfig& cfg) {
+  exp::ScenarioConfig sc;
+  sc.seed = 11;
+  exp::Scenario scn(sc);
+
+  net::Switch* hub = scn.add_switch("hub");
+  std::vector<host::Host*> senders;
+  std::vector<host::Host*> receivers;
+  std::vector<vswitch::AcdcVswitch*> vswitches;
+
+  vswitch::AcdcConfig acfg;
+  acfg.flow_table_max_entries = cfg.table_cap;
+  acfg.infer_timeouts = false;  // measure churn, not the inactivity scanner
+  acfg.gc_interval = sim::milliseconds(250);
+  acfg.fin_linger = sim::milliseconds(100);
+
+  for (int i = 0; i < cfg.pairs; ++i) {
+    host::Host* s = scn.add_host("cs" + std::to_string(i));
+    host::Host* r = scn.add_host("cr" + std::to_string(i));
+    scn.attach(s, hub);
+    scn.attach(r, hub);
+    vswitches.push_back(scn.attach_acdc(s, acfg));
+    vswitches.push_back(scn.attach_acdc(r, acfg));
+    senders.push_back(s);
+    receivers.push_back(r);
+  }
+
+  workload::ChurnConfig ccfg;
+  ccfg.arrival = workload::ArrivalKind::kPoisson;
+  ccfg.flows_per_sec = cfg.flows_per_sec;
+  ccfg.message_bytes = cfg.message_bytes;
+  ccfg.linger = sim::milliseconds(200);  // keeps the table under pressure
+  ccfg.stop_after = sim::milliseconds(cfg.sim_ms);
+  for (int i = 0; i < cfg.pairs; ++i) {
+    scn.add_churn_workload(senders[static_cast<std::size_t>(i)],
+                           receivers[static_cast<std::size_t>(i)],
+                           scn.tcp_config(tcp::CcId::kCubic), ccfg);
+  }
+
+  ChurnBenchResult out;
+  const sim::Time horizon =
+      sim::milliseconds(cfg.sim_ms) + sim::seconds(1);  // drain tail
+  const sim::Time step = sim::milliseconds(100);
+  const auto t0 = Clock::now();
+  for (sim::Time t = step; t <= horizon; t += step) {
+    scn.run_until(t);
+    out.peak_concurrent =
+        std::max(out.peak_concurrent, scn.churn_stats().concurrent);
+    for (vswitch::AcdcVswitch* vs : vswitches) {
+      out.table_peak = std::max(out.table_peak, vs->flows().size());
+    }
+  }
+  const auto t1 = Clock::now();
+
+  out.wall_secs = std::chrono::duration<double>(t1 - t0).count();
+  out.events = scn.executed_events();
+  out.churn = scn.churn_stats();
+  for (vswitch::AcdcVswitch* vs : vswitches) {
+    out.gc_removed += vs->flows().stats().gc_removed;
+    out.evictions += vs->flows().stats().evictions;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace acdc
+
+int main(int argc, char** argv) {
+  acdc::ChurnBenchConfig cfg;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--pairs") == 0) {
+      cfg.pairs = std::atoi(next("--pairs"));
+    } else if (std::strcmp(argv[i], "--rate") == 0) {
+      cfg.flows_per_sec = std::atof(next("--rate"));
+    } else if (std::strcmp(argv[i], "--bytes") == 0) {
+      cfg.message_bytes = std::atoll(next("--bytes"));
+    } else if (std::strcmp(argv[i], "--cap") == 0) {
+      cfg.table_cap = std::atoll(next("--cap"));
+    } else if (std::strcmp(argv[i], "--sim-ms") == 0) {
+      cfg.sim_ms = std::atoll(next("--sim-ms"));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      cfg.sim_ms = 800;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = next("--json");
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--pairs N] [--rate F] [--bytes B] [--cap C] "
+                   "[--sim-ms M] [--quick] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const acdc::ChurnBenchResult r = acdc::run_churn(cfg);
+  const double flows_per_sec_wall =
+      static_cast<double>(r.churn.started) / r.wall_secs;
+  const double events_per_sec =
+      static_cast<double>(r.events) / r.wall_secs;
+
+  std::FILE* out = stdout;
+  if (!json_path.empty()) {
+    out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"churn_pps\",\n"
+               "  \"churn_flows_per_sec_wall\": %.0f,\n"
+               "  \"churn_events_per_sec\": %.0f,\n"
+               "  \"churn_flows_started\": %lld,\n"
+               "  \"churn_flows_completed\": %lld,\n"
+               "  \"churn_flows_aborted\": %lld,\n"
+               "  \"churn_peak_concurrent\": %lld,\n"
+               "  \"churn_table_peak\": %zu,\n"
+               "  \"churn_table_cap\": %lld,\n"
+               "  \"churn_gc_removed\": %lld,\n"
+               "  \"churn_evictions\": %lld,\n"
+               "  \"churn_pairs\": %d,\n"
+               "  \"churn_sim_ms\": %lld\n"
+               "}\n",
+               flows_per_sec_wall, events_per_sec,
+               static_cast<long long>(r.churn.started),
+               static_cast<long long>(r.churn.completed),
+               static_cast<long long>(r.churn.aborted),
+               static_cast<long long>(r.peak_concurrent), r.table_peak,
+               static_cast<long long>(cfg.table_cap),
+               static_cast<long long>(r.gc_removed),
+               static_cast<long long>(r.evictions), cfg.pairs,
+               static_cast<long long>(cfg.sim_ms));
+  if (out != stdout) std::fclose(out);
+
+  std::fprintf(stderr,
+               "churn: %.0f flows/s wall (%lld flows, %.2f Mev/s, "
+               "peak conc %lld, table peak %zu/%lld, gc %lld, evict %lld)\n",
+               flows_per_sec_wall,
+               static_cast<long long>(r.churn.started),
+               events_per_sec / 1e6,
+               static_cast<long long>(r.peak_concurrent), r.table_peak,
+               static_cast<long long>(cfg.table_cap),
+               static_cast<long long>(r.gc_removed),
+               static_cast<long long>(r.evictions));
+  if (r.table_peak > static_cast<std::size_t>(cfg.table_cap)) {
+    std::fprintf(stderr, "ERROR: flow table exceeded its cap\n");
+    return 1;
+  }
+  return 0;
+}

@@ -31,6 +31,11 @@ if [[ ! -x "$bench_bin" ]]; then
   echo "building bench_datapath_pps in $build_dir ..." >&2
   cmake --build "$build_dir" --target bench_datapath_pps -j "$(nproc)" >&2
 fi
+churn_bin="$build_dir/bench/bench_churn_pps"
+if [[ ! -x "$churn_bin" ]]; then
+  echo "building bench_churn_pps in $build_dir ..." >&2
+  cmake --build "$build_dir" --target bench_churn_pps -j "$(nproc)" >&2
+fi
 
 # Benchmarks want a quiet machine: warn when any CPU is not on the
 # `performance` governor (frequency ramps skew ns/packet numbers).
@@ -62,19 +67,31 @@ if [[ "$quick" == 1 ]]; then
 fi
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+churn_raw="$(mktemp)"
+trap 'rm -f "$raw" "$churn_raw"' EXIT
 "${pin[@]}" "$bench_bin" "${iters[@]}" --json "$raw"
 
-CHECK="$check" RAW="$raw" OUT="$out" \
-BASELINE="$repo_root/bench/perf_baseline.json" python3 - <<'PY'
+churn_args=()
+[[ "$quick" == 1 ]] && churn_args=(--quick)
+"${pin[@]}" "$churn_bin" "${churn_args[@]}" --json "$churn_raw"
+
+CHECK="$check" RAW="$raw" CHURN_RAW="$churn_raw" OUT="$out" \
+BASELINE="$repo_root/bench/perf_baseline.json" \
+CHURN_BASELINE="$repo_root/bench/churn_baseline.json" python3 - <<'PY'
 import json, os, sys
 
 current = json.load(open(os.environ["RAW"]))
 baseline = json.load(open(os.environ["BASELINE"]))
+churn = json.load(open(os.environ["CHURN_RAW"]))
+churn_baseline = json.load(open(os.environ["CHURN_BASELINE"]))
 
 def ratio(key):
     base = baseline.get(key)
     return round(current[key] / base, 3) if base else None
+
+def churn_ratio(key):
+    base = churn_baseline.get(key)
+    return round(churn[key] / base, 3) if base else None
 
 merged = {
     "schema": "acdc-bench-datapath/1",
@@ -86,6 +103,13 @@ merged = {
         "multiflow_packets_per_sec": ratio("multiflow_packets_per_sec"),
         "events_per_sec": ratio("events_per_sec"),
     },
+    "churn": {
+        "current": churn,
+        "baseline": churn_baseline,
+        "speedup": {
+            "churn_flows_per_sec_wall": churn_ratio("churn_flows_per_sec_wall"),
+        },
+    },
 }
 with open(os.environ["OUT"], "w") as f:
     json.dump(merged, f, indent=2)
@@ -95,6 +119,10 @@ print(f"wrote {os.environ['OUT']}")
 for k, v in merged["speedup"].items():
     print(f"  {k}: {v}x vs baseline ({baseline['recorded_at_commit']})")
 print(f"  allocs/packet steady: {current['allocs_per_packet_steady']}")
+print(f"  churn flows/sec wall: {churn['churn_flows_per_sec_wall']:.0f} "
+      f"({merged['churn']['speedup']['churn_flows_per_sec_wall']}x vs "
+      f"baseline, table peak {churn['churn_table_peak']}/"
+      f"{churn['churn_table_cap']})")
 if "parallel_speedup_t8" in current:
     print(f"  parallel speedup t8/t1: {current['parallel_speedup_t8']}x "
           f"({current['hw_threads']} hw threads)")
@@ -121,6 +149,19 @@ if os.environ["CHECK"] == "1":
         if speedup < 3.0:
             failed.append(f"parallel_speedup_t8 {speedup} < 3.0 "
                           f"on {current['hw_threads']} hw threads")
+    # Churn gates: lifecycle throughput within 20% of baseline, the flow
+    # table bounded by its cap, and the cleanup paths actually exercised.
+    if churn["churn_flows_per_sec_wall"] < \
+            0.8 * churn_baseline["churn_flows_per_sec_wall"]:
+        failed.append("churn_flows_per_sec_wall "
+                      f"{churn['churn_flows_per_sec_wall']:.0f} < 80% of "
+                      f"baseline {churn_baseline['churn_flows_per_sec_wall']}")
+    if churn["churn_table_peak"] > churn["churn_table_cap"]:
+        failed.append(f"churn_table_peak {churn['churn_table_peak']} "
+                      f"exceeds cap {churn['churn_table_cap']}")
+    if churn["churn_gc_removed"] + churn["churn_evictions"] <= 0:
+        failed.append("churn removed no flow-table state "
+                      "(gc_removed + evictions == 0)")
     if failed:
         print("PERF REGRESSION:", *failed, sep="\n  ", file=sys.stderr)
         sys.exit(1)

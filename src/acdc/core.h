@@ -45,6 +45,13 @@ struct AcdcConfig {
   sim::Time gc_interval = sim::seconds(1);
   sim::Time idle_timeout = sim::seconds(60);
   sim::Time fin_linger = sim::seconds(1);
+  // §4 memory bound: cap on flow-table entries (0 = unbounded). At the cap
+  // a new flow either evicts the oldest-idle entry (kEvictOldest) or is
+  // refused admission and passes through unmanaged (kReject). Under SYN
+  // churn this is what keeps per-flow state bounded.
+  std::int64_t flow_table_max_entries = 0;
+  FlowTable::OverflowPolicy flow_table_overflow =
+      FlowTable::OverflowPolicy::kEvictOldest;
 
   // Fig. 9 methodology: compute windows and run the feedback machinery but
   // leave the VM's traffic completely untouched (no RWND overwrite, no ECN
@@ -143,21 +150,26 @@ struct AcdcCore {
 
   // Looks up or creates the entry for `key`, binding its policy and
   // initialising the virtual CC on creation. `slot` selects which direction
-  // cache fronts the table lookup.
-  FlowEntry& entry(const FlowKey& key, int slot) {
+  // cache fronts the table lookup. Returns nullptr when the table is at its
+  // cap under OverflowPolicy::kReject — the packet then passes through
+  // unmanaged (no tracking, no policing, but the transparency transforms
+  // still apply at the call sites).
+  FlowEntry* entry(const FlowKey& key, int slot) {
     FlowCacheSlot& c = flow_cache[slot];
     if (c.version == table.version() && c.entry != nullptr && c.key == key) {
       ++stats.flow_cache_hits;
-      return *c.entry;
+      return c.entry;
     }
     ++stats.flow_cache_misses;
     auto [e, created] = table.find_or_create(key, sim->now());
+    if (e == nullptr) return nullptr;  // rejected inserts don't bump the
+                                       // version, so never cache them
     if (created) {
-      e.policy = policy.lookup(key);
-      virtual_cc_for(e.policy.kind).init(e.snd, config.vcc);
+      e->policy = policy.lookup(key);
+      virtual_cc_for(e->policy.kind).init(e->snd, config.vcc);
     }
     c.key = key;
-    c.entry = &e;
+    c.entry = e;
     c.version = table.version();
     return e;
   }
@@ -179,6 +191,17 @@ struct AcdcCore {
 
   std::int64_t min_rwnd_bytes(const SenderFlowState& s) const {
     return config.min_rwnd_bytes > 0 ? config.min_rwnd_bytes : s.mss;
+  }
+
+  // Restarts an entry in place for a recycled 4-tuple (fresh SYN over a
+  // FIN-marked entry the GC has not swept yet). Key, policy and the LRU
+  // links survive; all per-incarnation state is re-initialised.
+  void reset_entry(FlowEntry& e) {
+    e.snd = SenderFlowState{};
+    e.rcv = ReceiverFlowState{};
+    e.fin_seen = false;
+    e.created_at = sim->now();
+    virtual_cc_for(e.policy.kind).init(e.snd, config.vcc);
   }
 };
 

@@ -82,6 +82,12 @@ struct FlowEntry {
   sim::Time created_at = 0;
   sim::Time last_activity = 0;
   bool fin_seen = false;
+
+  // Intrusive hooks for FlowTable's oldest-idle eviction order. Owned and
+  // maintained exclusively by FlowTable (touch/insert/erase); entries sit
+  // behind unique_ptr so these links survive hash-table rehashes.
+  FlowEntry* lru_prev = nullptr;
+  FlowEntry* lru_next = nullptr;
 };
 
 }  // namespace acdc::vswitch

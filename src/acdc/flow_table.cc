@@ -1,6 +1,46 @@
 #include "acdc/flow_table.h"
 
+#include <cassert>
+
 namespace acdc::vswitch {
+
+void FlowTable::lru_unlink(FlowEntry& e) {
+  if (e.lru_prev != nullptr) {
+    e.lru_prev->lru_next = e.lru_next;
+  } else if (lru_head_ == &e) {
+    lru_head_ = e.lru_next;
+  }
+  if (e.lru_next != nullptr) {
+    e.lru_next->lru_prev = e.lru_prev;
+  } else if (lru_tail_ == &e) {
+    lru_tail_ = e.lru_prev;
+  }
+  e.lru_prev = nullptr;
+  e.lru_next = nullptr;
+}
+
+void FlowTable::lru_push_back(FlowEntry& e) {
+  e.lru_prev = lru_tail_;
+  e.lru_next = nullptr;
+  if (lru_tail_ != nullptr) {
+    lru_tail_->lru_next = &e;
+  } else {
+    lru_head_ = &e;
+  }
+  lru_tail_ = &e;
+}
+
+void FlowTable::touch(FlowEntry& entry, sim::Time now) {
+  entry.last_activity = now;
+  if (lru_tail_ == &entry) return;  // already most recent
+  lru_unlink(entry);
+  lru_push_back(entry);
+}
+
+void FlowTable::set_limit(std::size_t max_entries, OverflowPolicy policy) {
+  max_entries_ = max_entries;
+  overflow_policy_ = policy;
+}
 
 FlowEntry* FlowTable::find(const FlowKey& key) {
   ++stats_.lookups;
@@ -16,7 +56,26 @@ FlowTable::FindResult FlowTable::find_or_create(const FlowKey& key,
   auto [it, inserted] = entries_.try_emplace(key);
   if (!inserted) {
     ++stats_.hits;
-    return {*it->second, false};
+    return {it->second.get(), false};
+  }
+  if (max_entries_ > 0 && entries_.size() > max_entries_) {
+    // The cap is hit. Either make room by dropping the oldest-idle entry
+    // (the LRU head — every datapath packet touch()es its entry, so the
+    // head is the flow that has been silent the longest) or refuse the
+    // insert. Erasing the just-reserved bucket does not count as a
+    // membership change: the entry was never visible.
+    if (overflow_policy_ == OverflowPolicy::kReject || lru_head_ == nullptr) {
+      entries_.erase(it);
+      ++stats_.admission_rejects;
+      return {nullptr, false};
+    }
+    FlowEntry* victim = lru_head_;
+    lru_unlink(*victim);
+    // Erasing another key never invalidates `it` (per-node containers).
+    entries_.erase(victim->key);
+    ++stats_.evictions;
+    ++stats_.removals;
+    ++version_;
   }
   ++stats_.inserts;
   ++version_;
@@ -25,27 +84,30 @@ FlowTable::FindResult FlowTable::find_or_create(const FlowKey& key,
   e.key = key;
   e.created_at = now;
   e.last_activity = now;
-  return {e, true};
+  lru_push_back(e);
+  return {&e, true};
 }
 
 bool FlowTable::erase(const FlowKey& key) {
-  if (entries_.erase(key) > 0) {
-    ++stats_.removals;
-    ++version_;
-    return true;
-  }
-  return false;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  lru_unlink(*it->second);
+  entries_.erase(it);
+  ++stats_.removals;
+  ++version_;
+  return true;
 }
 
 std::size_t FlowTable::collect_garbage(sim::Time now, sim::Time idle_timeout,
                                        sim::Time fin_linger) {
   std::size_t removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
-    const FlowEntry& e = *it->second;
+    FlowEntry& e = *it->second;
     const sim::Time idle = now - e.last_activity;
     const bool expire =
         (e.fin_seen && idle > fin_linger) || idle > idle_timeout;
     if (expire) {
+      lru_unlink(e);
       it = entries_.erase(it);
       ++removed;
     } else {

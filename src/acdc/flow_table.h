@@ -4,6 +4,12 @@
 // tables with per-entry spinlocks to make reader-dominated access cheap;
 // the simulator is single-threaded, so this class keeps the same
 // lookup-dominated interface without the synchronisation.
+//
+// Memory bound: the table can be capped (set_limit). At the cap a new flow
+// either evicts the oldest-idle entry (kEvictOldest, the default — the
+// entry at the head of the intrusive LRU list, which touch() keeps ordered
+// by last_activity) or is refused admission (kReject), leaving that flow
+// unmanaged. Both paths are counted so operators can see cap pressure.
 #pragma once
 
 #include <cstdint>
@@ -23,32 +29,58 @@ class FlowTable {
     std::int64_t inserts = 0;
     std::int64_t removals = 0;
     std::int64_t gc_removed = 0;
+    std::int64_t evictions = 0;          // cap-pressure removals (LRU)
+    std::int64_t admission_rejects = 0;  // refused inserts (kReject at cap)
+  };
+
+  // What happens when an insert would exceed the cap.
+  enum class OverflowPolicy {
+    kEvictOldest,  // drop the oldest-idle entry to admit the new flow
+    kReject,       // refuse the new flow (it passes through unmanaged)
   };
 
   struct FindResult {
-    FlowEntry& entry;
+    FlowEntry* entry;  // nullptr = admission rejected (kReject at cap)
     bool created;
   };
 
   FlowEntry* find(const FlowKey& key);
   // Single-hash lookup-or-insert: one try_emplace probes and reserves the
   // bucket in the same pass (the old find-then-emplace hashed twice on the
-  // create path).
+  // create path). Returns entry == nullptr only when the table is at its
+  // cap under OverflowPolicy::kReject.
   FindResult find_or_create(const FlowKey& key, sim::Time now);
   bool erase(const FlowKey& key);
 
-  // Monotonic membership-change counter: bumped on every insert, erase and
-  // GC sweep that removed something. Starts at 1 so a zero-initialised cache
-  // stamp can never match. Entry *pointers* are stable across rehash (values
-  // are unique_ptr), so a cached pointer is valid exactly as long as the
-  // version it was stamped with — this is what AcdcCore's per-direction
-  // lookup caches key on.
+  // Marks activity on `entry`: stamps last_activity and moves the entry to
+  // the most-recently-used end of the eviction order. The datapath calls
+  // this on every packet it attributes to a flow, so LRU order == idle
+  // order and evicting the list head removes the oldest-idle entry.
+  void touch(FlowEntry& entry, sim::Time now);
+
+  // Bounds the table to `max_entries` (0 = unbounded, the default).
+  // Changing the cap never removes existing entries eagerly; enforcement
+  // happens on the next insert.
+  void set_limit(std::size_t max_entries,
+                 OverflowPolicy policy = OverflowPolicy::kEvictOldest);
+  std::size_t max_entries() const { return max_entries_; }
+  OverflowPolicy overflow_policy() const { return overflow_policy_; }
+
+  // Monotonic membership-change counter: bumped on every insert, erase,
+  // eviction and GC sweep that removed something. Starts at 1 so a
+  // zero-initialised cache stamp can never match. Entry *pointers* are
+  // stable across rehash (values are unique_ptr), so a cached pointer is
+  // valid exactly as long as the version it was stamped with — this is what
+  // AcdcCore's per-direction lookup caches key on.
   std::uint64_t version() const { return version_; }
 
   // Removes entries idle for longer than `idle_timeout`, and FIN-marked
   // entries idle for longer than `fin_linger`.
   std::size_t collect_garbage(sim::Time now, sim::Time idle_timeout,
                               sim::Time fin_linger);
+
+  // Oldest-idle entry (head of the LRU order); nullptr when empty.
+  const FlowEntry* oldest() const { return lru_head_; }
 
   std::size_t size() const { return entries_.size(); }
   const Stats& stats() const { return stats_; }
@@ -59,10 +91,20 @@ class FlowTable {
   }
 
  private:
+  void lru_unlink(FlowEntry& e);
+  void lru_push_back(FlowEntry& e);
+
   std::unordered_map<FlowKey, std::unique_ptr<FlowEntry>, FlowKeyHash>
       entries_;
   Stats stats_;
   std::uint64_t version_ = 1;
+  std::size_t max_entries_ = 0;
+  OverflowPolicy overflow_policy_ = OverflowPolicy::kEvictOldest;
+  // Intrusive doubly-linked eviction order: head = oldest-idle, tail = most
+  // recently touched. Nodes live inside FlowEntry (lru_prev/lru_next), so
+  // maintaining the order costs no allocation.
+  FlowEntry* lru_head_ = nullptr;
+  FlowEntry* lru_tail_ = nullptr;
 };
 
 }  // namespace acdc::vswitch

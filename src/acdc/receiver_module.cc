@@ -5,9 +5,22 @@
 namespace acdc::vswitch {
 
 void ReceiverModule::process_ingress_data(net::Packet& packet) {
-  FlowEntry& entry =
+  FlowEntry* entry_ptr =
       core_.entry(FlowKey::from_packet(packet), AcdcCore::kCacheRcvIngressData);
-  entry.last_activity = core_.sim->now();
+  if (entry_ptr == nullptr) {
+    // Admission rejected at the flow-table cap: no per-flow accounting is
+    // possible, but the VM-transparency contract still holds — the VM must
+    // never see a CE mark or the repurposed reserved bit.
+    packet.tcp.reserved_vm_ecn = false;
+    if (core_.config.strip_ecn_at_receiver) packet.ip.ecn = net::Ecn::kNotEct;
+    if (packet.payload_bytes > 0) ++core_.stats.ingress_data_packets;
+    return;
+  }
+  FlowEntry& entry = *entry_ptr;
+  core_.table.touch(entry, core_.sim->now());
+  if (packet.tcp.flags.syn && !packet.tcp.flags.ack && entry.fin_seen) {
+    core_.reset_entry(entry);  // recycled 4-tuple (see SenderModule)
+  }
   ReceiverFlowState& r = entry.rcv;
 
   if (packet.tcp.flags.syn) {
@@ -16,7 +29,7 @@ void ReceiverModule::process_ingress_data(net::Packet& packet) {
     r.sender_vm_requested_ecn = packet.tcp.reserved_vm_ecn;
     packet.tcp.reserved_vm_ecn = false;
   }
-  if (packet.tcp.flags.fin) entry.fin_seen = true;
+  if (packet.tcp.flags.fin || packet.tcp.flags.rst) entry.fin_seen = true;
 
   if (packet.payload_bytes <= 0) return;
   ++core_.stats.ingress_data_packets;
@@ -53,7 +66,7 @@ void ReceiverModule::process_egress_ack(
   FlowEntry* entry = core_.find(FlowKey::from_packet(ack).reversed(),
                                 AcdcCore::kCacheRcvEgressAck);
   if (entry == nullptr) return;
-  entry->last_activity = core_.sim->now();
+  core_.table.touch(*entry, core_.sim->now());
   const ReceiverFlowState& r = entry->rcv;
 
   // Record the local VM's ECN acceptance from its SYN-ACK as it passes.

@@ -94,9 +94,24 @@ bool SenderModule::police(FlowEntry& entry, const net::Packet& packet) {
 }
 
 bool SenderModule::process_egress(net::Packet& packet) {
-  FlowEntry& entry =
+  FlowEntry* entry_ptr =
       core_.entry(FlowKey::from_packet(packet), AcdcCore::kCacheSndEgress);
-  entry.last_activity = core_.sim->now();
+  if (entry_ptr == nullptr) {
+    // Admission rejected at the flow-table cap: the flow is unmanaged —
+    // no tracking and no policing, but the packet still flows.
+    if (packet.payload_bytes > 0) ++core_.stats.egress_data_packets;
+    return true;
+  }
+  FlowEntry& entry = *entry_ptr;
+  core_.table.touch(entry, core_.sim->now());
+
+  if (packet.tcp.flags.syn && !packet.tcp.flags.ack && entry.fin_seen) {
+    // Recycled 4-tuple: the previous incarnation FINished but its entry
+    // still lingers (GC hasn't swept it). §3.1 allocates flow state on SYN,
+    // so a fresh SYN restarts the entry from scratch rather than inheriting
+    // stale sequence/CC state.
+    core_.reset_entry(entry);
+  }
 
   if (packet.tcp.flags.syn) {
     learn_from_egress_syn(entry, packet);
@@ -104,7 +119,9 @@ bool SenderModule::process_egress(net::Packet& packet) {
     // stack itself negotiated ECN (§3.2).
     packet.tcp.reserved_vm_ecn = entry.snd.vm_requested_ecn;
   }
-  if (packet.tcp.flags.fin) entry.fin_seen = true;
+  // FIN and RST both end the flow; either marks the entry for the GC's
+  // short fin_linger path (§3.1: state deallocated on FIN or inactivity).
+  if (packet.tcp.flags.fin || packet.tcp.flags.rst) entry.fin_seen = true;
 
   // Police against the window *before* admitting the packet's sequence
   // range into snd_nxt (otherwise everything looks like a retransmission).
@@ -118,9 +135,22 @@ bool SenderModule::process_egress(net::Packet& packet) {
 
 bool SenderModule::process_ingress_ack(net::Packet& packet) {
   // This ACK acknowledges the reverse flow: data we sent.
-  FlowEntry& entry = core_.entry(FlowKey::from_packet(packet).reversed(),
-                                 AcdcCore::kCacheSndIngressAck);
-  entry.last_activity = core_.sim->now();
+  FlowEntry* entry_ptr = core_.entry(FlowKey::from_packet(packet).reversed(),
+                                     AcdcCore::kCacheSndIngressAck);
+  if (entry_ptr == nullptr) {
+    // Unmanaged flow (admission rejected): keep the VM-transparency
+    // contract anyway — FACKs never reach the VM and ECN feedback stays
+    // hidden — but skip tracking, virtual CC and enforcement.
+    if (packet.acdc_fack) {
+      ++core_.stats.facks_consumed;
+      return false;
+    }
+    consume_feedback(packet);  // strip any piggybacked PACK option
+    if (core_.config.hide_ecn_feedback) packet.tcp.flags.ece = false;
+    return true;
+  }
+  FlowEntry& entry = *entry_ptr;
+  core_.table.touch(entry, core_.sim->now());
   SenderFlowState& s = entry.snd;
   ++core_.stats.acks_processed;
 

@@ -8,6 +8,11 @@ AcdcVswitch::AcdcVswitch(sim::Simulator* sim, AcdcConfig config)
     : sender_(core_), receiver_(core_) {
   core_.sim = sim;
   core_.config = config;
+  if (config.flow_table_max_entries > 0) {
+    core_.table.set_limit(
+        static_cast<std::size_t>(config.flow_table_max_entries),
+        config.flow_table_overflow);
+  }
 }
 
 void AcdcVswitch::ensure_timers() {
@@ -51,8 +56,11 @@ void AcdcVswitch::run_gc() {
 
 void AcdcVswitch::handle_egress(net::PacketPtr packet) {
   ensure_timers();
+  // RSTs count as data-direction traffic so the sender module sees them and
+  // can mark the entry for fast GC (an aborted flow never sends a FIN).
   const bool data_direction = packet->payload_bytes > 0 ||
-                              packet->tcp.flags.syn || packet->tcp.flags.fin;
+                              packet->tcp.flags.syn ||
+                              packet->tcp.flags.fin || packet->tcp.flags.rst;
   if (data_direction && !sender_.process_egress(*packet)) {
     return;  // policed
   }
@@ -73,7 +81,8 @@ void AcdcVswitch::handle_egress(net::PacketPtr packet) {
 void AcdcVswitch::handle_ingress(net::PacketPtr packet) {
   ensure_timers();
   const bool data_direction = packet->payload_bytes > 0 ||
-                              packet->tcp.flags.syn || packet->tcp.flags.fin;
+                              packet->tcp.flags.syn ||
+                              packet->tcp.flags.fin || packet->tcp.flags.rst;
   if (data_direction) {
     receiver_.process_ingress_data(*packet);
   }
@@ -179,6 +188,15 @@ void AcdcVswitch::register_metrics(obs::MetricsRegistry& registry,
   registry.register_gauge(prefix + ".flow_entries", [this] {
     return static_cast<double>(core_.table.size());
   });
+  // Flow-table lifecycle counters: under churn these are the signals that
+  // per-flow state stays bounded (gc/evictions climbing, entries flat).
+  const FlowTable::Stats& ft = core_.table.stats();
+  registry.register_counter(prefix + ".flow_inserts", &ft.inserts);
+  registry.register_counter(prefix + ".flow_removals", &ft.removals);
+  registry.register_counter(prefix + ".flow_gc_removed", &ft.gc_removed);
+  registry.register_counter(prefix + ".flow_evictions", &ft.evictions);
+  registry.register_counter(prefix + ".flow_admission_rejects",
+                            &ft.admission_rejects);
 }
 
 }  // namespace acdc::vswitch

@@ -13,6 +13,10 @@ namespace {
 // streams (1..N), so adding links never collides with adding switches.
 constexpr std::uint64_t kSwitchRngStreamBase = 0x5357'0000'0000'0000ull;
 
+// Churn sources likewise get substreams far from both the per-link fault
+// streams (1..N) and the per-switch block above.
+constexpr std::uint64_t kChurnRngStreamBase = 0x4348'0000'0000'0000ull;
+
 }  // namespace
 
 const char* to_string(Mode mode) {
@@ -355,6 +359,17 @@ host::MessageApp* Scenario::add_message_app(host::Host* sender,
       sim_for(sender), sender, receiver, next_port_++, cfg, cfg, start,
       interval, bytes, collector));
   return message_apps_.back().get();
+}
+
+workload::ChurnSource* Scenario::add_churn_workload(
+    host::Host* sender, host::Host* receiver, const tcp::TcpConfig& cfg,
+    const workload::ChurnConfig& config, sim::Time start) {
+  const std::uint64_t stream =
+      kChurnRngStreamBase +
+      static_cast<std::uint64_t>(churn_engine_.sources().size());
+  return churn_engine_.add_source(sim_for(sender), sender, receiver,
+                                  next_port_++, cfg, config,
+                                  rng_.split(stream), start);
 }
 
 net::FaultStats Scenario::fault_stats() const {

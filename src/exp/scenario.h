@@ -31,6 +31,7 @@
 #include "sim/parallel/executor.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
+#include "workload/churn.h"
 
 namespace acdc::exp {
 
@@ -161,6 +162,21 @@ class Scenario {
     return bulk_apps_;
   }
 
+  // ---- Churn workload ----
+  // One open-loop flow-churn source driving sender -> receiver on a fresh
+  // port. Timers run on the sender's shard simulator and the receiver side
+  // is wired through its own listener, so churn sources are parallel-shard
+  // safe; each source draws from its own RNG substream split from the
+  // scenario seed, so adding one never perturbs switches, links or other
+  // sources.
+  workload::ChurnSource* add_churn_workload(host::Host* sender,
+                                            host::Host* receiver,
+                                            const tcp::TcpConfig& cfg,
+                                            const workload::ChurnConfig& config,
+                                            sim::Time start = 0);
+  workload::ChurnStats churn_stats() const { return churn_engine_.stats(); }
+  const workload::ChurnEngine& churn_engine() const { return churn_engine_; }
+
   void run_until(sim::Time t);
 
   // Aggregate switch queue statistics across all switches.
@@ -249,6 +265,7 @@ class Scenario {
   std::vector<std::unique_ptr<host::BulkApp>> bulk_apps_;
   std::vector<std::unique_ptr<host::EchoApp>> echo_apps_;
   std::vector<std::unique_ptr<host::MessageApp>> message_apps_;
+  workload::ChurnEngine churn_engine_;
   net::TcpPort next_port_ = 5000;
   std::uint8_t next_host_id_ = 1;
 

@@ -79,19 +79,71 @@ tcp::TcpConnection* Host::make_connection(const tcp::TcpConfig& config,
       return false;
     };
   }
+  conn_index_[raw] = connections_.size();
   connections_.push_back(std::move(conn));
   demux_[ConnKey{local.port, remote.ip, remote.port}] = raw;
+  ++conns_opened_;
   return raw;
+}
+
+net::TcpPort Host::alloc_ephemeral(net::IpAddr remote_ip,
+                                   net::TcpPort remote_port) {
+  // The ephemeral range wraps; under churn a port returns to the pool as
+  // soon as its old connection is released, so probe until the 4-tuple is
+  // actually free (the same port may be live toward a different remote).
+  for (int attempts = 0; attempts <= 65'535 - kEphemeralBase; ++attempts) {
+    const net::TcpPort port = next_ephemeral_;
+    next_ephemeral_ =
+        next_ephemeral_ >= 65'535 ? kEphemeralBase : next_ephemeral_ + 1;
+    if (demux_.find(ConnKey{port, remote_ip, remote_port}) == demux_.end()) {
+      return port;
+    }
+  }
+  assert(false && "ephemeral port space toward this remote is exhausted");
+  return 0;
 }
 
 tcp::TcpConnection* Host::connect(net::IpAddr remote_ip,
                                   net::TcpPort remote_port,
                                   const tcp::TcpConfig& config) {
-  const tcp::Endpoint local{ip_, next_ephemeral_++};
+  const tcp::Endpoint local{ip_, alloc_ephemeral(remote_ip, remote_port)};
   const tcp::Endpoint remote{remote_ip, remote_port};
   tcp::TcpConnection* conn = make_connection(config, local, remote);
   conn->open_active();
   return conn;
+}
+
+void Host::release_connection(tcp::TcpConnection* conn) {
+  auto idx = conn_index_.find(conn);
+  if (idx == conn_index_.end()) return;  // already released
+  const ConnKey key{conn->local().port, conn->remote().ip,
+                    conn->remote().port};
+  auto dit = demux_.find(key);
+  // Only erase our own demux entry — a recycled 4-tuple may already map to
+  // a successor connection.
+  if (dit != demux_.end() && dit->second == conn) demux_.erase(dit);
+  const std::size_t i = idx->second;
+  conn_index_.erase(idx);
+  // Swap-and-pop keeps removal O(1); re-stamp the moved connection's index.
+  if (i + 1 < connections_.size()) {
+    std::swap(connections_[i], connections_.back());
+    conn_index_[connections_[i].get()] = i;
+  }
+  graveyard_.push_back(std::move(connections_.back()));
+  connections_.pop_back();
+  if (next_poke_ >= connections_.size()) next_poke_ = 0;
+  ++conns_released_;
+  // Destruction is deferred one event: release_connection is typically
+  // called from inside the dying connection's own callback stack.
+  if (!graveyard_flush_scheduled_) {
+    graveyard_flush_scheduled_ = true;
+    sim_->schedule(0, [this] { flush_graveyard(); });
+  }
+}
+
+void Host::flush_graveyard() {
+  graveyard_flush_scheduled_ = false;
+  graveyard_.clear();
 }
 
 void Host::listen(net::TcpPort port, const tcp::TcpConfig& config,
@@ -104,8 +156,20 @@ void Host::receive(net::PacketPtr packet) {
                     packet->tcp.src_port};
   auto it = demux_.find(key);
   if (it != demux_.end()) {
-    it->second->receive(std::move(packet));
-    return;
+    // A fresh SYN landing on a dead (kDone, unreleased) connection means
+    // the client recycled its ephemeral port faster than this side tore
+    // down state. Reap the corpse and let the listener spawn a successor
+    // below — otherwise the SYN would be swallowed and the client stuck.
+    tcp::TcpConnection* conn = it->second;
+    const bool stale_syn = packet->tcp.flags.syn && !packet->tcp.flags.ack &&
+                           conn->state() == tcp::TcpConnection::State::kDone &&
+                           listeners_.find(packet->tcp.dst_port) !=
+                               listeners_.end();
+    if (!stale_syn) {
+      conn->receive(std::move(packet));
+      return;
+    }
+    release_connection(conn);
   }
   // No connection: a SYN to a listening port spawns one.
   if (packet->tcp.flags.syn && !packet->tcp.flags.ack) {
@@ -144,6 +208,9 @@ void Host::set_trace(obs::FlightRecorder* recorder) {
 void Host::register_metrics(obs::MetricsRegistry& registry) const {
   nic_.register_metrics(registry, name_);
   registry.register_counter(name_ + ".demux_misses", &demux_misses_);
+  registry.register_counter(name_ + ".connections_opened", &conns_opened_);
+  registry.register_counter(name_ + ".connections_released",
+                            &conns_released_);
   registry.register_gauge(name_ + ".connections", [this] {
     return static_cast<double>(connections_.size());
   });

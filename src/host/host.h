@@ -56,6 +56,14 @@ class Host : public net::PacketSink {
   void listen(net::TcpPort port, const tcp::TcpConfig& config,
               std::function<void(tcp::TcpConnection*)> on_accept = {});
 
+  // Tears down a finished connection: the demux entry dies immediately (the
+  // 4-tuple — and with it the ephemeral port — becomes reusable), the object
+  // itself is destroyed on a zero-delay event so it is safe to call from the
+  // connection's own callbacks (on_closed and friends). Under flow churn
+  // this is what keeps per-host state bounded; long-lived experiment apps
+  // simply never call it. Idempotent per connection.
+  void release_connection(tcp::TcpConnection* conn);
+
   // Ingress from the datapath (post-filters) — demultiplexes to connections.
   void receive(net::PacketPtr packet) override;
 
@@ -63,6 +71,9 @@ class Host : public net::PacketSink {
     return connections_;
   }
   std::int64_t demux_misses() const { return demux_misses_; }
+  // Lifecycle counters: cumulative opens (active + passive) and releases.
+  std::int64_t connections_opened() const { return conns_opened_; }
+  std::int64_t connections_released() const { return conns_released_; }
 
   // Re-homes the host (NIC, future connections and app timers) onto a
   // shard's simulator. Partitioning happens before any connection exists.
@@ -110,6 +121,9 @@ class Host : public net::PacketSink {
                                       tcp::Endpoint local,
                                       tcp::Endpoint remote);
   void on_nic_drain();
+  net::TcpPort alloc_ephemeral(net::IpAddr remote_ip,
+                               net::TcpPort remote_port);
+  void flush_graveyard();
 
   sim::Simulator* sim_;
   std::string name_;
@@ -122,10 +136,20 @@ class Host : public net::PacketSink {
   net::PacketSink* egress_target_ = nullptr;  // head of the egress chain
   std::vector<net::DuplexFilter*> filters_;
   std::vector<std::unique_ptr<tcp::TcpConnection>> connections_;
+  // Index of each live connection in connections_, for O(1) swap-and-pop
+  // removal when release_connection reaps it.
+  std::unordered_map<tcp::TcpConnection*, std::size_t> conn_index_;
+  // Released connections awaiting destruction on the next zero-delay event
+  // (they may still be on the call stack when released).
+  std::vector<std::unique_ptr<tcp::TcpConnection>> graveyard_;
+  bool graveyard_flush_scheduled_ = false;
   std::unordered_map<ConnKey, tcp::TcpConnection*, ConnKeyHash> demux_;
   std::unordered_map<net::TcpPort, Listener> listeners_;
-  net::TcpPort next_ephemeral_ = 40'000;
+  static constexpr net::TcpPort kEphemeralBase = 40'000;
+  net::TcpPort next_ephemeral_ = kEphemeralBase;
   std::int64_t demux_misses_ = 0;
+  std::int64_t conns_opened_ = 0;
+  std::int64_t conns_released_ = 0;
   obs::FlightRecorder* trace_ = nullptr;
 };
 

@@ -99,6 +99,29 @@ void TcpConnection::close() {
   try_send();
 }
 
+void TcpConnection::abort() {
+  if (state_ == State::kClosed || state_ == State::kDone) return;
+  auto rst = net::make_packet();
+  rst->ip.src = local_.ip;
+  rst->ip.dst = remote_.ip;
+  rst->tcp.src_port = local_.port;
+  rst->tcp.dst_port = remote_.port;
+  rst->tcp.flags.rst = true;
+  rst->tcp.flags.ack = true;
+  rst->tcp.seq = snd_nxt_;
+  rst->tcp.ack_seq = rcv_nxt_;
+  ++stats_.segments_sent;
+  transmit(std::move(rst));
+  enter_state(State::kDone);
+  cancel_rto();
+  if (delack_timer_ != sim::kInvalidEventId) {
+    sim_->cancel(delack_timer_);
+    delack_timer_ = sim::kInvalidEventId;
+  }
+  segments_.clear();
+  if (on_closed) on_closed();
+}
+
 // ----------------------------------------------------------------- send path
 
 std::int64_t TcpConnection::send_window_bytes() const {
@@ -587,6 +610,9 @@ void TcpConnection::process_payload(const net::Packet& p) {
       rcv_nxt_ += 1;
       advanced = true;
       if (state_ == State::kEstablished) enter_state(State::kCloseWait);
+      // The callback may close() us right here; the FIN we then emit acks
+      // the peer's FIN (rcv_nxt_ already counts it).
+      if (on_peer_fin) on_peer_fin();
     }
   }
 

@@ -97,6 +97,11 @@ class TcpConnection {
   // Appends `bytes` of (synthetic) application data to the send queue.
   void send(std::int64_t bytes);
   void close();  // send FIN once all queued data is out
+  // Hard reset: emits a RST toward the peer and enters kDone immediately,
+  // discarding unsent data and in-flight state. The peer's stack tears its
+  // side down on RST receipt; the vSwitch treats the RST like a FIN for
+  // flow-table GC. No-op before open_* and after kDone.
+  void abort();
 
   std::function<void()> on_established;
   // TSQ-style transmit gate: when set and returning false, no *new* data
@@ -110,6 +115,10 @@ class TcpConnection {
   // ACKed payload bytes.
   std::function<void(std::int64_t)> on_acked;
   std::function<void()> on_closed;
+  // Fired once when the peer's FIN first arrives (entering kCloseWait on a
+  // half-open connection). Servers handling short transfers use this to
+  // close() their side immediately instead of holding state forever.
+  std::function<void()> on_peer_fin;
 
   // ---- Network interface ----
   void receive(net::PacketPtr packet);

@@ -20,6 +20,11 @@ namespace {
 // fault draws.
 constexpr std::uint64_t kPlanStream = 0xACDCF022;
 
+// Churn workload draws live on their own substream so sampling (or
+// masking) churn never shifts topology/workload/fault draws — the same
+// isolation contract the per-link fault streams give the shrinker.
+constexpr std::uint64_t kChurnPlanStream = 0xACDCC4B2;
+
 // FNV-1a 64-bit, mixed 8 bytes at a time.
 struct Digest {
   std::uint64_t h = 14695981039346656037ull;
@@ -139,6 +144,13 @@ std::string ScenarioPlan::summary() const {
   if (inject_dupacks_on_timeout) os << " dupack-inject";
   if (incast) os << " incast";
   os << " transfers=" << transfers.size();
+  if (churn.enabled) {
+    os << " churn[sources=" << churn.pairs.size()
+       << " rate=" << churn.flows_per_sec << "/s bytes="
+       << churn.message_bytes << " abort=" << churn.abort_probability
+       << (churn.bursty ? " bursty" : "")
+       << " cap=" << churn.table_cap << "]";
+  }
   os << " faults[drop=" << faults.drop_p << " dup=" << faults.dup_p
      << " reorder=" << faults.reorder_p << " jitter=" << faults.jitter_p
      << "]";
@@ -226,6 +238,29 @@ ScenarioPlan make_plan(std::uint64_t seed) {
         tenant_cc_pool[rng.uniform_int(0, std::size(tenant_cc_pool) - 1)];
     plan.transfers.push_back(tp);
   }
+
+  // Churn workload (own substream; see kChurnPlanStream).
+  sim::Rng crng(sim::mix_seed(seed, kChurnPlanStream));
+  if (crng.chance(0.4)) {
+    ChurnWorkloadPlan& c = plan.churn;
+    c.enabled = true;
+    const int sources = static_cast<int>(crng.uniform_int(1, 3));
+    for (int i = 0; i < sources; ++i) {
+      const int src = static_cast<int>(crng.uniform_int(0, plan.hosts - 1));
+      int dst = static_cast<int>(crng.uniform_int(0, plan.hosts - 1));
+      if (dst == src) dst = (dst + 1) % plan.hosts;
+      c.pairs.emplace_back(src, dst);
+    }
+    c.flows_per_sec = static_cast<double>(crng.uniform_int(500, 4000));
+    c.message_bytes = crng.uniform_int(1, 40) * 1024;
+    c.abort_probability = crng.chance(0.5) ? crng.uniform_real(0.05, 0.3) : 0.0;
+    c.bursty = crng.chance(0.3);
+    // Half the churn plans squeeze the flow table hard enough that the cap
+    // bites (a few entries per host pair), exercising LRU eviction under
+    // live traffic; the rest leave it unbounded.
+    c.table_cap = crng.chance(0.5) ? crng.uniform_int(4, 16) : 0;
+    c.stop_after = sim::milliseconds(crng.uniform_int(20, 60));
+  }
   return plan;
 }
 
@@ -234,6 +269,7 @@ void mask_faults(ScenarioPlan& plan, const FaultToggles& keep) {
   if (!keep.dup) plan.faults.dup_p = 0.0;
   if (!keep.reorder) plan.faults.reorder_p = 0.0;
   if (!keep.jitter) plan.faults.jitter_p = 0.0;
+  if (!keep.churn) plan.churn = ChurnWorkloadPlan{};
 }
 
 RunOutcome run_plan(const ScenarioPlan& plan, const RunOptions& options) {
@@ -282,6 +318,7 @@ RunOutcome run_plan(const ScenarioPlan& plan, const RunOptions& options) {
   if (options.acdc) {
     vswitch::AcdcConfig acfg;
     acfg.inject_dupacks_on_timeout = plan.inject_dupacks_on_timeout;
+    acfg.flow_table_max_entries = plan.churn.table_cap;
     vswitch::FlowPolicy policy;
     policy.kind = plan.vcc;
     policy.beta = plan.beta;
@@ -308,7 +345,26 @@ RunOutcome run_plan(const ScenarioPlan& plan, const RunOptions& options) {
         scenario.tcp_config(tp.host_cc), tp.start, tp.bytes));
   }
 
-  // Run to quiescence (every transfer complete) or the horizon.
+  const bool churn_on = plan.churn.enabled && !plan.churn.pairs.empty();
+  if (churn_on) {
+    workload::ChurnConfig ccfg;
+    ccfg.arrival = plan.churn.bursty ? workload::ArrivalKind::kBurstyOnOff
+                                     : workload::ArrivalKind::kPoisson;
+    ccfg.flows_per_sec = plan.churn.flows_per_sec;
+    ccfg.message_bytes = plan.churn.message_bytes;
+    ccfg.abort_probability = plan.churn.abort_probability;
+    ccfg.stop_after = plan.churn.stop_after;
+    ccfg.max_concurrent_per_source = 256;  // bounded even if the fabric lags
+    for (const auto& [src, dst] : plan.churn.pairs) {
+      scenario.add_churn_workload(topo.hosts[static_cast<std::size_t>(src)],
+                                  topo.hosts[static_cast<std::size_t>(dst)],
+                                  scenario.tcp_config(tcp::CcId::kCubic),
+                                  ccfg);
+    }
+  }
+
+  // Run to quiescence (every transfer complete, churn drained) or the
+  // horizon.
   const sim::Time step = sim::milliseconds(50);
   sim::Time now = 0;
   bool all_done = false;
@@ -317,6 +373,10 @@ RunOutcome run_plan(const ScenarioPlan& plan, const RunOptions& options) {
     scenario.run_until(now);
     all_done = std::all_of(apps.begin(), apps.end(),
                            [](host::BulkApp* a) { return a->completed(); });
+    if (churn_on) {
+      all_done = all_done && now >= plan.churn.stop_after &&
+                 scenario.churn_stats().concurrent == 0;
+    }
   }
 
   RunOutcome out;
@@ -328,6 +388,15 @@ RunOutcome run_plan(const ScenarioPlan& plan, const RunOptions& options) {
     app_digest.mix(static_cast<std::uint64_t>(a->delivered_bytes()));
     app_digest.mix(a->completed() ? 1 : 0);
   }
+  out.churn = scenario.churn_stats();
+  // Churn deliveries are part of the application-level result too: the
+  // parallel engine must reproduce every lifecycle count bit-for-bit.
+  app_digest.mix(static_cast<std::uint64_t>(out.churn.started));
+  app_digest.mix(static_cast<std::uint64_t>(out.churn.completed));
+  app_digest.mix(static_cast<std::uint64_t>(out.churn.aborted));
+  app_digest.mix(static_cast<std::uint64_t>(out.churn.skipped));
+  app_digest.mix(static_cast<std::uint64_t>(out.churn.acked_bytes));
+  app_digest.mix(static_cast<std::uint64_t>(out.churn.peak_concurrent));
   out.app_digest = app_digest.h;
   out.faults = scenario.fault_stats();
 

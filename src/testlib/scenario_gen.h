@@ -20,6 +20,7 @@
 #include "net/fault.h"
 #include "sim/time.h"
 #include "tcp/cc/cc_id.h"
+#include "workload/churn.h"
 
 namespace acdc::testlib {
 
@@ -39,6 +40,22 @@ struct TransferPlan {
   tcp::CcId host_cc = tcp::CcId::kCubic;  // tenant stack algorithm
 };
 
+// Optional open-loop churn workload riding on a sampled scenario: short
+// flows with the full SYN -> data -> FIN/RST lifecycle, plus (optionally) a
+// flow-table cap so eviction and admission-reject paths see fuzz pressure.
+// Sampled from its own RNG substream, so enabling/disabling churn never
+// shifts any other plan draw — the property the shrinker relies on.
+struct ChurnWorkloadPlan {
+  bool enabled = false;
+  std::vector<std::pair<int, int>> pairs;  // (src, dst) host indices
+  double flows_per_sec = 0.0;              // per source
+  std::int64_t message_bytes = 0;
+  double abort_probability = 0.0;  // RST mid-transfer instead of FIN
+  bool bursty = false;             // on/off arrivals instead of Poisson
+  std::int64_t table_cap = 0;      // vSwitch flow-table cap (0 = unbounded)
+  sim::Time stop_after = 0;        // arrivals cease; in-flight flows drain
+};
+
 struct ScenarioPlan {
   std::uint64_t seed = 1;
   TopologyKind topology = TopologyKind::kSingleSwitch;
@@ -55,6 +72,7 @@ struct ScenarioPlan {
   bool police = false;
   bool inject_dupacks_on_timeout = false;
   std::vector<TransferPlan> transfers;
+  ChurnWorkloadPlan churn;
 
   // One-line human description for fuzz logs and repro reports.
   std::string summary() const;
@@ -71,8 +89,12 @@ struct FaultToggles {
   bool dup = true;
   bool reorder = true;
   bool jitter = true;
+  // Not a wire fault, but the shrinker masks the churn workload the same
+  // way: its draws come from an independent substream, so disabling it
+  // leaves every other class bit-identical.
+  bool churn = true;
 
-  bool all() const { return drop && dup && reorder && jitter; }
+  bool all() const { return drop && dup && reorder && jitter && churn; }
 };
 
 void mask_faults(ScenarioPlan& plan, const FaultToggles& keep);
@@ -103,6 +125,7 @@ struct RunOutcome {
   std::uint64_t events = 0;
   std::uint64_t packets_checked = 0;
   net::FaultStats faults;
+  workload::ChurnStats churn;  // zero when the plan carries no churn
   std::vector<std::string> violations;  // first few, verbatim
   std::uint64_t violation_count = 0;
 

@@ -1,0 +1,207 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace acdc::workload {
+
+std::vector<ChurnPlanItem> make_churn_plan(sim::Rng rng,
+                                           const ChurnConfig& cfg,
+                                           sim::Time horizon) {
+  // Same draw order as the live Poisson source (gap, bytes, abort) so a
+  // plan built from a seed matches what that seed would generate online.
+  std::vector<ChurnPlanItem> plan;
+  const sim::Time mean_gap = sim::seconds(1.0 / cfg.flows_per_sec);
+  sim::Time t = 0;
+  for (;;) {
+    t += rng.exponential_gap(mean_gap);
+    if (t >= horizon) break;
+    ChurnPlanItem item;
+    item.at = t;
+    item.bytes = cfg.sizes != nullptr
+                     ? std::clamp<std::int64_t>(cfg.sizes->sample(rng), 1,
+                                                cfg.max_flow_bytes)
+                     : cfg.message_bytes;
+    item.abort_flow = rng.chance(cfg.abort_probability);
+    plan.push_back(item);
+  }
+  return plan;
+}
+
+ChurnSource::ChurnSource(sim::Simulator* sim, host::Host* sender,
+                         host::Host* receiver, net::TcpPort port,
+                         tcp::TcpConfig tcp_config, ChurnConfig config,
+                         sim::Rng rng, sim::Time start)
+    : sim_(sim),
+      sender_(sender),
+      receiver_(receiver),
+      port_(port),
+      tcp_config_(tcp_config),
+      config_(std::move(config)),
+      rng_(rng),
+      start_(start) {
+  const double rate = config_.arrival == ArrivalKind::kBurstyOnOff
+                          ? config_.flows_per_sec * config_.burst_factor
+                          : config_.flows_per_sec;
+  assert(rate > 0.0);
+  mean_gap_ = sim::seconds(1.0 / rate);
+  // Receiver side, wired once before any run: accepted connections answer
+  // the client's FIN with their own and release themselves on kDone. Both
+  // callbacks touch only receiver-host state, so this stays correct when
+  // sender and receiver live on different shards.
+  host::Host* rcv = receiver_;
+  receiver_->listen(port_, tcp_config_, [rcv](tcp::TcpConnection* conn) {
+    conn->on_peer_fin = [conn] { conn->close(); };
+    conn->on_closed = [rcv, conn] { rcv->release_connection(conn); };
+  });
+  sim_->schedule_at(start_, [this] { this->start(); });
+}
+
+ChurnSource::~ChurnSource() = default;
+
+bool ChurnSource::stopped() const {
+  return config_.stop_after != sim::kNoTime &&
+         sim_->now() - start_ >= config_.stop_after;
+}
+
+void ChurnSource::start() {
+  switch (config_.arrival) {
+    case ArrivalKind::kPoisson:
+      arm_arrival();
+      break;
+    case ArrivalKind::kBurstyOnOff:
+      burst_on_ = true;
+      arm_arrival();
+      sim_->schedule(rng_.exponential_gap(config_.burst_on_mean),
+                     [this] { flip_phase(); });
+      break;
+    case ArrivalKind::kReplay:
+      replay_next();
+      break;
+  }
+}
+
+void ChurnSource::arm_arrival() {
+  if (arrival_armed_ || stopped()) return;
+  arrival_armed_ = true;
+  sim_->schedule(rng_.exponential_gap(mean_gap_), [this] { on_arrival(); });
+}
+
+void ChurnSource::on_arrival() {
+  arrival_armed_ = false;
+  if (stopped()) return;
+  // A straggler fired after the burst phase flipped off: swallow it; the
+  // next on-phase re-arms.
+  if (config_.arrival == ArrivalKind::kBurstyOnOff && !burst_on_) return;
+  const std::int64_t bytes = draw_bytes();
+  const bool abort_flow = rng_.chance(config_.abort_probability);
+  launch(bytes, abort_flow);
+  arm_arrival();
+}
+
+void ChurnSource::flip_phase() {
+  if (stopped()) return;
+  burst_on_ = !burst_on_;
+  sim_->schedule(rng_.exponential_gap(burst_on_ ? config_.burst_on_mean
+                                                : config_.burst_off_mean),
+                 [this] { flip_phase(); });
+  if (burst_on_) arm_arrival();
+}
+
+void ChurnSource::replay_next() {
+  if (replay_index_ >= config_.replay.size()) return;
+  const ChurnPlanItem& item = config_.replay[replay_index_++];
+  const sim::Time at = std::max(start_ + item.at, sim_->now());
+  sim_->schedule_at(at, [this, &item] {
+    launch(item.bytes, item.abort_flow);
+    replay_next();
+  });
+}
+
+std::int64_t ChurnSource::draw_bytes() {
+  if (config_.sizes == nullptr) return config_.message_bytes;
+  return std::clamp<std::int64_t>(config_.sizes->sample(rng_), 1,
+                                  config_.max_flow_bytes);
+}
+
+void ChurnSource::launch(std::int64_t bytes, bool abort_flow) {
+  if (config_.max_concurrent_per_source > 0 &&
+      stats_.concurrent >= config_.max_concurrent_per_source) {
+    ++stats_.skipped;
+    return;
+  }
+  tcp::TcpConnection* conn =
+      sender_->connect(receiver_->ip(), port_, tcp_config_);
+  ++stats_.started;
+  ++stats_.concurrent;
+  stats_.peak_concurrent = std::max(stats_.peak_concurrent, stats_.concurrent);
+
+  Flow& f = flows_[conn];
+  f.bytes = std::max<std::int64_t>(bytes, 1);
+  if (abort_flow) {
+    f.abort_at = rng_.uniform_int(0, f.bytes);
+  }
+
+  conn->on_established = [this, conn] {
+    auto it = flows_.find(conn);
+    if (it == flows_.end()) return;
+    if (it->second.abort_at == 0) {
+      conn->abort();  // fires on_closed -> finish()
+      return;
+    }
+    conn->send(it->second.bytes);
+  };
+  conn->on_acked = [this, conn](std::int64_t cum) {
+    auto it = flows_.find(conn);
+    if (it == flows_.end() || it->second.data_done) return;
+    Flow& flow = it->second;
+    if (flow.abort_at >= 0 && cum >= flow.abort_at) {
+      flow.data_done = true;
+      conn->abort();  // fires on_closed -> finish()
+      return;
+    }
+    if (cum >= flow.bytes) {
+      flow.data_done = true;
+      if (config_.linger > 0) {
+        sim_->schedule(config_.linger, [this, conn] {
+          if (flows_.find(conn) != flows_.end()) conn->close();
+        });
+      } else {
+        conn->close();
+      }
+    }
+  };
+  conn->on_closed = [this, conn] { finish(conn); };
+}
+
+void ChurnSource::finish(tcp::TcpConnection* conn) {
+  auto it = flows_.find(conn);
+  if (it == flows_.end()) return;
+  if (it->second.abort_at >= 0) {
+    ++stats_.aborted;
+  } else {
+    ++stats_.completed;
+  }
+  stats_.acked_bytes += conn->acked_payload_bytes();
+  --stats_.concurrent;
+  flows_.erase(it);
+  sender_->release_connection(conn);
+}
+
+ChurnSource* ChurnEngine::add_source(sim::Simulator* sim, host::Host* sender,
+                                     host::Host* receiver, net::TcpPort port,
+                                     const tcp::TcpConfig& tcp_config,
+                                     const ChurnConfig& config, sim::Rng rng,
+                                     sim::Time start) {
+  sources_.push_back(std::make_unique<ChurnSource>(
+      sim, sender, receiver, port, tcp_config, config, rng, start));
+  return sources_.back().get();
+}
+
+ChurnStats ChurnEngine::stats() const {
+  ChurnStats total;
+  for (const auto& src : sources_) total += src->stats();
+  return total;
+}
+
+}  // namespace acdc::workload

@@ -46,7 +46,7 @@ class SenderModuleTest : public ::testing::Test {
   SenderModuleTest() : sender_(core_) { core_.sim = &sim_; }
 
   FlowEntry& entry() {
-    return core_.entry(data_key(), AcdcCore::kCacheSndEgress);
+    return *core_.entry(data_key(), AcdcCore::kCacheSndEgress);
   }
 
   // Lvalue helper for one-shot egress packets.

@@ -41,12 +41,12 @@ TEST(FlowTableTest, CreateFindErase) {
   EXPECT_EQ(table.find(key_ab()), nullptr);
   auto [e, created] = table.find_or_create(key_ab(), 100);
   EXPECT_TRUE(created);
-  EXPECT_EQ(e.created_at, 100);
+  EXPECT_EQ(e->created_at, 100);
   EXPECT_EQ(table.size(), 1u);
-  EXPECT_EQ(table.find(key_ab()), &e);
+  EXPECT_EQ(table.find(key_ab()), e);
   // Same key -> same entry, not re-created.
   auto again = table.find_or_create(key_ab(), 200);
-  EXPECT_EQ(&again.entry, &e);
+  EXPECT_EQ(again.entry, e);
   EXPECT_FALSE(again.created);
   EXPECT_EQ(table.size(), 1u);
   EXPECT_TRUE(table.erase(key_ab()));
@@ -85,16 +85,16 @@ TEST(FlowTableTest, VersionTracksMembershipChanges) {
 
 TEST(FlowTableTest, GarbageCollectsIdleAndFin) {
   FlowTable table;
-  FlowEntry& idle = table.find_or_create(key_ab(), 0).entry;
+  FlowEntry& idle = *table.find_or_create(key_ab(), 0).entry;
   idle.last_activity = 0;
   FlowKey k2 = key_ab();
   k2.src_port = 40'001;
-  FlowEntry& finished = table.find_or_create(k2, 0).entry;
+  FlowEntry& finished = *table.find_or_create(k2, 0).entry;
   finished.fin_seen = true;
   finished.last_activity = sim::seconds(5);
   FlowKey k3 = key_ab();
   k3.src_port = 40'002;
-  FlowEntry& live = table.find_or_create(k3, 0).entry;
+  FlowEntry& live = *table.find_or_create(k3, 0).entry;
   live.last_activity = sim::seconds(15);
 
   // At t=10s with 60s idle timeout and 1s FIN linger: only `finished` goes.

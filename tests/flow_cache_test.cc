@@ -24,9 +24,9 @@ class FlowCacheTest : public ::testing::Test {
 
 TEST_F(FlowCacheTest, RepeatLookupHitsCache) {
   const FlowKey k = key_n(40'000);
-  FlowEntry& e1 = core_.entry(k, AcdcCore::kCacheSndEgress);
+  FlowEntry& e1 = *core_.entry(k, AcdcCore::kCacheSndEgress);
   const std::int64_t misses = core_.stats.flow_cache_misses;
-  FlowEntry& e2 = core_.entry(k, AcdcCore::kCacheSndEgress);
+  FlowEntry& e2 = *core_.entry(k, AcdcCore::kCacheSndEgress);
   EXPECT_EQ(&e1, &e2);
   EXPECT_EQ(core_.stats.flow_cache_misses, misses);
   EXPECT_GE(core_.stats.flow_cache_hits, 1);
@@ -57,14 +57,14 @@ TEST_F(FlowCacheTest, EraseInvalidatesCachedEntry) {
   ASSERT_TRUE(core_.table.erase(k));
   // The cached pointer is dangling; the version bump must force a re-lookup
   // which re-creates the entry rather than returning stale memory.
-  FlowEntry& fresh = core_.entry(k, AcdcCore::kCacheSndEgress);
+  FlowEntry& fresh = *core_.entry(k, AcdcCore::kCacheSndEgress);
   EXPECT_EQ(core_.table.size(), 1u);
   EXPECT_EQ(core_.table.find(k), &fresh);
 }
 
 TEST_F(FlowCacheTest, GcInvalidatesCachedEntry) {
   const FlowKey k = key_n(40'000);
-  FlowEntry& e = core_.entry(k, AcdcCore::kCacheSndEgress);
+  FlowEntry& e = *core_.entry(k, AcdcCore::kCacheSndEgress);
   e.last_activity = 0;
   core_.entry(k, AcdcCore::kCacheSndEgress);  // cached
   ASSERT_EQ(core_.table.collect_garbage(sim::seconds(120), sim::seconds(60),
@@ -86,7 +86,7 @@ TEST_F(FlowCacheTest, NegativeResultIsCachedAndInvalidatedByInsert) {
   EXPECT_EQ(core_.stats.flow_cache_misses, misses) << "miss should be cached";
 
   // Creating the flow bumps the version; the cached nullptr must die.
-  FlowEntry& e = core_.entry(k, AcdcCore::kCacheSndEgress);
+  FlowEntry& e = *core_.entry(k, AcdcCore::kCacheSndEgress);
   EXPECT_EQ(core_.find(k, AcdcCore::kCacheRcvEgressAck), &e);
 }
 
@@ -96,7 +96,7 @@ TEST_F(FlowCacheTest, CreationStillInitialisesPolicyAndVcc) {
   FlowPolicy p;
   p.kind = VccKind::kDctcp;
   core_.policy.set_default(p);
-  FlowEntry& e = core_.entry(key_n(40'000), AcdcCore::kCacheSndEgress);
+  FlowEntry& e = *core_.entry(key_n(40'000), AcdcCore::kCacheSndEgress);
   EXPECT_EQ(e.policy.kind, VccKind::kDctcp);
   EXPECT_GT(e.snd.cwnd_bytes, 0.0);
 }

@@ -1,0 +1,328 @@
+// Property tests for the flow table's removal machinery: GC expiry
+// boundaries (fin_linger vs idle_timeout are strict), the version counter
+// bumping on every removal path (erase, GC, cap-eviction), LRU eviction
+// always picking the oldest-idle entry (checked against a shadow model
+// under a randomized op mix), and the AcdcCore per-direction lookup caches
+// never serving a stale pointer after GC or cap-eviction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "acdc/core.h"
+#include "acdc/flow_table.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "testlib/seed.h"
+
+namespace acdc::vswitch {
+namespace {
+
+FlowKey key_n(std::uint16_t port) {
+  return FlowKey{net::make_ip(10, 0, 0, 1), net::make_ip(10, 0, 0, 2), port,
+                 5000};
+}
+
+constexpr sim::Time kIdleTimeout = sim::seconds(60);
+constexpr sim::Time kFinLinger = sim::seconds(1);
+
+TEST(FlowTableGc, FinLingerAndIdleTimeoutBoundariesAreStrict) {
+  FlowTable t;
+  const sim::Time now = sim::seconds(100);
+
+  // Exactly at the boundary an entry survives; one nanosecond past it dies.
+  FlowEntry& fin_at = *t.find_or_create(key_n(1), 0).entry;
+  fin_at.fin_seen = true;
+  fin_at.last_activity = now - kFinLinger;  // idle == fin_linger: keep
+
+  FlowEntry& fin_past = *t.find_or_create(key_n(2), 0).entry;
+  fin_past.fin_seen = true;
+  fin_past.last_activity = now - kFinLinger - 1;  // idle > fin_linger: drop
+
+  FlowEntry& live_at = *t.find_or_create(key_n(3), 0).entry;
+  live_at.last_activity = now - kIdleTimeout;  // idle == idle_timeout: keep
+
+  FlowEntry& live_past = *t.find_or_create(key_n(4), 0).entry;
+  live_past.last_activity = now - kIdleTimeout - 1;  // drop
+
+  // A FIN-marked entry past idle_timeout dies even if fin_linger were huge.
+  FlowEntry& fin_ancient = *t.find_or_create(key_n(5), 0).entry;
+  fin_ancient.fin_seen = true;
+  fin_ancient.last_activity = now - kIdleTimeout - 1;
+
+  EXPECT_EQ(t.collect_garbage(now, kIdleTimeout, kFinLinger), 3u);
+  EXPECT_NE(t.find(key_n(1)), nullptr) << "idle == fin_linger must survive";
+  EXPECT_EQ(t.find(key_n(2)), nullptr);
+  EXPECT_NE(t.find(key_n(3)), nullptr) << "idle == idle_timeout must survive";
+  EXPECT_EQ(t.find(key_n(4)), nullptr);
+  EXPECT_EQ(t.find(key_n(5)), nullptr);
+  EXPECT_EQ(t.stats().gc_removed, 3);
+  EXPECT_EQ(t.stats().removals, 3);
+}
+
+TEST(FlowTableGc, LiveEntryIgnoresFinLinger) {
+  FlowTable t;
+  const sim::Time now = sim::seconds(100);
+  FlowEntry& live = *t.find_or_create(key_n(1), 0).entry;
+  live.last_activity = now - kFinLinger - 1;  // way past fin_linger, no FIN
+  EXPECT_EQ(t.collect_garbage(now, kIdleTimeout, kFinLinger), 0u);
+  EXPECT_NE(t.find(key_n(1)), nullptr);
+}
+
+TEST(FlowTableVersion, EveryRemovalPathBumpsTheVersion) {
+  FlowTable t;
+  std::uint64_t v = t.version();
+  EXPECT_EQ(v, 1u) << "versions start at 1 so a zero stamp never matches";
+
+  // Insert bumps.
+  t.find_or_create(key_n(1), 0);
+  EXPECT_GT(t.version(), v);
+  v = t.version();
+
+  // Hit does not bump.
+  t.find_or_create(key_n(1), 0);
+  EXPECT_EQ(t.version(), v);
+
+  // touch() does not bump (membership is unchanged).
+  t.touch(*t.find(key_n(1)), sim::seconds(1));
+  EXPECT_EQ(t.version(), v);
+
+  // erase() bumps; failed erase does not.
+  EXPECT_TRUE(t.erase(key_n(1)));
+  EXPECT_GT(t.version(), v);
+  v = t.version();
+  EXPECT_FALSE(t.erase(key_n(1)));
+  EXPECT_EQ(t.version(), v);
+
+  // GC with removals bumps exactly once, however many entries it sweeps.
+  for (std::uint16_t p = 10; p < 14; ++p) {
+    t.find_or_create(key_n(p), 0);
+  }
+  v = t.version();
+  EXPECT_EQ(t.collect_garbage(sim::seconds(120), kIdleTimeout, kFinLinger),
+            4u);
+  EXPECT_EQ(t.version(), v + 1);
+  v = t.version();
+
+  // GC with nothing to remove does not bump.
+  EXPECT_EQ(t.collect_garbage(sim::seconds(120), kIdleTimeout, kFinLinger),
+            0u);
+  EXPECT_EQ(t.version(), v);
+
+  // Cap-eviction: one overflowing insert = one removal + one insert.
+  t.set_limit(1);
+  t.find_or_create(key_n(20), 0);
+  v = t.version();
+  const auto r = t.find_or_create(key_n(21), sim::seconds(1));
+  ASSERT_NE(r.entry, nullptr);
+  EXPECT_TRUE(r.created);
+  EXPECT_EQ(t.version(), v + 2) << "eviction and insert each bump";
+  EXPECT_EQ(t.stats().evictions, 1);
+  EXPECT_EQ(t.find(key_n(20)), nullptr);
+
+  // Rejected admission changes no membership and must not bump.
+  t.set_limit(1, FlowTable::OverflowPolicy::kReject);
+  v = t.version();
+  const auto rejected = t.find_or_create(key_n(22), sim::seconds(2));
+  EXPECT_EQ(rejected.entry, nullptr);
+  EXPECT_EQ(t.version(), v);
+  EXPECT_EQ(t.stats().admission_rejects, 1);
+  EXPECT_NE(t.find(key_n(21)), nullptr) << "resident entry must survive";
+}
+
+// Randomized op mix against a shadow model: after every operation the
+// table's membership, size bound, eviction victims and oldest() pointer
+// must agree with the model, and the version counter must change exactly
+// when membership does.
+TEST(FlowTableProperty, RandomOpMixMatchesShadowModel) {
+  constexpr std::size_t kCap = 8;
+  constexpr std::uint16_t kPorts = 64;
+
+  FlowTable t;
+  t.set_limit(kCap);
+
+  struct Shadow {
+    sim::Time last = 0;
+    bool fin = false;
+  };
+  std::map<std::uint16_t, Shadow> model;
+
+  sim::Rng rng(testlib::test_seed(0xF70A));
+  sim::Time now = 0;
+  for (int step = 0; step < 4000; ++step) {
+    now += rng.uniform_int(1, 4);  // strictly increasing: no idle ties
+    const auto port = static_cast<std::uint16_t>(rng.uniform_int(0, kPorts - 1));
+    const FlowKey key = key_n(port);
+    const std::uint64_t version_before = t.version();
+    const std::int64_t op = rng.uniform_int(0, 99);
+
+    if (op < 45) {  // find_or_create
+      const bool existed = model.count(port) > 0;
+      std::uint16_t victim = 0;
+      bool evicts = false;
+      if (!existed && model.size() == kCap) {
+        evicts = true;
+        victim = std::min_element(model.begin(), model.end(),
+                                  [](const auto& a, const auto& b) {
+                                    return a.second.last < b.second.last;
+                                  })
+                     ->first;
+      }
+      const auto res = t.find_or_create(key, now);
+      ASSERT_NE(res.entry, nullptr);
+      EXPECT_EQ(res.created, !existed);
+      if (existed) {
+        EXPECT_EQ(t.version(), version_before);
+      } else {
+        if (evicts) model.erase(victim);
+        model[port] = Shadow{now, false};
+        EXPECT_GT(t.version(), version_before);
+        if (evicts) {
+          EXPECT_EQ(t.find(key_n(victim)), nullptr)
+              << "eviction must pick the oldest-idle entry";
+        }
+      }
+    } else if (op < 70) {  // touch
+      FlowEntry* e = t.find(key);
+      ASSERT_EQ(e != nullptr, model.count(port) > 0);
+      if (e != nullptr) {
+        t.touch(*e, now);
+        model[port].last = now;
+        EXPECT_EQ(t.version(), version_before);
+      }
+    } else if (op < 80) {  // mark FIN
+      FlowEntry* e = t.find(key);
+      if (e != nullptr) {
+        e->fin_seen = true;
+        model[port].fin = true;
+      }
+    } else if (op < 90) {  // erase
+      const bool existed = model.count(port) > 0;
+      EXPECT_EQ(t.erase(key), existed);
+      if (existed) {
+        model.erase(port);
+        EXPECT_GT(t.version(), version_before);
+      } else {
+        EXPECT_EQ(t.version(), version_before);
+      }
+    } else {  // GC with a randomly tight horizon
+      const sim::Time idle_timeout = rng.uniform_int(100, 300);
+      const sim::Time fin_linger = rng.uniform_int(5, 30);
+      std::size_t expected = 0;
+      for (auto it = model.begin(); it != model.end();) {
+        const sim::Time idle = now - it->second.last;
+        if ((it->second.fin && idle > fin_linger) || idle > idle_timeout) {
+          it = model.erase(it);
+          ++expected;
+        } else {
+          ++it;
+        }
+      }
+      EXPECT_EQ(t.collect_garbage(now, idle_timeout, fin_linger), expected);
+      if (expected > 0) {
+        EXPECT_EQ(t.version(), version_before + 1);
+      } else {
+        EXPECT_EQ(t.version(), version_before);
+      }
+    }
+
+    // Structural invariants after every op.
+    ASSERT_EQ(t.size(), model.size());
+    ASSERT_LE(t.size(), kCap);
+    if (!model.empty()) {
+      const auto oldest = std::min_element(
+          model.begin(), model.end(), [](const auto& a, const auto& b) {
+            return a.second.last < b.second.last;
+          });
+      ASSERT_NE(t.oldest(), nullptr);
+      EXPECT_EQ(t.oldest()->key.src_port, oldest->first)
+          << "LRU head must be the oldest-idle entry";
+    } else {
+      EXPECT_EQ(t.oldest(), nullptr);
+    }
+  }
+
+  // The mix must actually have exercised every removal path.
+  EXPECT_GT(t.stats().evictions, 0);
+  EXPECT_GT(t.stats().gc_removed, 0);
+  EXPECT_GT(t.stats().removals, t.stats().gc_removed);
+}
+
+class FlowCacheEvictionTest : public ::testing::Test {
+ protected:
+  FlowCacheEvictionTest() { core_.sim = &sim_; }
+
+  sim::Simulator sim_;
+  AcdcCore core_;
+};
+
+TEST_F(FlowCacheEvictionTest, CapEvictionInvalidatesCachedEntry) {
+  core_.table.set_limit(2);
+  const FlowKey k1 = key_n(1);
+  core_.entry(k1, AcdcCore::kCacheSndEgress);
+  core_.entry(k1, AcdcCore::kCacheSndEgress);  // cached in the egress slot
+
+  // Fill to the cap and one past it through a different slot; k1 is the
+  // oldest-idle entry and gets evicted.
+  core_.entry(key_n(2), AcdcCore::kCacheSndIngressAck);
+  core_.entry(key_n(3), AcdcCore::kCacheSndIngressAck);
+  ASSERT_EQ(core_.table.stats().evictions, 1);
+  ASSERT_EQ(core_.table.find(k1), nullptr);
+
+  // The egress slot still holds the dead pointer, but the version bump must
+  // force a re-lookup that re-creates the entry.
+  const std::int64_t misses = core_.stats.flow_cache_misses;
+  FlowEntry* fresh = core_.entry(k1, AcdcCore::kCacheSndEgress);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_GT(core_.stats.flow_cache_misses, misses)
+      << "cap-eviction must invalidate the cache, not serve the dead entry";
+  EXPECT_EQ(core_.table.find(k1), fresh);
+  EXPECT_LE(core_.table.size(), 2u);
+}
+
+TEST_F(FlowCacheEvictionTest, GcNeverLeavesStaleCacheAcrossAllSlots) {
+  // Stamp all four direction slots, GC everything, then verify each slot
+  // re-looks-up rather than serving freed memory.
+  const FlowKey keys[] = {key_n(1), key_n(2), key_n(3), key_n(4)};
+  const int slots[] = {AcdcCore::kCacheSndEgress, AcdcCore::kCacheSndIngressAck,
+                       AcdcCore::kCacheRcvIngressData,
+                       AcdcCore::kCacheRcvEgressAck};
+  for (int i = 0; i < 4; ++i) core_.entry(keys[i], slots[i]);
+  for (int i = 0; i < 4; ++i) core_.entry(keys[i], slots[i]);  // stamp caches
+  ASSERT_EQ(core_.table.collect_garbage(sim::seconds(120), kIdleTimeout,
+                                        kFinLinger),
+            4u);
+  const std::int64_t misses = core_.stats.flow_cache_misses;
+  for (int i = 0; i < 4; ++i) {
+    FlowEntry* e = core_.entry(keys[i], slots[i]);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(core_.table.find(keys[i]), e);
+  }
+  EXPECT_GE(core_.stats.flow_cache_misses - misses, 4);
+}
+
+TEST_F(FlowCacheEvictionTest, RejectedAdmissionIsNeverCached) {
+  core_.table.set_limit(1, FlowTable::OverflowPolicy::kReject);
+  FlowEntry* resident = core_.entry(key_n(1), AcdcCore::kCacheSndEgress);
+  ASSERT_NE(resident, nullptr);
+
+  // Every rejected lookup must go to the table (a cached nullptr would be
+  // wrong: the reject did not bump the version, so the stamp would go
+  // stale-positive the moment the resident flow leaves).
+  EXPECT_EQ(core_.entry(key_n(2), AcdcCore::kCacheSndIngressAck), nullptr);
+  EXPECT_EQ(core_.entry(key_n(2), AcdcCore::kCacheSndIngressAck), nullptr);
+  EXPECT_EQ(core_.table.stats().admission_rejects, 2);
+
+  // The resident flow stays served, including through the cache.
+  EXPECT_EQ(core_.entry(key_n(1), AcdcCore::kCacheSndEgress), resident);
+
+  // Once the resident leaves, the previously rejected flow must be admitted.
+  ASSERT_TRUE(core_.table.erase(key_n(1)));
+  FlowEntry* admitted = core_.entry(key_n(2), AcdcCore::kCacheSndIngressAck);
+  ASSERT_NE(admitted, nullptr);
+  EXPECT_EQ(core_.table.find(key_n(2)), admitted);
+}
+
+}  // namespace
+}  // namespace acdc::vswitch

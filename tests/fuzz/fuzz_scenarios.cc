@@ -2,8 +2,8 @@
 //
 //   fuzz_scenarios --seed N --iters K [--differential-every D]
 //                  [--no-drop] [--no-dup] [--no-reorder] [--no-jitter]
-//                  [--horizon-ms M] [--artifact-dir DIR] [--quiet]
-//                  [--shards S] [--threads T]
+//                  [--no-churn] [--horizon-ms M] [--artifact-dir DIR]
+//                  [--quiet] [--shards S] [--threads T]
 //
 // --shards S (S > 1) partitions every sampled topology and runs it on the
 // parallel engine with T worker threads (default: one per shard); results
@@ -14,8 +14,9 @@
 // the AC/DC datapath removed to check transparency (differential oracle).
 //
 // On failure the driver shrinks the scenario by greedily toggling fault
-// classes off (each class draws from independent RNG substreams, so masking
-// one leaves the others bit-identical), prints a single-line repro command,
+// classes — and the churn workload — off (each draws from independent RNG
+// substreams, so masking one leaves the others bit-identical), prints a
+// single-line repro command,
 // and — when --artifact-dir is given — writes the failure report plus a
 // Chrome trace of the failing run.
 //
@@ -56,8 +57,8 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--seed N] [--iters K] [--differential-every D]\n"
       "          [--no-drop] [--no-dup] [--no-reorder] [--no-jitter]\n"
-      "          [--horizon-ms M] [--artifact-dir DIR] [--quiet]\n"
-      "          [--shards S] [--threads T]\n"
+      "          [--no-churn] [--horizon-ms M] [--artifact-dir DIR]\n"
+      "          [--quiet] [--shards S] [--threads T]\n"
       "ACDC_TEST_SEED overrides the default --seed.\n",
       argv0);
 }
@@ -91,6 +92,8 @@ bool parse_args(int argc, char** argv, DriverOptions& opt) {
       opt.toggles.reorder = false;
     } else if (arg == "--no-jitter") {
       opt.toggles.jitter = false;
+    } else if (arg == "--no-churn") {
+      opt.toggles.churn = false;
     } else if (arg == "--artifact-dir" && i + 1 < argc) {
       opt.artifact_dir = argv[++i];
     } else if (arg == "--quiet") {
@@ -160,6 +163,7 @@ std::string repro_command(std::uint64_t seed, const FaultToggles& t,
   if (!t.dup) cmd += " --no-dup";
   if (!t.reorder) cmd += " --no-reorder";
   if (!t.jitter) cmd += " --no-jitter";
+  if (!t.churn) cmd += " --no-churn";
   if (opt.shards > 0) cmd += " --shards " + std::to_string(opt.shards);
   if (opt.threads > 0) cmd += " --threads " + std::to_string(opt.threads);
   return cmd;
@@ -170,15 +174,15 @@ std::string repro_command(std::uint64_t seed, const FaultToggles& t,
 FaultToggles shrink(std::uint64_t seed, const DriverOptions& opt,
                     FaultToggles toggles, bool with_differential) {
   bool* const classes[] = {&toggles.drop, &toggles.dup, &toggles.reorder,
-                           &toggles.jitter};
-  const char* const names[] = {"drop", "dup", "reorder", "jitter"};
-  for (std::size_t c = 0; c < 4; ++c) {
+                           &toggles.jitter, &toggles.churn};
+  const char* const names[] = {"drop", "dup", "reorder", "jitter", "churn"};
+  for (std::size_t c = 0; c < std::size(classes); ++c) {
     if (!*classes[c]) continue;
     *classes[c] = false;
     if (run_seed(seed, opt, toggles, with_differential, nullptr)) {
       *classes[c] = true;  // that class is needed to reproduce
     } else if (!opt.quiet) {
-      std::printf("  shrink: still fails without %s faults\n", names[c]);
+      std::printf("  shrink: still fails with %s masked\n", names[c]);
     }
   }
   return toggles;

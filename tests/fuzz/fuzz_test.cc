@@ -58,14 +58,73 @@ TEST(ScenarioGen, MaskFaultsClearsClasses) {
   plan.faults.dup_p = 0.01;
   plan.faults.reorder_p = 0.01;
   plan.faults.jitter_p = 0.01;
+  plan.churn.enabled = true;
+  plan.churn.pairs = {{0, 1}};
   FaultToggles keep;
   keep.drop = false;
   keep.jitter = false;
+  keep.churn = false;
   mask_faults(plan, keep);
   EXPECT_EQ(plan.faults.drop_p, 0.0);
   EXPECT_EQ(plan.faults.jitter_p, 0.0);
   EXPECT_GT(plan.faults.dup_p, 0.0);
   EXPECT_GT(plan.faults.reorder_p, 0.0);
+  EXPECT_FALSE(plan.churn.enabled);
+  EXPECT_TRUE(plan.churn.pairs.empty());
+}
+
+TEST(ScenarioGen, ChurnPlansAreSampledAndStayInsideTopology) {
+  int with_churn = 0;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const ScenarioPlan plan = make_plan(seed);
+    if (!plan.churn.enabled) continue;
+    ++with_churn;
+    ASSERT_FALSE(plan.churn.pairs.empty()) << plan.summary();
+    for (const auto& [src, dst] : plan.churn.pairs) {
+      EXPECT_GE(src, 0);
+      EXPECT_LT(src, plan.hosts);
+      EXPECT_GE(dst, 0);
+      EXPECT_LT(dst, plan.hosts);
+      EXPECT_NE(src, dst) << plan.summary();
+    }
+    EXPECT_GT(plan.churn.flows_per_sec, 0.0);
+    EXPECT_GT(plan.churn.message_bytes, 0);
+    EXPECT_GT(plan.churn.stop_after, 0);
+  }
+  // ~40% of seeds should carry churn; 64 seeds make 0 astronomically
+  // unlikely unless the substream wiring broke.
+  EXPECT_GT(with_churn, 0);
+}
+
+TEST(FuzzChurn, ChurnRunDrainsAndIsDeterministic) {
+  // A hand-built churn plan with a tight table cap: the run must drain
+  // (concurrent == 0), hold every invariant under eviction pressure, and
+  // reproduce bit-identically.
+  ScenarioPlan plan = make_plan(test_seed(77));
+  plan.faults = net::FaultConfig{};
+  plan.faults.codec_check_p = 0.05;
+  plan.churn.enabled = true;
+  plan.churn.pairs = {{0, 1}, {1, 2}};
+  plan.churn.flows_per_sec = 2000.0;
+  plan.churn.message_bytes = 8 * 1024;
+  plan.churn.abort_probability = 0.2;
+  plan.churn.table_cap = 6;
+  plan.churn.stop_after = sim::milliseconds(40);
+
+  const RunOutcome first = run_plan(plan);
+  EXPECT_TRUE(first.ok()) << failure_text(first, plan);
+  EXPECT_GT(first.churn.started, 0);
+  EXPECT_GT(first.churn.completed + first.churn.aborted, 0);
+  EXPECT_EQ(first.churn.concurrent, 0);
+  if (plan.churn.abort_probability > 0.0) {
+    EXPECT_GE(first.churn.aborted, 0);
+  }
+
+  const RunOutcome second = run_plan(plan);
+  EXPECT_EQ(first.event_digest, second.event_digest);
+  EXPECT_EQ(first.app_digest, second.app_digest);
+  EXPECT_EQ(first.churn.started, second.churn.started);
+  EXPECT_EQ(first.churn.aborted, second.churn.aborted);
 }
 
 TEST(FuzzDeterminism, SameSeedSameEventStream) {

@@ -100,8 +100,8 @@ class SeqWrapSenderTest : public ::testing::Test {
   SeqWrapSenderTest() : sender_(core_) { core_.sim = &sim_; }
 
   vswitch::FlowEntry& entry() {
-    return core_.entry(vswitch::FlowKey{kVm, kPeer, 1000, 80},
-                       vswitch::AcdcCore::kCacheSndEgress);
+    return *core_.entry(vswitch::FlowKey{kVm, kPeer, 1000, 80},
+                        vswitch::AcdcCore::kCacheSndEgress);
   }
   bool egress(net::Packet p) { return sender_.process_egress(p); }
   bool ingress(net::Packet& p) { return sender_.process_ingress_ack(p); }
