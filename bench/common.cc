@@ -21,9 +21,13 @@ void maybe_enable_tracing(const RunConfig& cfg, exp::Scenario& s) {
 void maybe_dump_trace(const RunConfig& cfg, exp::Scenario& s) {
   const std::string prefix = effective_trace_prefix(cfg);
   if (prefix.empty() || s.recorder() == nullptr) return;
-  bool ok = obs::write_chrome_trace_file(*s.recorder(), s.metrics(),
+  // Merge across shards (a cheap copy for serial runs) so the exports are
+  // globally time-ordered regardless of shard count; the JSONL feeds
+  // tools/acdc_forensics directly.
+  const obs::MergedTrace merged = obs::merge_recorders(s.recorders());
+  bool ok = obs::write_chrome_trace_file(merged, s.metrics(),
                                          prefix + ".trace.json");
-  ok = obs::write_trace_jsonl_file(*s.recorder(), prefix + ".trace.jsonl") && ok;
+  ok = obs::write_trace_jsonl_file(merged, prefix + ".trace.jsonl") && ok;
   if (s.metrics() != nullptr) {
     ok = obs::write_metrics_csv_file(*s.metrics(), prefix + ".metrics.csv") &&
          ok;

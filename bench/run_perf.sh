@@ -63,7 +63,7 @@ fi
 iters=()
 if [[ "$quick" == 1 ]]; then
   iters=(--packet-iters 400000 --multiflow-iters 400000 --event-iters 200000
-         --parallel-ms 10)
+         --parallel-ms 10 --overhead-ms 100)
 fi
 
 raw="$(mktemp)"
@@ -126,6 +126,10 @@ print(f"  churn flows/sec wall: {churn['churn_flows_per_sec_wall']:.0f} "
 if "parallel_speedup_t8" in current:
     print(f"  parallel speedup t8/t1: {current['parallel_speedup_t8']}x "
           f"({current['hw_threads']} hw threads)")
+if "tracing_overhead_pct" in current:
+    print(f"  tracing overhead: {current['tracing_overhead_pct']}% "
+          f"({current['e2e_pps_traced']:.0f} traced vs "
+          f"{current['e2e_pps_untraced']:.0f} untraced pps)")
 
 if os.environ["CHECK"] == "1":
     # Regression gate: each throughput metric must stay within 20% of the
@@ -162,6 +166,12 @@ if os.environ["CHECK"] == "1":
     if churn["churn_gc_removed"] + churn["churn_evictions"] <= 0:
         failed.append("churn removed no flow-table state "
                       "(gc_removed + evictions == 0)")
+    # Tracing must stay cheap enough to leave on while debugging: the
+    # end-to-end run with all forensic taps + post-run analysis must keep
+    # packets/sec within 10% of the untraced run.
+    if current.get("tracing_overhead_pct", 0) > 10.0:
+        failed.append("tracing_overhead_pct "
+                      f"{current['tracing_overhead_pct']} > 10.0")
     if failed:
         print("PERF REGRESSION:", *failed, sep="\n  ", file=sys.stderr)
         sys.exit(1)

@@ -268,6 +268,13 @@ void SenderModule::enforce_window(FlowEntry& entry, net::Packet& ack) {
   std::int64_t raw = (wnd + (std::int64_t{1} << scale) - 1) >> scale;
   if (raw == 0) raw = 1;  // never freeze the flow entirely
   if (raw < static_cast<std::int64_t>(ack.tcp.window_raw)) {
+    if (core_.tracing()) {
+      obs::TraceEvent te =
+          core_.flow_event(obs::EventType::kRwndClamped, entry.key);
+      te.a = wnd;
+      te.b = static_cast<std::int64_t>(ack.tcp.window_raw) << scale;
+      core_.trace->record(te);
+    }
     ack.tcp.window_raw = static_cast<std::uint16_t>(raw);
     ++core_.stats.windows_lowered;
   }

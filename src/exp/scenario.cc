@@ -1,6 +1,7 @@
 #include "exp/scenario.h"
 
 #include <cassert>
+#include <cstdlib>
 
 #include "exp/partition.h"
 #include "net/packet_pool.h"
@@ -437,8 +438,30 @@ obs::FlightRecorder& Scenario::enable_tracing(std::size_t ring_capacity,
       }
     }
   }
-  for (const auto& rec : shard_recorders_) rec->set_enabled(true);
+  // ACDC_TRACE_TAPS=0 keeps the coarse control-plane events but masks the
+  // per-packet forensic taps (origin/enqueue/tx/deliver/...), which
+  // dominate event volume on busy fabrics.
+  const char* taps = std::getenv("ACDC_TRACE_TAPS");
+  const std::uint64_t mask =
+      (taps != nullptr && std::string(taps) == "0")
+          ? obs::FlightRecorder::kAllEvents &
+                ~obs::FlightRecorder::packet_tap_mask()
+          : obs::FlightRecorder::kAllEvents;
+  for (const auto& rec : shard_recorders_) {
+    rec->set_event_mask(mask);
+    rec->set_enabled(true);
+  }
   return *shard_recorders_[0];
+}
+
+net::PcapWriter* Scenario::attach_pcap(net::Port& port,
+                                       const std::string& path) {
+  auto writer = std::make_unique<net::PcapWriter>(path);
+  if (!writer->ok()) return nullptr;
+  net::PcapWriter* raw = writer.get();
+  pcap_writers_.push_back(std::move(writer));
+  port.set_pcap(raw);
+  return raw;
 }
 
 std::vector<obs::FlightRecorder*> Scenario::recorders() {

@@ -23,6 +23,7 @@
 #include "host/echo_app.h"
 #include "host/host.h"
 #include "host/message_app.h"
+#include "net/pcap.h"
 #include "net/shard_link.h"
 #include "net/switch.h"
 #include "net/token_bucket.h"
@@ -197,9 +198,11 @@ class Scenario {
   // snapshots (metrics can still be sampled manually). On a partitioned
   // scenario each shard gets its own recorder/registry (trace rings are
   // single-writer); the return value and recorder()/metrics() refer to
-  // shard 0, recorders()/metrics_registries() expose them all.
+  // shard 0, recorders()/metrics_registries() expose them all. The
+  // ACDC_TRACE_TAPS environment variable ("0" disables) masks the per-packet
+  // forensic tap kinds, keeping the coarse control-plane events only.
   obs::FlightRecorder& enable_tracing(
-      std::size_t ring_capacity = std::size_t{1} << 16,
+      std::size_t ring_capacity = std::size_t{1} << 18,
       sim::Time metrics_interval = sim::milliseconds(1));
   obs::FlightRecorder* recorder() {
     return shard_recorders_.empty() ? nullptr : shard_recorders_[0].get();
@@ -209,6 +212,13 @@ class Scenario {
   }
   std::vector<obs::FlightRecorder*> recorders();
   std::vector<obs::MetricsRegistry*> metrics_registries();
+
+  // Pcap bridge: every packet `port` transmits is appended to a classic
+  // pcap file at `path` (nanosecond timestamps, LINKTYPE_RAW — opens in
+  // Wireshark/tcpdump). The scenario owns the writer; returns nullptr if
+  // the file cannot be opened. Typical targets: a host's NIC
+  // (host->nic().tx_port()) or a switch port.
+  net::PcapWriter* attach_pcap(net::Port& port, const std::string& path);
 
  private:
   net::SwitchConfig switch_config(const SwitchOptions& options) const;
@@ -262,6 +272,7 @@ class Scenario {
   std::vector<std::pair<vswitch::AcdcVswitch*, std::string>> acdc_filters_;
   std::vector<std::unique_ptr<obs::FlightRecorder>> shard_recorders_;
   std::vector<std::unique_ptr<obs::MetricsRegistry>> shard_metrics_;
+  std::vector<std::unique_ptr<net::PcapWriter>> pcap_writers_;
   std::vector<std::unique_ptr<host::BulkApp>> bulk_apps_;
   std::vector<std::unique_ptr<host::EchoApp>> echo_apps_;
   std::vector<std::unique_ptr<host::MessageApp>> message_apps_;

@@ -1,0 +1,185 @@
+#include "forensics/delay_analyzer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/export.h"
+
+namespace acdc::forensics {
+
+DelayBreakdown& DelayBreakdown::operator+=(const DelayBreakdown& o) {
+  pacing_ns += o.pacing_ns;
+  vswitch_ns += o.vswitch_ns;
+  rto_ns += o.rto_ns;
+  queueing_ns += o.queueing_ns;
+  serialization_ns += o.serialization_ns;
+  propagation_ns += o.propagation_ns;
+  other_ns += o.other_ns;
+  return *this;
+}
+
+void DelayAnalyzer::consume(const obs::TraceEvent& ev) {
+  ++events_;
+  switch (ev.type) {
+    case obs::EventType::kPktOrigin: {
+      const auto uid = static_cast<std::uint64_t>(ev.a);
+      PacketTrace& pt = packets_[uid];
+      pt.uid = uid;
+      pt.flow = obs::flow_to_string(ev);
+      pt.origin_t = ev.t;
+      pt.payload_bytes = ev.b;
+      // The stack flushes any accumulated send-stall immediately before
+      // the origin it delayed, on the same flow.
+      auto it = stalls_.find(pt.flow);
+      if (it != stalls_.end()) {
+        pt.delay.pacing_ns += it->second.pacing_ns;
+        pt.delay.vswitch_ns += it->second.vswitch_ns;
+        stalls_.erase(it);
+      }
+      break;
+    }
+    case obs::EventType::kTcpSendStall: {
+      PendingStall& s = stalls_[obs::flow_to_string(ev)];
+      if (ev.b == static_cast<std::int64_t>(obs::StallCause::kRwnd)) {
+        s.vswitch_ns += ev.a;  // AC/DC's enforcement channel
+      } else {
+        s.pacing_ns += ev.a;  // cwnd or TX-gate (TSQ)
+      }
+      break;
+    }
+    case obs::EventType::kPktRetx: {
+      auto it = packets_.find(static_cast<std::uint64_t>(ev.a));
+      if (it != packets_.end()) {
+        it->second.retransmission = true;
+        if (ev.x != 0.0) it->second.rto = true;
+        it->second.delay.rto_ns += ev.b;
+      }
+      break;
+    }
+    case obs::EventType::kPktTxStart: {
+      const auto uid = static_cast<std::uint64_t>(ev.a);
+      auto pkt = packets_.find(uid);
+      if (pkt == packets_.end()) {
+        tx_end_.erase(uid);
+        break;
+      }
+      HopTiming hop;
+      hop.source = ev.source;
+      hop.queue_ns = static_cast<std::int64_t>(ev.x);
+      hop.serialization_ns = ev.b;
+      // Propagation is derived, not carried: this hop's arrival (tx-start
+      // minus its queue wait) closes the wire segment the previous hop's
+      // serialization end opened.
+      auto prev = tx_end_.find(uid);
+      if (prev != tx_end_.end() && !pkt->second.hops.empty()) {
+        const std::int64_t prop = (ev.t - hop.queue_ns) - prev->second;
+        pkt->second.hops.back().propagation_ns = prop;
+        pkt->second.delay.propagation_ns += prop;
+      }
+      pkt->second.delay.queueing_ns += hop.queue_ns;
+      pkt->second.delay.serialization_ns += hop.serialization_ns;
+      pkt->second.hops.push_back(hop);
+      tx_end_[uid] = ev.t + ev.b;
+      break;
+    }
+    case obs::EventType::kPktDrop: {
+      const auto uid = static_cast<std::uint64_t>(ev.a);
+      auto it = packets_.find(uid);
+      if (it != packets_.end()) it->second.dropped = true;
+      tx_end_.erase(uid);
+      break;
+    }
+    case obs::EventType::kPktDeliver: {
+      const auto uid = static_cast<std::uint64_t>(ev.a);
+      auto it = packets_.find(uid);
+      if (it != packets_.end()) {
+        it->second.delivered = true;
+        it->second.deliver_t = ev.t;
+        // Close the last wire segment: delivery happens when the final
+        // hop's serialization end plus its link delay elapses.
+        auto prev = tx_end_.find(uid);
+        if (prev != tx_end_.end() && !it->second.hops.empty()) {
+          const std::int64_t prop = ev.t - prev->second;
+          it->second.hops.back().propagation_ns = prop;
+          it->second.delay.propagation_ns += prop;
+        }
+      }
+      tx_end_.erase(uid);
+      break;
+    }
+    case obs::EventType::kRwndClamped:
+      ++clamps_[obs::flow_to_string(ev)];
+      break;
+    default:
+      break;
+  }
+}
+
+Report DelayAnalyzer::report() const {
+  Report rep;
+  rep.events_consumed = events_;
+
+  rep.packets.reserve(packets_.size());
+  for (const auto& [uid, pt] : packets_) {
+    if (pt.delivered) {
+      PacketTrace finished = pt;
+      // Fold whatever the hop taps did not account for into the residual;
+      // on a clean fabric this is exactly zero.
+      const std::int64_t network = finished.deliver_t - finished.origin_t;
+      finished.delay.other_ns =
+          network - (finished.delay.queueing_ns +
+                     finished.delay.serialization_ns +
+                     finished.delay.propagation_ns);
+      rep.packets.push_back(std::move(finished));
+    } else if (pt.dropped) {
+      rep.packets.push_back(pt);
+    } else {
+      ++rep.packets_outstanding;
+    }
+  }
+  std::sort(rep.packets.begin(), rep.packets.end(),
+            [](const PacketTrace& a, const PacketTrace& b) {
+              if (a.origin_t != b.origin_t) return a.origin_t < b.origin_t;
+              return a.uid < b.uid;
+            });
+
+  std::map<std::string, FlowSummary> flows;
+  for (const PacketTrace& pt : rep.packets) {
+    FlowSummary& f = flows[pt.flow];
+    f.flow = pt.flow;
+    if (pt.retransmission) ++f.retransmissions;
+    if (pt.dropped) {
+      ++f.drops;
+      ++rep.packets_dropped;
+      continue;
+    }
+    ++rep.packets_delivered;
+    ++f.packets_delivered;
+    const std::int64_t measured = pt.measured_ns();
+    f.measured_total_ns += measured;
+    rep.measured_total_ns += measured;
+    if (f.packets_delivered == 1 || measured < f.min_latency_ns) {
+      f.min_latency_ns = measured;
+    }
+    if (measured > f.max_latency_ns) f.max_latency_ns = measured;
+    f.totals += pt.delay;
+    rep.totals += pt.delay;
+  }
+  for (const auto& [flow, count] : clamps_) {
+    FlowSummary& f = flows[flow];
+    f.flow = flow;
+    f.rwnd_clamps = count;
+  }
+  rep.flows.reserve(flows.size());
+  for (auto& [flow, summary] : flows) rep.flows.push_back(std::move(summary));
+  return rep;
+}
+
+Report DelayAnalyzer::analyze(const obs::MergedTrace& trace) {
+  DelayAnalyzer analyzer;
+  trace.for_each(
+      [&](const obs::TraceEvent& ev) { analyzer.consume(ev); });
+  return analyzer.report();
+}
+
+}  // namespace acdc::forensics

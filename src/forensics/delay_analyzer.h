@@ -1,0 +1,136 @@
+// Per-packet delay attribution (latency forensics).
+//
+// Consumes flight-recorder events — live, from a merged multi-shard stream,
+// or replayed from an exported JSONL trace — and decomposes every
+// uid-stamped packet's end-to-end latency into a strict set of components:
+//
+//   measured = pacing + vswitch_clamp + rto + queueing + serialization
+//            + propagation + other
+//
+// The send-side components come from the TCP stack's stall bookkeeping
+// (kTcpSendStall, split by StallCause: cwnd/TX-gate waits are "pacing",
+// RWND-clamp waits — AC/DC's enforcement channel — are "vswitch") and from
+// kPktRetx (the wait a retransmitted copy spent before re-emission). The
+// network-side components come from the single per-port tap: kPktTxStart
+// carries the hop's queue wait (x) and serialization time (b), and
+// propagation is derived from inter-hop gaps — the next hop's arrival
+// (tx-start minus its queue wait) minus this hop's serialization end, with
+// the final wire segment closed out by kPktDeliver. On a clean fabric the
+// network components sum exactly (in simulated time) to deliver - origin;
+// anything between hops that is not plain wire time (e.g. fault-injected
+// extra delay) therefore lands in `propagation`, and anything before the
+// first hop lands in `other`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/merge.h"
+#include "obs/trace_event.h"
+#include "sim/time.h"
+
+namespace acdc::forensics {
+
+struct DelayBreakdown {
+  std::int64_t pacing_ns = 0;         // sender cwnd / TX-gate stall
+  std::int64_t vswitch_ns = 0;        // AC/DC RWND-clamp stall
+  std::int64_t rto_ns = 0;            // retransmission wait (RTO or fast)
+  std::int64_t queueing_ns = 0;       // sum of per-hop queue waits
+  std::int64_t serialization_ns = 0;  // sum of per-hop serialization times
+  std::int64_t propagation_ns = 0;    // sum of per-hop propagation delays
+  std::int64_t other_ns = 0;          // residual the taps cannot attribute
+
+  std::int64_t network_ns() const {
+    return queueing_ns + serialization_ns + propagation_ns + other_ns;
+  }
+  std::int64_t total_ns() const {
+    return pacing_ns + vswitch_ns + rto_ns + network_ns();
+  }
+  DelayBreakdown& operator+=(const DelayBreakdown& o);
+};
+
+// One transmitting port the packet crossed.
+struct HopTiming {
+  std::uint32_t source = 0;  // source id of the port, per the input stream
+  std::int64_t queue_ns = 0;
+  std::int64_t serialization_ns = 0;
+  std::int64_t propagation_ns = 0;
+};
+
+struct PacketTrace {
+  std::uint64_t uid = 0;
+  std::string flow;  // "a.b.c.d:p>a.b.c.d:p"
+  sim::Time origin_t = sim::kNoTime;
+  sim::Time deliver_t = sim::kNoTime;
+  std::int64_t payload_bytes = 0;
+  bool retransmission = false;
+  bool rto = false;  // retransmission in RTO (vs fast-retransmit) context
+  bool dropped = false;
+  bool delivered = false;
+  DelayBreakdown delay;
+  std::vector<HopTiming> hops;
+
+  // Send-side stalls plus time on the wire; equals delay.total_ns() for
+  // delivered packets (the analyzer folds any residual into other_ns).
+  std::int64_t measured_ns() const {
+    const std::int64_t network =
+        delivered ? deliver_t - origin_t : std::int64_t{0};
+    return delay.pacing_ns + delay.vswitch_ns + delay.rto_ns + network;
+  }
+};
+
+struct FlowSummary {
+  std::string flow;
+  std::int64_t packets_delivered = 0;
+  std::int64_t retransmissions = 0;
+  std::int64_t drops = 0;
+  std::int64_t rwnd_clamps = 0;  // kRwndClamped events seen for the flow
+  std::int64_t measured_total_ns = 0;
+  std::int64_t min_latency_ns = 0;
+  std::int64_t max_latency_ns = 0;
+  DelayBreakdown totals;
+};
+
+struct Report {
+  std::int64_t events_consumed = 0;
+  std::int64_t packets_delivered = 0;
+  std::int64_t packets_dropped = 0;
+  std::int64_t packets_outstanding = 0;  // neither delivered nor dropped
+  std::int64_t measured_total_ns = 0;
+  DelayBreakdown totals;                // delivered packets only
+  std::vector<FlowSummary> flows;       // sorted by flow string
+  std::vector<PacketTrace> packets;     // delivered/dropped, by (origin, uid)
+};
+
+class DelayAnalyzer {
+ public:
+  // Feed events in stream order (the merger guarantees global time order;
+  // a single recorder's ring is already ordered).
+  void consume(const obs::TraceEvent& ev);
+
+  // Builds the report from everything consumed so far. Deterministic:
+  // flows and packets are sorted, so two streams with identical events
+  // render identical reports regardless of shard count.
+  Report report() const;
+
+  static Report analyze(const obs::MergedTrace& trace);
+
+ private:
+  struct PendingStall {
+    std::int64_t pacing_ns = 0;
+    std::int64_t vswitch_ns = 0;
+  };
+
+  std::int64_t events_ = 0;
+  std::unordered_map<std::uint64_t, PacketTrace> packets_;
+  // Stall waits announced just before the next fresh origin on the flow.
+  std::unordered_map<std::string, PendingStall> stalls_;
+  // When the previous hop finished serializing, keyed by uid: the next
+  // tx-start (or the delivery) closes the wire segment it opened.
+  std::unordered_map<std::uint64_t, sim::Time> tx_end_;
+  std::unordered_map<std::string, std::int64_t> clamps_;
+};
+
+}  // namespace acdc::forensics

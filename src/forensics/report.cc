@@ -1,0 +1,141 @@
+#include "forensics/report.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace acdc::forensics {
+namespace {
+
+void append_breakdown_text(std::ostringstream& os, const DelayBreakdown& d,
+                           const char* indent) {
+  os << indent << "pacing=" << d.pacing_ns
+     << " vswitch_clamp=" << d.vswitch_ns << " rto=" << d.rto_ns << "\n"
+     << indent << "queueing=" << d.queueing_ns
+     << " serialization=" << d.serialization_ns
+     << " propagation=" << d.propagation_ns << " other=" << d.other_ns
+     << "\n";
+}
+
+void append_breakdown_json(std::ostringstream& os, const DelayBreakdown& d) {
+  os << "{\"pacing_ns\":" << d.pacing_ns
+     << ",\"vswitch_ns\":" << d.vswitch_ns << ",\"rto_ns\":" << d.rto_ns
+     << ",\"queueing_ns\":" << d.queueing_ns
+     << ",\"serialization_ns\":" << d.serialization_ns
+     << ",\"propagation_ns\":" << d.propagation_ns
+     << ",\"other_ns\":" << d.other_ns << ",\"total_ns\":" << d.total_ns()
+     << "}";
+}
+
+template <typename Fn>
+bool write_file(const std::string& path, Fn&& fn) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os.is_open()) return false;
+  os << fn();
+  return os.good();
+}
+
+}  // namespace
+
+std::string render_text(const Report& report, const RenderOptions& opts) {
+  std::ostringstream os;
+  os << "latency forensics report\n"
+     << "  events consumed: " << report.events_consumed << "\n"
+     << "  packets: delivered=" << report.packets_delivered
+     << " dropped=" << report.packets_dropped
+     << " outstanding=" << report.packets_outstanding << "\n"
+     << "  measured total (ns): " << report.measured_total_ns << "\n"
+     << "  attribution totals (ns):\n";
+  append_breakdown_text(os, report.totals, "    ");
+
+  for (const FlowSummary& f : report.flows) {
+    os << "flow " << f.flow << "\n"
+       << "  delivered=" << f.packets_delivered
+       << " retransmissions=" << f.retransmissions << " drops=" << f.drops
+       << " rwnd_clamps=" << f.rwnd_clamps << "\n";
+    if (f.packets_delivered > 0) {
+      os << "  latency (ns): total=" << f.measured_total_ns
+         << " mean=" << f.measured_total_ns / f.packets_delivered
+         << " min=" << f.min_latency_ns << " max=" << f.max_latency_ns
+         << "\n"
+         << "  attribution (ns):\n";
+      append_breakdown_text(os, f.totals, "    ");
+    }
+  }
+
+  if (opts.include_packets) {
+    os << "packets (uid flow origin_ns measured_ns pacing vswitch rto "
+          "queueing serialization propagation other flags)\n";
+    for (const PacketTrace& pt : report.packets) {
+      os << "  " << pt.uid << " " << pt.flow << " " << pt.origin_t << " "
+         << pt.measured_ns() << " " << pt.delay.pacing_ns << " "
+         << pt.delay.vswitch_ns << " " << pt.delay.rto_ns << " "
+         << pt.delay.queueing_ns << " " << pt.delay.serialization_ns << " "
+         << pt.delay.propagation_ns << " " << pt.delay.other_ns << " ";
+      if (pt.dropped) os << "dropped";
+      if (pt.retransmission) os << (pt.rto ? "retx-rto" : "retx-fast");
+      if (!pt.dropped && !pt.retransmission) os << "-";
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string render_json(const Report& report) {
+  std::ostringstream os;
+  os << "{\"events_consumed\":" << report.events_consumed
+     << ",\"packets_delivered\":" << report.packets_delivered
+     << ",\"packets_dropped\":" << report.packets_dropped
+     << ",\"packets_outstanding\":" << report.packets_outstanding
+     << ",\"measured_total_ns\":" << report.measured_total_ns
+     << ",\"totals\":";
+  append_breakdown_json(os, report.totals);
+  os << ",\"flows\":[";
+  bool first = true;
+  for (const FlowSummary& f : report.flows) {
+    os << (first ? "" : ",") << "{\"flow\":\"" << f.flow
+       << "\",\"delivered\":" << f.packets_delivered
+       << ",\"retransmissions\":" << f.retransmissions
+       << ",\"drops\":" << f.drops << ",\"rwnd_clamps\":" << f.rwnd_clamps
+       << ",\"measured_total_ns\":" << f.measured_total_ns
+       << ",\"min_latency_ns\":" << f.min_latency_ns
+       << ",\"max_latency_ns\":" << f.max_latency_ns << ",\"totals\":";
+    append_breakdown_json(os, f.totals);
+    os << "}";
+    first = false;
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+std::string render_csv(const Report& report) {
+  std::ostringstream os;
+  os << "flow,delivered,retransmissions,drops,rwnd_clamps,"
+        "measured_total_ns,min_latency_ns,max_latency_ns,pacing_ns,"
+        "vswitch_ns,rto_ns,queueing_ns,serialization_ns,propagation_ns,"
+        "other_ns\n";
+  for (const FlowSummary& f : report.flows) {
+    os << f.flow << ',' << f.packets_delivered << ',' << f.retransmissions
+       << ',' << f.drops << ',' << f.rwnd_clamps << ','
+       << f.measured_total_ns << ',' << f.min_latency_ns << ','
+       << f.max_latency_ns << ',' << f.totals.pacing_ns << ','
+       << f.totals.vswitch_ns << ',' << f.totals.rto_ns << ','
+       << f.totals.queueing_ns << ',' << f.totals.serialization_ns << ','
+       << f.totals.propagation_ns << ',' << f.totals.other_ns << '\n';
+  }
+  return os.str();
+}
+
+bool write_text_file(const Report& report, const std::string& path,
+                     const RenderOptions& opts) {
+  return write_file(path, [&] { return render_text(report, opts); });
+}
+
+bool write_json_file(const Report& report, const std::string& path) {
+  return write_file(path, [&] { return render_json(report); });
+}
+
+bool write_csv_file(const Report& report, const std::string& path) {
+  return write_file(path, [&] { return render_csv(report); });
+}
+
+}  // namespace acdc::forensics

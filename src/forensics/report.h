@@ -1,0 +1,26 @@
+// Deterministic renderings of a forensics Report: human-readable text,
+// machine-readable JSON, and per-flow CSV. All figures are integral
+// nanoseconds of simulated time, so two identical reports render
+// byte-identically regardless of how many shards produced the trace.
+#pragma once
+
+#include <string>
+
+#include "forensics/delay_analyzer.h"
+
+namespace acdc::forensics {
+
+struct RenderOptions {
+  bool include_packets = false;  // per-packet lines in the text report
+};
+
+std::string render_text(const Report& report, const RenderOptions& opts = {});
+std::string render_json(const Report& report);
+std::string render_csv(const Report& report);
+
+bool write_text_file(const Report& report, const std::string& path,
+                     const RenderOptions& opts = {});
+bool write_json_file(const Report& report, const std::string& path);
+bool write_csv_file(const Report& report, const std::string& path);
+
+}  // namespace acdc::forensics

@@ -1,0 +1,203 @@
+#include "forensics/trace_import.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+namespace acdc::forensics {
+namespace {
+
+// One "key":value pair from a flat JSON object; values are numbers or
+// strings (the exporter emits nothing nested).
+struct Field {
+  std::string_view key;
+  std::string_view value;
+  bool quoted = false;
+};
+
+// Minimal scanner for the exporter's own output. Returns false on any
+// structural surprise; the caller then skips the line.
+bool scan_fields(std::string_view line, std::vector<Field>& out) {
+  out.clear();
+  std::size_t i = line.find('{');
+  if (i == std::string_view::npos) return false;
+  ++i;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ',' || line[i] == ' ')) ++i;
+    if (i < line.size() && line[i] == '}') return true;
+    if (i >= line.size() || line[i] != '"') return false;
+    const std::size_t key_start = ++i;
+    while (i < line.size() && line[i] != '"') ++i;
+    if (i >= line.size()) return false;
+    Field f;
+    f.key = line.substr(key_start, i - key_start);
+    ++i;  // closing quote
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    if (i < line.size() && line[i] == '"') {
+      f.quoted = true;
+      const std::size_t val_start = ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') ++i;  // exporter escapes only '"' and '\'
+        ++i;
+      }
+      if (i >= line.size()) return false;
+      f.value = line.substr(val_start, i - val_start);
+      ++i;
+    } else {
+      const std::size_t val_start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+      f.value = line.substr(val_start, i - val_start);
+    }
+    out.push_back(f);
+  }
+  return false;  // never saw the closing brace
+}
+
+bool parse_quad(std::string_view s, std::uint32_t& ip, std::uint16_t& port) {
+  std::uint32_t out = 0;
+  int octets = 0;
+  std::size_t i = 0;
+  while (octets < 4) {
+    std::uint32_t octet = 0;
+    bool any = false;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+      octet = octet * 10 + static_cast<std::uint32_t>(s[i] - '0');
+      any = true;
+      ++i;
+    }
+    if (!any || octet > 255) return false;
+    out = (out << 8) | octet;
+    ++octets;
+    if (octets < 4) {
+      if (i >= s.size() || s[i] != '.') return false;
+      ++i;
+    }
+  }
+  if (i >= s.size() || s[i] != ':') return false;
+  ++i;
+  std::uint32_t p = 0;
+  bool any = false;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    p = p * 10 + static_cast<std::uint32_t>(s[i] - '0');
+    any = true;
+    ++i;
+  }
+  if (!any || p > 65'535 || i != s.size()) return false;
+  ip = out;
+  port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+bool parse_flow(std::string_view s, obs::TraceEvent& ev) {
+  const std::size_t sep = s.find('>');
+  if (sep == std::string_view::npos) return false;
+  return parse_quad(s.substr(0, sep), ev.src_ip, ev.src_port) &&
+         parse_quad(s.substr(sep + 1), ev.dst_ip, ev.dst_port);
+}
+
+std::int64_t to_i64(std::string_view s) {
+  return std::strtoll(std::string(s).c_str(), nullptr, 10);
+}
+
+double to_f64(std::string_view s) {
+  return std::strtod(std::string(s).c_str(), nullptr);
+}
+
+const std::unordered_map<std::string_view, obs::EventType>& type_by_name() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string_view, obs::EventType>;
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(obs::EventType::kCount); ++i) {
+      const auto type = static_cast<obs::EventType>(i);
+      m->emplace(obs::event_meta(type).name, type);
+    }
+    return m;
+  }();
+  return *map;
+}
+
+}  // namespace
+
+std::optional<ImportResult> import_trace_jsonl(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.is_open()) return std::nullopt;
+
+  ImportResult result;
+  result.stream.sources.push_back("");  // id 0 reserved
+  std::unordered_map<std::string, std::uint32_t> source_ids;
+
+  std::string line;
+  std::vector<Field> fields;
+  while (std::getline(is, line)) {
+    ++result.lines;
+    if (line.empty()) continue;
+    if (!scan_fields(line, fields)) {
+      ++result.skipped;
+      continue;
+    }
+    obs::TraceEvent ev;
+    bool have_type = false;
+    const obs::EventMeta* meta = nullptr;
+    // The type decides how the remaining labelled args map onto a/b/x, so
+    // resolve it first.
+    for (const Field& f : fields) {
+      if (f.key == "type") {
+        auto it = type_by_name().find(f.value);
+        if (it != type_by_name().end()) {
+          ev.type = it->second;
+          meta = &obs::event_meta(ev.type);
+          have_type = true;
+        }
+        break;
+      }
+    }
+    if (!have_type) {
+      ++result.skipped;
+      continue;
+    }
+    for (const Field& f : fields) {
+      if (f.key == "t_ns") {
+        ev.t = to_i64(f.value);
+      } else if (f.key == "src") {
+        const std::string name(f.value);
+        auto [it, inserted] = source_ids.try_emplace(
+            name,
+            static_cast<std::uint32_t>(result.stream.sources.size()));
+        if (inserted) result.stream.sources.push_back(name);
+        ev.source = it->second;
+      } else if (f.key == "flow") {
+        if (!parse_flow(f.value, ev)) {
+          ++result.skipped;
+          have_type = false;
+          break;
+        }
+      } else if (meta->a != nullptr && f.key == meta->a) {
+        ev.a = to_i64(f.value);
+      } else if (meta->b != nullptr && f.key == meta->b) {
+        ev.b = to_i64(f.value);
+      } else if (meta->x != nullptr && f.key == meta->x) {
+        ev.x = to_f64(f.value);
+      }
+    }
+    if (!have_type) continue;  // flow parse failed mid-line
+    result.stream.events.push_back(ev);
+  }
+  return result;
+}
+
+std::optional<obs::MergedTrace> import_and_merge(
+    const std::vector<std::string>& paths) {
+  std::vector<obs::EventStream> streams;
+  streams.reserve(paths.size());
+  for (const std::string& path : paths) {
+    auto imported = import_trace_jsonl(path);
+    if (!imported.has_value()) return std::nullopt;
+    streams.push_back(std::move(imported->stream));
+  }
+  return obs::merge_streams(streams);
+}
+
+}  // namespace acdc::forensics

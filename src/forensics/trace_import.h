@@ -1,0 +1,29 @@
+// Re-imports flat JSONL traces (obs::write_trace_jsonl output) so the
+// forensics CLI can analyze exported runs offline, including merging the
+// per-shard exports of a parallel run back into one ordered stream.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/merge.h"
+
+namespace acdc::forensics {
+
+struct ImportResult {
+  obs::EventStream stream;
+  std::int64_t lines = 0;    // lines read
+  std::int64_t skipped = 0;  // malformed or unknown-type lines ignored
+};
+
+// Parses one JSONL trace file. Returns nullopt only when the file cannot
+// be opened; unparseable lines are counted in `skipped` and dropped.
+std::optional<ImportResult> import_trace_jsonl(const std::string& path);
+
+// Imports every file and k-way merges the streams by (time, file order).
+// Returns nullopt if any file cannot be opened.
+std::optional<obs::MergedTrace> import_and_merge(
+    const std::vector<std::string>& paths);
+
+}  // namespace acdc::forensics

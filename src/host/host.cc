@@ -70,6 +70,7 @@ tcp::TcpConnection* Host::make_connection(const tcp::TcpConfig& config,
     raw->set_trace(trace_, trace_->register_source(
                                name_ + ".tcp:" + std::to_string(local.port)));
   }
+  if (rtt_hist_ != nullptr) raw->set_rtt_histogram(rtt_hist_);
   if (tsq_limit_bytes_ > 0) {
     raw->tx_gate = [this] {
       if (nic_.tx_port().queue().byte_length() < tsq_limit_bytes_) {
@@ -207,6 +208,10 @@ void Host::set_trace(obs::FlightRecorder* recorder) {
 
 void Host::register_metrics(obs::MetricsRegistry& registry) const {
   nic_.register_metrics(registry, name_);
+  rtt_hist_ = &registry.histogram(name_ + ".rtt_ns");
+  for (const auto& conn : connections_) {
+    conn->set_rtt_histogram(rtt_hist_);
+  }
   registry.register_counter(name_ + ".demux_misses", &demux_misses_);
   registry.register_counter(name_ + ".connections_opened", &conns_opened_);
   registry.register_counter(name_ + ".connections_released",

@@ -82,7 +82,8 @@ class Host : public net::PacketSink {
   // Wires the flight recorder into the NIC and into every connection —
   // existing and future (each gets its own "<host>.tcp:<port>" source).
   void set_trace(obs::FlightRecorder* recorder);
-  // Absorbs NIC counters and a live connection-count gauge as "<host>.*".
+  // Absorbs NIC counters and a live connection-count gauge as "<host>.*",
+  // plus a "<host>.rtt_ns" histogram fed by every connection's RTT samples.
   void register_metrics(obs::MetricsRegistry& registry) const;
 
  private:
@@ -145,6 +146,9 @@ class Host : public net::PacketSink {
   bool graveyard_flush_scheduled_ = false;
   std::unordered_map<ConnKey, tcp::TcpConnection*, ConnKeyHash> demux_;
   std::unordered_map<net::TcpPort, Listener> listeners_;
+  // Observation channel, set from the const register_metrics (the registry
+  // owns the histogram; recording does not change the host's logical state).
+  mutable obs::Histogram* rtt_hist_ = nullptr;
   static constexpr net::TcpPort kEphemeralBase = 40'000;
   net::TcpPort next_ephemeral_ = kEphemeralBase;
   std::int64_t demux_misses_ = 0;

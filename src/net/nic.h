@@ -31,16 +31,24 @@ class Nic : public PacketSink {
   std::int64_t received_bytes() const { return received_bytes_; }
 
   // Re-homes the NIC (and its TX port) onto a shard's simulator.
-  void rebind_simulator(sim::Simulator* sim) { tx_port_.rebind_simulator(sim); }
+  void rebind_simulator(sim::Simulator* sim) {
+    sim_ = sim;
+    tx_port_.rebind_simulator(sim);
+  }
 
-  // Flight-recorder / metrics wiring (covers the TX port and its queue).
-  void set_trace(obs::FlightRecorder* recorder) { tx_port_.set_trace(recorder); }
+  // Flight-recorder / metrics wiring (covers the TX port and its queue,
+  // plus a `<name>:rx` source for the forensic delivery tap).
+  void set_trace(obs::FlightRecorder* recorder);
   void register_metrics(obs::MetricsRegistry& registry,
                         const std::string& prefix) const;
 
  private:
+  sim::Simulator* sim_;
+  std::string name_;
   Port tx_port_;
   PacketSink* up_ = nullptr;
+  obs::FlightRecorder* trace_ = nullptr;
+  std::uint32_t trace_source_ = 0;
   std::int64_t received_packets_ = 0;
   std::int64_t received_bytes_ = 0;
 };

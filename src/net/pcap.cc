@@ -1,0 +1,100 @@
+#include "net/pcap.h"
+
+#include "net/wire.h"
+
+namespace acdc::net {
+
+namespace {
+
+void put_u16(std::ofstream& os, std::uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v & 0xff),
+                         static_cast<char>((v >> 8) & 0xff)};
+  os.write(bytes, 2);
+}
+
+void put_u32(std::ofstream& os, std::uint32_t v) {
+  const char bytes[4] = {
+      static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+      static_cast<char>((v >> 16) & 0xff), static_cast<char>((v >> 24) & 0xff)};
+  os.write(bytes, 4);
+}
+
+bool get_u16(std::ifstream& is, std::uint16_t& v) {
+  unsigned char bytes[2];
+  if (!is.read(reinterpret_cast<char*>(bytes), 2)) return false;
+  v = static_cast<std::uint16_t>(bytes[0] | (bytes[1] << 8));
+  return true;
+}
+
+bool get_u32(std::ifstream& is, std::uint32_t& v) {
+  unsigned char bytes[4];
+  if (!is.read(reinterpret_cast<char*>(bytes), 4)) return false;
+  v = static_cast<std::uint32_t>(bytes[0]) |
+      (static_cast<std::uint32_t>(bytes[1]) << 8) |
+      (static_cast<std::uint32_t>(bytes[2]) << 16) |
+      (static_cast<std::uint32_t>(bytes[3]) << 24);
+  return true;
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path)
+    : path_(path), os_(path, std::ios::binary | std::ios::trunc) {
+  if (!os_.is_open()) return;
+  put_u32(os_, kMagicNanos);
+  put_u16(os_, 2);  // version 2.4
+  put_u16(os_, 4);
+  put_u32(os_, 0);       // thiszone: GMT
+  put_u32(os_, 0);       // sigfigs
+  put_u32(os_, 65535);   // snaplen
+  put_u32(os_, kLinkTypeRaw);
+}
+
+void PcapWriter::write(const Packet& packet, sim::Time t) {
+  if (!ok()) return;
+  const std::vector<std::uint8_t> bytes = wire::serialize(packet);
+  put_u32(os_, static_cast<std::uint32_t>(t / 1'000'000'000));
+  put_u32(os_, static_cast<std::uint32_t>(t % 1'000'000'000));
+  put_u32(os_, static_cast<std::uint32_t>(bytes.size()));
+  // Original length: the full IP datagram including the synthetic payload.
+  put_u32(os_, static_cast<std::uint32_t>(packet.size_bytes()));
+  os_.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ++packets_written_;
+}
+
+std::optional<PcapFile> read_pcap(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return std::nullopt;
+  PcapFile file;
+  std::uint32_t thiszone = 0, sigfigs = 0;
+  if (!get_u32(is, file.magic) || file.magic != PcapWriter::kMagicNanos) {
+    return std::nullopt;
+  }
+  if (!get_u16(is, file.version_major) || !get_u16(is, file.version_minor) ||
+      !get_u32(is, thiszone) || !get_u32(is, sigfigs) ||
+      !get_u32(is, file.snaplen) || !get_u32(is, file.link_type)) {
+    return std::nullopt;
+  }
+  for (;;) {
+    std::uint32_t ts_sec = 0;
+    if (!get_u32(is, ts_sec)) break;  // clean EOF
+    std::uint32_t ts_nsec = 0, incl_len = 0, orig_len = 0;
+    if (!get_u32(is, ts_nsec) || !get_u32(is, incl_len) ||
+        !get_u32(is, orig_len)) {
+      return std::nullopt;  // truncated record header
+    }
+    PcapRecord rec;
+    rec.t = static_cast<sim::Time>(ts_sec) * 1'000'000'000 +
+            static_cast<sim::Time>(ts_nsec);
+    rec.orig_len = orig_len;
+    rec.bytes.resize(incl_len);
+    if (!is.read(reinterpret_cast<char*>(rec.bytes.data()), incl_len)) {
+      return std::nullopt;  // truncated record body
+    }
+    file.records.push_back(std::move(rec));
+  }
+  return file;
+}
+
+}  // namespace acdc::net

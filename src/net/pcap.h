@@ -1,0 +1,71 @@
+// Pcap bridge: capture any link tap as a standard pcap file.
+//
+// Writer: classic pcap (not pcapng) with the nanosecond-resolution magic
+// 0xa1b23c4d and LINKTYPE_RAW (101) — records are raw IPv4 datagrams as
+// produced by wire::serialize(), so captures open directly in Wireshark /
+// tcpdump / tshark with full TCP dissection (including the AC/DC PACK
+// experimental option). Payload bytes are synthetic in the simulator and
+// are not stored: each record's captured length is the header bytes while
+// the original length covers the full IP datagram, which readers render as
+// an ordinary truncated-snaplen capture.
+//
+// Reader: a minimal in-repo parser for the same format, used by the pcap
+// round-trip tests — it is not a general pcap implementation.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace acdc::net {
+
+class PcapWriter {
+ public:
+  // Opens `path` and writes the global header. ok() reports failure.
+  explicit PcapWriter(const std::string& path);
+
+  bool ok() const { return os_.is_open() && os_.good(); }
+  const std::string& path() const { return path_; }
+
+  // Appends one record: the packet's wire bytes timestamped at sim time `t`.
+  void write(const Packet& packet, sim::Time t);
+
+  void flush() { os_.flush(); }
+  std::int64_t packets_written() const { return packets_written_; }
+
+  static constexpr std::uint32_t kMagicNanos = 0xa1b23c4d;
+  static constexpr std::uint32_t kLinkTypeRaw = 101;  // LINKTYPE_RAW
+
+ private:
+  std::string path_;
+  std::ofstream os_;
+  std::int64_t packets_written_ = 0;
+};
+
+// ---- Read-back (test support) ----
+
+struct PcapRecord {
+  sim::Time t = 0;                  // ts_sec * 1e9 + ts_nsec
+  std::uint32_t orig_len = 0;       // original datagram length
+  std::vector<std::uint8_t> bytes;  // captured bytes (headers)
+};
+
+struct PcapFile {
+  std::uint32_t magic = 0;
+  std::uint16_t version_major = 0;
+  std::uint16_t version_minor = 0;
+  std::uint32_t snaplen = 0;
+  std::uint32_t link_type = 0;
+  std::vector<PcapRecord> records;
+};
+
+// Parses a file written by PcapWriter (little-endian, ns magic). Returns
+// nullopt on malformed input.
+std::optional<PcapFile> read_pcap(const std::string& path);
+
+}  // namespace acdc::net

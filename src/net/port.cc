@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "net/pcap.h"
+
 namespace acdc::net {
 
 Port::Port(sim::Simulator* sim, std::string name, sim::Rate rate,
@@ -31,6 +33,7 @@ void Port::register_metrics(obs::MetricsRegistry& registry) const {
   registry.register_counter(name_ + ".tx_packets", &transmitted_packets_);
   registry.register_counter(name_ + ".tx_bytes", &transmitted_bytes_);
   queue_->register_metrics(registry, name_);
+  sojourn_ns_ = &registry.histogram(name_ + ".sojourn_ns");
 }
 
 void Port::start_transmission() {
@@ -39,19 +42,45 @@ void Port::start_transmission() {
     transmitting_ = false;
     return;
   }
-  if (trace_ != nullptr && trace_->enabled()) {
-    obs::TraceEvent ev;
-    ev.t = sim_->now();
-    ev.type = obs::EventType::kQueueOccupancy;
-    ev.source = trace_source_;
-    ev.a = queue_->byte_length();
-    ev.b = static_cast<std::int64_t>(queue_->packet_length());
-    trace_->record(ev);
-  }
   transmitting_ = true;
   const sim::Time tx = sim::transmission_time(packet->wire_bytes(), rate_);
   ++transmitted_packets_;
   transmitted_bytes_ += packet->wire_bytes();
+
+  // Observation taps at transmission start: queue sojourn for the
+  // histogram, one trace event per dequeue, and the pcap bridge. The
+  // forensic tx tap supersedes the occupancy sample for uid-stamped
+  // packets — never both, so full-tap tracing does not double the dequeue
+  // event volume. The tap carries the queue wait in x (the same quantity
+  // the sojourn histogram records); occupancy for tapped traffic comes
+  // from the queue_bytes gauges on the metrics clock.
+  if (sojourn_ns_ != nullptr) {
+    sojourn_ns_->record(sim_->now() - packet->enqueued_at);
+  }
+  if (trace_ != nullptr && trace_->enabled()) {
+    if (packet->uid != 0 && trace_->wants(obs::EventType::kPktTxStart)) {
+      trace_->emit(obs::EventType::kPktTxStart, [&](obs::TraceEvent& ev) {
+        ev.t = sim_->now();
+        ev.source = trace_source_;
+        ev.src_ip = packet->ip.src;
+        ev.dst_ip = packet->ip.dst;
+        ev.src_port = packet->tcp.src_port;
+        ev.dst_port = packet->tcp.dst_port;
+        ev.a = static_cast<std::int64_t>(packet->uid);
+        ev.b = tx;
+        ev.x = static_cast<double>(sim_->now() - packet->enqueued_at);
+      });
+    } else {
+      trace_->emit(obs::EventType::kQueueOccupancy,
+                   [&](obs::TraceEvent& ev) {
+                     ev.t = sim_->now();
+                     ev.source = trace_source_;
+                     ev.a = queue_->byte_length();
+                     ev.b = static_cast<std::int64_t>(queue_->packet_length());
+                   });
+    }
+  }
+  if (pcap_ != nullptr) pcap_->write(*packet, sim_->now());
 
   // Deliver at tx + propagation; free the transmitter at tx. A remote peer
   // (cross-shard link) takes the delivery time with the packet instead of a

@@ -15,6 +15,8 @@
 
 namespace acdc::net {
 
+class PcapWriter;
+
 // Boundary for links that leave this simulator shard: instead of scheduling
 // the delivery locally, the transmitting Port hands the raw packet plus its
 // absolute delivery time to the RemotePeer (a cross-shard mailbox adapter,
@@ -64,8 +66,14 @@ class Port : public PacketSink {
   // and samples occupancy after each dequeue, all attributed to this port's
   // name.
   void set_trace(obs::FlightRecorder* recorder);
-  // Registers `<name>.tx_*` counters plus the queue's stats and occupancy.
+  // Registers `<name>.tx_*` counters plus the queue's stats and occupancy,
+  // and attaches a `<name>.sojourn_ns` histogram fed at each dequeue.
   void register_metrics(obs::MetricsRegistry& registry) const;
+
+  // Pcap tap: every packet this port serialises is appended to `pcap` at
+  // its transmission-start time. nullptr detaches. The writer must outlive
+  // the port's last transmission.
+  void set_pcap(PcapWriter* pcap) { pcap_ = pcap; }
 
  private:
   void start_transmission();
@@ -80,6 +88,10 @@ class Port : public PacketSink {
   std::function<void()> on_drain_;
   obs::FlightRecorder* trace_ = nullptr;
   std::uint32_t trace_source_ = 0;
+  PcapWriter* pcap_ = nullptr;
+  // Observation channel, set from the const register_metrics (the registry
+  // owns the histogram; recording does not change the port's logical state).
+  mutable obs::Histogram* sojourn_ns_ = nullptr;
   bool transmitting_ = false;
   std::int64_t transmitted_packets_ = 0;
   std::int64_t transmitted_bytes_ = 0;

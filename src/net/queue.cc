@@ -22,10 +22,17 @@ void Queue::accept(PacketPtr packet) {
   ++stats_.enqueued_packets;
   stats_.enqueued_bytes += bytes;
   if (tracing()) {
-    obs::TraceEvent ev = trace_event(obs::EventType::kQueueEnqueue, *packet);
-    ev.a = bytes_;
-    ev.b = bytes;
-    trace_->record(ev);
+    // uid-stamped packets emit nothing at admission: their queue wait rides
+    // on kPktTxStart (tx-start minus enqueued_at, the sojourn-histogram
+    // quantity), so a per-hop enqueue event would only repeat what the tx
+    // tap already proves. Untapped traffic keeps the legacy occupancy event.
+    if (packet->uid == 0 || !trace_->wants(obs::EventType::kPktTxStart)) {
+      trace_->emit(obs::EventType::kQueueEnqueue, [&](obs::TraceEvent& ev) {
+        fill_trace_event(ev, *packet);
+        ev.a = bytes_;
+        ev.b = bytes;
+      });
+    }
   }
   packets_.push_back(std::move(packet));
 }
@@ -34,24 +41,31 @@ void Queue::drop(const Packet& packet) {
   ++stats_.dropped_packets;
   stats_.dropped_bytes += packet.wire_bytes();
   if (tracing()) {
-    obs::TraceEvent ev = trace_event(obs::EventType::kQueueDrop, packet);
-    ev.a = bytes_;
-    ev.b = packet.wire_bytes();
-    trace_->record(ev);
+    if (packet.uid != 0 && trace_->wants(obs::EventType::kPktDrop)) {
+      trace_->emit(obs::EventType::kPktDrop, [&](obs::TraceEvent& ev) {
+        fill_trace_event(ev, packet);
+        ev.a = static_cast<std::int64_t>(packet.uid);
+        ev.b = bytes_;
+        ev.x = static_cast<double>(packet.wire_bytes());
+      });
+    } else {
+      trace_->emit(obs::EventType::kQueueDrop, [&](obs::TraceEvent& ev) {
+        fill_trace_event(ev, packet);
+        ev.a = bytes_;
+        ev.b = packet.wire_bytes();
+      });
+    }
   }
 }
 
-obs::TraceEvent Queue::trace_event(obs::EventType type,
-                                   const Packet& packet) const {
-  obs::TraceEvent ev;
+void Queue::fill_trace_event(obs::TraceEvent& ev,
+                             const Packet& packet) const {
   ev.t = packet.enqueued_at;
-  ev.type = type;
   ev.source = trace_source_;
   ev.src_ip = packet.ip.src;
   ev.dst_ip = packet.ip.dst;
   ev.src_port = packet.tcp.src_port;
   ev.dst_port = packet.tcp.dst_port;
-  return ev;
 }
 
 void Queue::register_metrics(obs::MetricsRegistry& registry,

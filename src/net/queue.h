@@ -94,8 +94,7 @@ class Queue {
   void drop(const Packet& packet);
   bool tracing() const { return trace_ != nullptr && trace_->enabled(); }
   // Fills a flow-stamped event from `packet` (timestamp = enqueued_at).
-  obs::TraceEvent trace_event(obs::EventType type,
-                              const Packet& packet) const;
+  void fill_trace_event(obs::TraceEvent& ev, const Packet& packet) const;
 
   std::deque<PacketPtr> packets_;
   std::int64_t bytes_ = 0;

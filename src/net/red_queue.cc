@@ -35,10 +35,11 @@ bool RedQueue::enqueue(PacketPtr packet) {
       packet->ip.ecn = Ecn::kCe;
       ++stats_.marked_packets;
       if (tracing()) {
-        obs::TraceEvent ev = trace_event(obs::EventType::kEcnMark, *packet);
-        ev.a = bytes_;
-        ev.b = bytes;
-        trace_->record(ev);
+        trace_->emit(obs::EventType::kEcnMark, [&](obs::TraceEvent& ev) {
+          fill_trace_event(ev, *packet);
+          ev.a = bytes_;
+          ev.b = bytes;
+        });
       }
     } else {
       // Non-ECT packets past the threshold are dropped (WRED drop action).

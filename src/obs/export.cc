@@ -64,8 +64,8 @@ bool is_counter_like(EventType type) {
 
 // The one number a counter track should plot for this event.
 double counter_value(const TraceEvent& ev) {
-  return ev.type == EventType::kAlphaUpdate ? ev.x
-                                            : static_cast<double>(ev.a);
+  if (ev.type == EventType::kAlphaUpdate) return ev.x;
+  return static_cast<double>(ev.a);
 }
 
 const char* counter_track_name(EventType type) {
@@ -94,23 +94,22 @@ bool write_file(const std::string& path, Fn&& fn) {
   return os.good();
 }
 
-}  // namespace
-
-std::string flow_to_string(const TraceEvent& ev) {
-  if (!ev.flow_scoped()) return "";
-  std::string out;
-  append_quad(out, ev.src_ip, ev.src_port);
-  out += '>';
-  append_quad(out, ev.dst_ip, ev.dst_port);
-  return out;
+// Both FlightRecorder and MergedTrace satisfy the same trace-view shape
+// (for_each + source_name) except for the source table accessor.
+const std::vector<std::string>& source_table(const FlightRecorder& rec) {
+  return rec.sources();
+}
+const std::vector<std::string>& source_table(const MergedTrace& trace) {
+  return trace.sources;
 }
 
-void write_trace_jsonl(const FlightRecorder& rec, std::ostream& os) {
-  rec.for_each([&](const TraceEvent& ev) {
+template <typename Trace>
+void write_trace_jsonl_impl(const Trace& trace, std::ostream& os) {
+  trace.for_each([&](const TraceEvent& ev) {
     const EventMeta& meta = event_meta(ev.type);
     os << "{\"t_ns\":" << ev.t << ",\"type\":\"" << meta.name << '"';
     if (ev.source != 0) {
-      os << ",\"src\":\"" << json_escape(rec.source_name(ev.source)) << '"';
+      os << ",\"src\":\"" << json_escape(trace.source_name(ev.source)) << '"';
     }
     const std::string flow = flow_to_string(ev);
     if (!flow.empty()) os << ",\"flow\":\"" << flow << '"';
@@ -120,17 +119,20 @@ void write_trace_jsonl(const FlightRecorder& rec, std::ostream& os) {
   });
 }
 
-void write_trace_csv(const FlightRecorder& rec, std::ostream& os) {
+template <typename Trace>
+void write_trace_csv_impl(const Trace& trace, std::ostream& os) {
   os << "t_ns,type,src,flow,a,b,x\n";
-  rec.for_each([&](const TraceEvent& ev) {
+  trace.for_each([&](const TraceEvent& ev) {
     os << ev.t << ',' << event_meta(ev.type).name << ','
-       << rec.source_name(ev.source) << ',' << flow_to_string(ev) << ','
+       << trace.source_name(ev.source) << ',' << flow_to_string(ev) << ','
        << ev.a << ',' << ev.b << ',' << ev.x << '\n';
   });
 }
 
-void write_chrome_trace(const FlightRecorder& rec,
-                        const MetricsRegistry* metrics, std::ostream& os) {
+template <typename Trace>
+void write_chrome_trace_impl(const Trace& trace,
+                             const MetricsRegistry* metrics,
+                             std::ostream& os) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   auto sep = [&] {
@@ -143,15 +145,16 @@ void write_chrome_trace(const FlightRecorder& rec,
   sep();
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
         "\"args\":{\"name\":\"acdc datapath\"}}";
-  for (std::uint32_t id = 0; id < rec.sources().size(); ++id) {
-    const std::string& name = rec.sources()[id];
+  const std::vector<std::string>& sources = source_table(trace);
+  for (std::uint32_t id = 0; id < sources.size(); ++id) {
+    const std::string& name = sources[id];
     if (name.empty()) continue;
     sep();
     os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << id
        << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
   }
 
-  rec.for_each([&](const TraceEvent& ev) {
+  trace.for_each([&](const TraceEvent& ev) {
     const EventMeta& meta = event_meta(ev.type);
     const double ts_us = static_cast<double>(ev.t) / 1000.0;
     sep();
@@ -189,10 +192,54 @@ void write_chrome_trace(const FlightRecorder& rec,
   os << "\n]}\n";
 }
 
+}  // namespace
+
+std::string flow_to_string(const TraceEvent& ev) {
+  if (!ev.flow_scoped()) return "";
+  std::string out;
+  append_quad(out, ev.src_ip, ev.src_port);
+  out += '>';
+  append_quad(out, ev.dst_ip, ev.dst_port);
+  return out;
+}
+
+void write_trace_jsonl(const FlightRecorder& rec, std::ostream& os) {
+  write_trace_jsonl_impl(rec, os);
+}
+
+void write_trace_jsonl(const MergedTrace& trace, std::ostream& os) {
+  write_trace_jsonl_impl(trace, os);
+}
+
+void write_trace_csv(const FlightRecorder& rec, std::ostream& os) {
+  write_trace_csv_impl(rec, os);
+}
+
+void write_trace_csv(const MergedTrace& trace, std::ostream& os) {
+  write_trace_csv_impl(trace, os);
+}
+
+void write_chrome_trace(const FlightRecorder& rec,
+                        const MetricsRegistry* metrics, std::ostream& os) {
+  write_chrome_trace_impl(rec, metrics, os);
+}
+
+void write_chrome_trace(const MergedTrace& trace,
+                        const MetricsRegistry* metrics, std::ostream& os) {
+  write_chrome_trace_impl(trace, metrics, os);
+}
+
 bool write_trace_jsonl_file(const FlightRecorder& rec,
                             const std::string& path) {
   return write_file(path, [&](std::ostream& os) {
     write_trace_jsonl(rec, os);
+  });
+}
+
+bool write_trace_jsonl_file(const MergedTrace& trace,
+                            const std::string& path) {
+  return write_file(path, [&](std::ostream& os) {
+    write_trace_jsonl(trace, os);
   });
 }
 
@@ -203,11 +250,25 @@ bool write_trace_csv_file(const FlightRecorder& rec,
   });
 }
 
+bool write_trace_csv_file(const MergedTrace& trace, const std::string& path) {
+  return write_file(path, [&](std::ostream& os) {
+    write_trace_csv(trace, os);
+  });
+}
+
 bool write_chrome_trace_file(const FlightRecorder& rec,
                              const MetricsRegistry* metrics,
                              const std::string& path) {
   return write_file(path, [&](std::ostream& os) {
     write_chrome_trace(rec, metrics, os);
+  });
+}
+
+bool write_chrome_trace_file(const MergedTrace& trace,
+                             const MetricsRegistry* metrics,
+                             const std::string& path) {
+  return write_file(path, [&](std::ostream& os) {
+    write_chrome_trace(trace, metrics, os);
   });
 }
 

@@ -22,11 +22,31 @@ const EventMeta& event_meta(EventType type) {
       {"queue_occupancy", "queue_bytes", "queue_packets", nullptr},
       {"conn_state", "state", "prev_state", nullptr},
       {"tcp_cwnd", "cwnd_bytes", "ssthresh_bytes", nullptr},
+      {"pkt_origin", "uid", "payload_bytes", nullptr},
+      {"pkt_retx", "uid", "wait_ns", "rto"},
+      {"tcp_send_stall", "stall_ns", "cause", nullptr},
+      {"pkt_tx_start", "uid", "serialization_ns", "queue_wait_ns"},
+      {"pkt_drop", "uid", "queue_bytes", "packet_bytes"},
+      {"pkt_deliver", "uid", "payload_bytes", nullptr},
+      {"rwnd_clamped", "enforced_rwnd_bytes", "vm_window_bytes", nullptr},
   };
   static_assert(sizeof(kMeta) / sizeof(kMeta[0]) ==
                     static_cast<std::size_t>(EventType::kCount),
                 "event_meta table out of sync with EventType");
   return kMeta[static_cast<std::size_t>(type)];
+}
+
+std::uint64_t FlightRecorder::packet_tap_mask() {
+  static_assert(static_cast<std::size_t>(EventType::kCount) <= 64,
+                "event mask bits exhausted");
+  std::uint64_t mask = 0;
+  for (const EventType t :
+       {EventType::kPktOrigin, EventType::kPktRetx, EventType::kTcpSendStall,
+        EventType::kPktTxStart, EventType::kPktDrop, EventType::kPktDeliver,
+        EventType::kRwndClamped}) {
+    mask |= 1ull << static_cast<unsigned>(t);
+  }
+  return mask;
 }
 
 FlightRecorder::FlightRecorder(std::size_t capacity) {
@@ -61,14 +81,19 @@ std::size_t FlightRecorder::add_listener(Listener fn) {
 }
 
 void FlightRecorder::record(const TraceEvent& ev) {
-  if (!enabled_) return;
+  if (!wants(ev.type)) return;
   for (const Listener& l : listeners_) l(ev);
+  // Branch-wrap instead of `% cap_`: the per-packet taps make this the
+  // hottest store in a traced run, and an integer divide per event is
+  // measurable against a ~100ns packet budget.
   if (size_ == cap_) {
     ring_[head_] = ev;
-    head_ = (head_ + 1) % cap_;
+    if (++head_ == cap_) head_ = 0;
     ++overwritten_;
   } else {
-    ring_[(head_ + size_) % cap_] = ev;
+    std::size_t slot = head_ + size_;
+    if (slot >= cap_) slot -= cap_;
+    ring_[slot] = ev;
     ++size_;
   }
   ++recorded_;

@@ -14,6 +14,8 @@
 // Registered pointers/callbacks must outlive the registry's last sample().
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -25,6 +27,53 @@
 #include "sim/time.h"
 
 namespace acdc::obs {
+
+// Log-bucketed histogram over non-negative int64 samples, fixed memory
+// (one bucket per bit width -> 65 counters covers the full range). Bucket
+// boundaries are powers of two, so quantiles carry at most 2x relative
+// error — plenty for RTT / queue-sojourn distributions, and recording is a
+// handful of instructions on the datapath hot path.
+class Histogram {
+ public:
+  void record(std::int64_t v) {
+    if (v < 0) v = 0;
+    ++buckets_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+    if (count_ == 1 || v < min_) min_ = v;
+  }
+
+  std::int64_t count() const { return count_; }
+  std::int64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  // Upper bound of the bucket holding the q-quantile sample (0 <= q <= 1).
+  std::int64_t quantile(double q) const;
+
+  static constexpr std::size_t kBuckets = 65;
+  // Bucket i holds samples with bit_width(v) == i, i.e. [2^(i-1), 2^i).
+  const std::array<std::int64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+  static std::size_t bucket_of(std::int64_t v) {
+    return std::bit_width(static_cast<std::uint64_t>(v));
+  }
+  // Inclusive upper bound of bucket i's value range.
+  static std::int64_t bucket_upper(std::size_t i);
+
+  void clear() { *this = Histogram{}; }
+
+ private:
+  std::array<std::int64_t, kBuckets> buckets_{};
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
 
 class MetricsRegistry {
  public:
@@ -40,6 +89,11 @@ class MetricsRegistry {
   // Absorbs an external counter; `source` must outlive the registry's use.
   void register_counter(const std::string& name, const std::int64_t* source);
   void register_gauge(const std::string& name, std::function<double()> fn);
+  // Registry-owned histogram (stable reference; same name -> same
+  // histogram). Registration auto-derives gauges `<name>.count`,
+  // `<name>.p50`, `<name>.p99`, `<name>.max`, so histograms ride the
+  // existing snapshot sampling and CSV/JSONL export unchanged.
+  Histogram& histogram(const std::string& name);
 
   std::size_t metric_count() const { return metrics_.size(); }
   const std::vector<std::string>& names() const { return names_; }
@@ -78,6 +132,7 @@ class MetricsRegistry {
   // Deque-like stable storage for owned counters (vector would invalidate
   // the registered pointers on growth).
   std::vector<std::unique_ptr<std::int64_t>> owned_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
   std::vector<Snapshot> snapshots_;
 };
 

@@ -37,7 +37,28 @@ enum class EventType : std::uint8_t {
   // ---- Tenant TCP stack ----
   kConnState,    // connection state-machine transition
   kTcpCwnd,      // host-stack cwnd/ssthresh moved
-  kCount,        // sentinel: number of event types
+  // ---- Per-packet forensic taps (delay attribution) ----
+  // Every transmitted TCP segment carries a deterministic nonzero uid; the
+  // forensics analyzer (src/forensics/) joins the tap events below on that
+  // uid to decompose end-to-end latency. vSwitch-crafted packets keep uid 0
+  // and are invisible to these taps.
+  kPktOrigin,     // TCP handed a segment to the datapath (a=uid, b=payload)
+  kPktRetx,       // segment is a retransmission (a=uid, b=wait_ns, x=rto?)
+  kTcpSendStall,  // sender unblocked after a window stall (a=ns, b=cause)
+  kPktTxStart,    // serialization began (a=uid, b=ser_ns, x=queue_wait_ns)
+  kPktDrop,       // packet with a uid dropped at a queue (a=uid)
+  kPktDeliver,    // packet reached the destination NIC (a=uid, b=payload)
+  kRwndClamped,   // vSwitch lowered an ACK's advertised window (§3.1)
+  kCount,         // sentinel: number of event types
+};
+
+// kTcpSendStall `b` payload: which limit blocked the sender while data was
+// pending. kStallRwnd is the AC/DC clamp channel — the vSwitch enforces its
+// virtual window by shrinking the RWND the sender's stack sees.
+enum class StallCause : std::int64_t {
+  kCwnd = 0,  // congestion window (or recovery state) was the binding limit
+  kRwnd = 1,  // peer receive window — vSwitch clamp when AC/DC is enforcing
+  kGate = 2,  // host tx gate (TSQ-style backpressure from the NIC queue)
 };
 
 // Export-time naming: the event name plus a label for each payload field

@@ -13,6 +13,16 @@ std::int64_t effective_window(std::uint16_t raw, bool scaled,
                               std::uint8_t wscale) {
   return static_cast<std::int64_t>(raw) << (scaled ? wscale : 0);
 }
+
+// splitmix64 finalizer: turns the 4-tuple + a per-connection counter into
+// well-spread packet uids without any global state, so serial and sharded
+// runs stamp identical uids.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
 }  // namespace
 
 TcpConnection::TcpConnection(sim::Simulator* sim, TcpConfig config,
@@ -36,6 +46,13 @@ TcpConnection::TcpConnection(sim::Simulator* sim, TcpConfig config,
   snd_nxt_ = iss_;
   write_seq_ = iss_ + 1;  // SYN consumes one sequence number
   peer_rwnd_bytes_ = std::int64_t{1} << 30;
+  // Hash the addresses before folding in the ports: a plain XOR of the
+  // packed 4-tuple lets adjacent (ip, port) pairs cancel, and two flows
+  // sharing a uid base would corrupt per-packet delay attribution.
+  uid_base_ = mix64(mix64(static_cast<std::uint64_t>(local_.ip) << 32 |
+                          remote_.ip) ^
+                    (static_cast<std::uint64_t>(local_.port) << 16 |
+                     remote_.port));
 }
 
 TcpConnection::~TcpConnection() {
@@ -124,7 +141,7 @@ void TcpConnection::abort() {
 
 // ----------------------------------------------------------------- send path
 
-std::int64_t TcpConnection::send_window_bytes() const {
+std::int64_t TcpConnection::cwnd_side_window_bytes() const {
   std::int64_t wnd = cwnd_bytes();
   if (config_.cwnd_clamp_packets > 0.0) {
     wnd = std::min(wnd, static_cast<std::int64_t>(config_.cwnd_clamp_packets *
@@ -136,6 +153,11 @@ std::int64_t TcpConnection::send_window_bytes() const {
     // Limited transmit (RFC 3042).
     wnd += std::int64_t{std::min(dupacks_, 2)} * effective_mss_;
   }
+  return wnd;
+}
+
+std::int64_t TcpConnection::send_window_bytes() const {
+  std::int64_t wnd = cwnd_side_window_bytes();
   if (!config_.ignore_peer_rwnd) {
     wnd = std::min(wnd, peer_rwnd_bytes_);
   }
@@ -165,7 +187,10 @@ void TcpConnection::try_send() {
   const std::int64_t wnd = send_window_bytes();
   bool sent = false;
   while (seq_lt(snd_nxt_, write_seq_)) {
-    if (tx_gate && !tx_gate()) break;  // local TX budget exhausted (TSQ)
+    if (tx_gate && !tx_gate()) {  // local TX budget exhausted (TSQ)
+      note_blocked(obs::StallCause::kGate);
+      break;
+    }
     const std::uint32_t remaining = write_seq_ - snd_nxt_;
     std::uint32_t seg_len = std::min(remaining, effective_mss_);
     const std::int64_t in_flight = static_cast<std::int64_t>(snd_nxt_ - snd_una_);
@@ -178,6 +203,10 @@ void TcpConnection::try_send() {
         seg_len = static_cast<std::uint32_t>(
             std::min<std::int64_t>(seg_len, avail));
       } else {
+        note_blocked(!config_.ignore_peer_rwnd &&
+                             peer_rwnd_bytes_ < cwnd_side_window_bytes()
+                         ? obs::StallCause::kRwnd
+                         : obs::StallCause::kCwnd);
         break;
       }
     }
@@ -241,11 +270,74 @@ net::PacketPtr TcpConnection::build_packet(const TxSegment& seg) const {
 }
 
 void TcpConnection::send_segment(TxSegment& seg) {
+  const bool is_retx = seg.retransmitted;
+  const sim::Time prev_sent_at = seg.sent_at;
   seg.sent_at = sim_->now();
   net::PacketPtr p = build_packet(seg);
   if (p->payload_bytes > 0 && cwr_pending_) cwr_pending_ = false;
   ++stats_.segments_sent;
+
+  if (trace_ != nullptr && trace_->wants(obs::EventType::kPktOrigin)) {
+    p->uid = next_uid();
+    const auto fill_flow = [&](obs::TraceEvent& ev) {
+      ev.t = sim_->now();
+      ev.source = trace_source_;
+      ev.src_ip = local_.ip;
+      ev.dst_ip = remote_.ip;
+      ev.src_port = local_.port;
+      ev.dst_port = remote_.port;
+    };
+    // Flush the pending send-stall first so the analyzer can attach the
+    // wait to this (fresh data) segment's origin.
+    if (!is_retx && !seg.syn && block_start_ != sim::kNoTime) {
+      const sim::Time stall = sim_->now() - block_start_;
+      if (stall > 0 && trace_->wants(obs::EventType::kTcpSendStall)) {
+        trace_->emit(obs::EventType::kTcpSendStall,
+                     [&](obs::TraceEvent& ev) {
+                       fill_flow(ev);
+                       ev.a = stall;
+                       ev.b = static_cast<std::int64_t>(block_cause_);
+                     });
+      }
+      block_start_ = sim::kNoTime;
+    }
+    trace_->emit(obs::EventType::kPktOrigin, [&](obs::TraceEvent& ev) {
+      fill_flow(ev);
+      ev.a = static_cast<std::int64_t>(p->uid);
+      ev.b = p->payload_bytes;
+    });
+    if (is_retx && trace_->wants(obs::EventType::kPktRetx)) {
+      trace_->emit(obs::EventType::kPktRetx, [&](obs::TraceEvent& ev) {
+        fill_flow(ev);
+        ev.a = static_cast<std::int64_t>(p->uid);
+        const bool rto_context = in_rto_recovery_ ||
+                                 state_ == State::kSynSent ||
+                                 state_ == State::kSynReceived;
+        ev.b = sim_->now() - prev_sent_at;
+        ev.x = rto_context ? 1.0 : 0.0;
+      });
+    }
+  }
   transmit(std::move(p));
+}
+
+std::uint64_t TcpConnection::next_uid() {
+  // Bit 62 set keeps TCP uids disjoint from small sequential uids other
+  // components (e.g. the invariant checker) assign; masking bit 63 off
+  // keeps the value a positive int64 for JSON export.
+  std::uint64_t uid =
+      (mix64(uid_base_ ^ ++uid_seq_) & 0x3fffffffffffffffull) |
+      (std::uint64_t{1} << 62);
+  return uid;
+}
+
+void TcpConnection::note_blocked(obs::StallCause cause) {
+  if (trace_ == nullptr || !trace_->wants(obs::EventType::kTcpSendStall)) {
+    return;
+  }
+  if (block_start_ != sim::kNoTime) return;  // keep the first block's cause
+  block_start_ = sim_->now();
+  block_cause_ = cause;
 }
 
 void TcpConnection::transmit(net::PacketPtr packet) {
@@ -294,7 +386,9 @@ void TcpConnection::handle_syn_states(net::PacketPtr& packet) {
     peer_rwnd_bytes_ = effective_window(p.tcp.window_raw, false, 0);
     snd_una_ = p.tcp.ack_seq;
     if (!segments_.empty() && !segments_.front().retransmitted) {
-      rtt_.add_sample(sim_->now() - segments_.front().sent_at);
+      const sim::Time sample = sim_->now() - segments_.front().sent_at;
+      rtt_.add_sample(sample);
+      if (rtt_hist_ != nullptr) rtt_hist_->record(sample);
       cc_state_.srtt = rtt_.srtt();
       cc_state_.min_rtt = rtt_.min_rtt();
     }
@@ -403,6 +497,7 @@ void TcpConnection::process_ack(const net::Packet& p) {
 
     if (rtt_sample > 0) {
       rtt_.add_sample(rtt_sample);
+      if (rtt_hist_ != nullptr) rtt_hist_->record(rtt_sample);
       cc_state_.srtt = rtt_.srtt();
       cc_state_.min_rtt = rtt_.min_rtt();
     }

@@ -20,6 +20,7 @@
 
 #include "net/packet.h"
 #include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "tcp/cc/congestion_control.h"
 #include "tcp/rtt_estimator.h"
@@ -148,11 +149,19 @@ class TcpConnection {
   bool ecn_negotiated() const { return ecn_ok_; }
 
   // Flight-recorder hook: state transitions and cwnd/ssthresh movements are
-  // recorded against `source` (typically "<host>.tcp:<port>").
+  // recorded against `source` (typically "<host>.tcp:<port>"). When the
+  // recorder wants kPktOrigin events, every transmitted segment also gets a
+  // deterministic nonzero uid (derived from the 4-tuple and a per-connection
+  // counter, so serial and sharded runs agree) plus origin / retransmission
+  // / send-stall events for the forensics analyzer.
   void set_trace(obs::FlightRecorder* recorder, std::uint32_t source) {
     trace_ = recorder;
     trace_source_ = source;
   }
+
+  // Optional RTT histogram (registry-owned); fed one sample per valid RTT
+  // measurement. Must outlive the connection.
+  void set_rtt_histogram(obs::Histogram* hist) { rtt_hist_ = hist; }
 
  private:
   struct TxSegment {
@@ -172,6 +181,9 @@ class TcpConnection {
   net::PacketPtr build_control(bool syn, bool ack) const;
   void transmit(net::PacketPtr packet);
   std::int64_t send_window_bytes() const;
+  // The cwnd-side limit alone (clamp, recovery inflation, limited
+  // transmit), i.e. send_window_bytes() before the peer-RWND min.
+  std::int64_t cwnd_side_window_bytes() const;
   void enqueue_fin_if_ready();
 
   // ---- Receive path ----
@@ -199,6 +211,11 @@ class TcpConnection {
   // ---- Tracing ----
   void enter_state(State next);  // state_ writes funnel through here
   void trace_cwnd();
+  // Forensic helpers: deterministic per-segment uid, and send-stall
+  // bookkeeping (try_send records when pending data first blocks; the next
+  // fresh data segment flushes the accumulated wait as kTcpSendStall).
+  std::uint64_t next_uid();
+  void note_blocked(obs::StallCause cause);
 
   sim::Simulator* sim_;
   TcpConfig config_;
@@ -254,6 +271,13 @@ class TcpConnection {
 
   obs::FlightRecorder* trace_ = nullptr;
   std::uint32_t trace_source_ = 0;
+  obs::Histogram* rtt_hist_ = nullptr;
+
+  // Forensic send-path state.
+  std::uint64_t uid_base_ = 0;  // mixed from the 4-tuple at construction
+  std::uint64_t uid_seq_ = 0;
+  sim::Time block_start_ = sim::kNoTime;
+  obs::StallCause block_cause_ = obs::StallCause::kCwnd;
 
   Stats stats_;
 };

@@ -203,6 +203,55 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
     case obs::EventType::kTcpCwnd:
       if (ev.a < 0) msg << name << ": cwnd " << ev.a;
       break;
+    case obs::EventType::kPktOrigin:
+      // a = uid (nonzero), b = payload bytes (0 for SYN/FIN/partial).
+      if (ev.a == 0 || ev.b < 0) {
+        msg << name << ": uid " << ev.a << " / payload " << ev.b;
+      }
+      break;
+    case obs::EventType::kPktRetx:
+      // a = uid, b = time since the previous transmission, x in {0, 1}.
+      if (ev.a == 0 || ev.b < 0 || (ev.x != 0.0 && ev.x != 1.0)) {
+        msg << name << ": uid " << ev.a << " / wait " << ev.b << " / rto "
+            << ev.x;
+      }
+      break;
+    case obs::EventType::kTcpSendStall:
+      // a = stall duration, b = StallCause.
+      if (ev.a <= 0 || ev.b < 0 ||
+          ev.b > static_cast<std::int64_t>(obs::StallCause::kGate)) {
+        msg << name << ": stall " << ev.a << " / cause " << ev.b;
+      }
+      break;
+    case obs::EventType::kPktTxStart:
+      // a = uid, b = serialization ns, x = queue wait ns (tx-start minus
+      // enqueue — never negative, and never fractional in a nanosecond sim).
+      if (ev.a == 0 || ev.b <= 0 || ev.x < 0.0 ||
+          ev.x != static_cast<double>(static_cast<std::int64_t>(ev.x))) {
+        msg << name << ": uid " << ev.a << " / ser " << ev.b << " / wait "
+            << ev.x;
+      }
+      break;
+    case obs::EventType::kPktDrop:
+      // a = uid, b = occupancy at the drop, x = packet bytes.
+      if (ev.a == 0 || ev.b < 0 || ev.x <= 0.0) {
+        msg << name << ": uid " << ev.a << " / occupancy " << ev.b
+            << " / packet " << ev.x;
+      }
+      break;
+    case obs::EventType::kPktDeliver:
+      if (ev.a == 0 || ev.b < 0) {
+        msg << name << ": uid " << ev.a << " / payload " << ev.b;
+      }
+      break;
+    case obs::EventType::kRwndClamped:
+      // a = enforced window bytes, b = the VM window it displaced; only
+      // emitted when the rewrite actually lowers the advertisement.
+      if (ev.a < 1 || ev.b < ev.a) {
+        msg << name << ": enforced " << ev.a << " not below VM window "
+            << ev.b;
+      }
+      break;
     case obs::EventType::kCount:
       msg << "invalid event type kCount";
       break;

@@ -8,7 +8,10 @@
 #include "exp/dumbbell.h"
 #include "exp/leaf_spine.h"
 #include "exp/star.h"
+#include "forensics/delay_analyzer.h"
+#include "forensics/report.h"
 #include "obs/export.h"
+#include "obs/merge.h"
 #include "testlib/invariants.h"
 
 namespace acdc::testlib {
@@ -433,9 +436,16 @@ RunOutcome run_plan(const ScenarioPlan& plan, const RunOptions& options) {
   Digest event_digest;
   for (const Digest& d : shard_digests) event_digest.mix(d.h);
   out.event_digest = event_digest.h;
-  if (!options.trace_path.empty()) {
-    obs::write_chrome_trace_file(*recorders[0], scenario.metrics(),
-                                 options.trace_path);
+  if (!options.trace_path.empty() || !options.forensics_path.empty()) {
+    const obs::MergedTrace merged = obs::merge_recorders(recorders);
+    if (!options.trace_path.empty()) {
+      obs::write_chrome_trace_file(merged, scenario.metrics(),
+                                   options.trace_path);
+    }
+    if (!options.forensics_path.empty()) {
+      forensics::write_text_file(forensics::DelayAnalyzer::analyze(merged),
+                                 options.forensics_path);
+    }
   }
   return out;
 }

@@ -110,10 +110,14 @@ struct RunOptions {
   // different `threads` must produce identical digests.
   int shards = 0;
   int threads = 0;  // worker threads; 0 -> one per shard
-  // When set, the retained tail of the event ring is written there as a
-  // Chrome trace (chrome://tracing / Perfetto) after the run — the fuzz
-  // driver uses this to attach an artifact to a failing seed.
+  // When set, the retained tail of the event rings — merged across shards
+  // into one globally time-ordered stream — is written there as a Chrome
+  // trace (chrome://tracing / Perfetto) after the run; the fuzz driver
+  // uses this to attach an artifact to a failing seed.
   std::string trace_path;
+  // When set, a latency-forensics text report (per-flow delay attribution
+  // from the same merged stream) is written there after the run.
+  std::string forensics_path;
 };
 
 struct RunOutcome {

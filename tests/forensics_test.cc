@@ -1,0 +1,453 @@
+// Latency-forensics tests: the per-packet attribution law (components sum
+// exactly, in simulated time, to measured latency), clamp-stall and
+// retransmission attribution, shard-count invariance of the report, the
+// shard merger, the pcap bridge round-trip, and the log-bucketed
+// histograms feeding per-flow RTT / per-queue sojourn distributions.
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/dumbbell.h"
+#include "exp/mode.h"
+#include "exp/scenario.h"
+#include "exp/star.h"
+#include "forensics/delay_analyzer.h"
+#include "forensics/report.h"
+#include "forensics/trace_import.h"
+#include "host/host.h"
+#include "net/pcap.h"
+#include "net/wire.h"
+#include "obs/export.h"
+#include "obs/merge.h"
+#include "obs/metrics.h"
+#include "sim/time.h"
+
+namespace acdc {
+namespace {
+
+// Every delivered packet's components must sum exactly to its measured
+// latency; on a clean fabric (no fault injectors) the taps see every
+// nanosecond, so the residual must be zero too.
+void expect_attribution_law(const forensics::Report& rep, bool clean_fabric) {
+  ASSERT_GT(rep.packets_delivered, 0);
+  for (const forensics::PacketTrace& pt : rep.packets) {
+    if (!pt.delivered) continue;
+    EXPECT_EQ(pt.measured_ns(), pt.delay.total_ns()) << "uid " << pt.uid;
+    EXPECT_EQ(pt.deliver_t - pt.origin_t, pt.delay.network_ns())
+        << "uid " << pt.uid;
+    if (clean_fabric) {
+      EXPECT_EQ(0, pt.delay.other_ns) << "uid " << pt.uid;
+    }
+  }
+  EXPECT_EQ(rep.measured_total_ns, rep.totals.total_ns());
+}
+
+double mean_queueing_ns(const forensics::Report& rep) {
+  return rep.packets_delivered == 0
+             ? 0.0
+             : static_cast<double>(rep.totals.queueing_ns) /
+                   static_cast<double>(rep.packets_delivered);
+}
+
+std::int64_t total_clamps(const forensics::Report& rep) {
+  std::int64_t n = 0;
+  for (const forensics::FlowSummary& f : rep.flows) n += f.rwnd_clamps;
+  return n;
+}
+
+// 4-pair dumbbell under DCTCP, traced end to end. `shards > 1` runs the
+// same plan on the parallel engine and merges the per-shard rings.
+forensics::Report dumbbell_report(int shards, std::string* text,
+                                  bool* parallel) {
+  exp::DumbbellConfig dc;
+  dc.scenario = exp::scenario_config_for(exp::Mode::kDctcp, 1500, 7);
+  dc.pairs = 4;
+  exp::Dumbbell bell(dc);
+  exp::Scenario& s = bell.scenario();
+  if (shards > 1) {
+    const exp::PartitionReport part = s.enable_parallel(shards, shards);
+    if (parallel != nullptr) *parallel = part.parallel;
+  }
+  // Large enough that neither the serial ring nor the per-shard rings wrap:
+  // report identity across shard counts needs both runs to retain the full
+  // event set.
+  s.enable_tracing(std::size_t{1} << 19, 0);
+  const tcp::TcpConfig tcp = s.tcp_config(tcp::CcId::kDctcp);
+  for (int i = 0; i < bell.pairs(); ++i) {
+    s.add_bulk_flow(bell.sender(i), bell.receiver(i), tcp,
+                    sim::milliseconds(i));
+  }
+  s.run_until(sim::milliseconds(20));
+  const obs::MergedTrace merged = obs::merge_recorders(s.recorders());
+  const forensics::Report rep = forensics::DelayAnalyzer::analyze(merged);
+  if (text != nullptr) {
+    *text = forensics::render_text(rep, {.include_packets = true});
+  }
+  return rep;
+}
+
+// N-to-1 incast on a star, with the mode (and thus the AC/DC datapath)
+// chosen by the caller.
+forensics::Report incast_report(exp::Mode mode,
+                                std::int64_t max_rwnd_bytes) {
+  exp::StarConfig sc;
+  sc.scenario = exp::scenario_config_for(mode, 1500, 11);
+  sc.hosts = 5;
+  exp::Star star(sc);
+  exp::Scenario& s = star.scenario();
+  s.enable_tracing(std::size_t{1} << 18, 0);
+
+  std::vector<host::Host*> hosts;
+  for (int i = 0; i < star.host_count(); ++i) hosts.push_back(star.host(i));
+  const auto vswitches = exp::apply_mode(s, hosts, mode);
+  for (auto* vs : vswitches) {
+    vswitch::FlowPolicy policy = vs->policy().default_policy();
+    policy.max_rwnd_bytes = max_rwnd_bytes;
+    vs->policy().set_default(policy);
+  }
+
+  const tcp::TcpConfig tcp = exp::host_tcp_config(s, mode);
+  for (int i = 1; i < star.host_count(); ++i) {
+    s.add_bulk_flow(star.host(i), star.host(0), tcp,
+                    sim::milliseconds(1) * i);
+  }
+  s.run_until(sim::milliseconds(30));
+  return forensics::DelayAnalyzer::analyze(
+      obs::merge_recorders(s.recorders()));
+}
+
+// ---- Attribution law ------------------------------------------------------
+
+TEST(DelayForensicsTest, AttributionSumsOnDumbbell) {
+  const forensics::Report rep = dumbbell_report(1, nullptr, nullptr);
+  expect_attribution_law(rep, /*clean_fabric=*/true);
+  // Sender NIC, left-switch trunk egress, right-switch host egress: every
+  // delivered data packet crosses exactly three transmitting ports.
+  for (const forensics::PacketTrace& pt : rep.packets) {
+    if (pt.delivered) {
+      EXPECT_EQ(3u, pt.hops.size()) << "uid " << pt.uid;
+    }
+  }
+  EXPECT_FALSE(rep.flows.empty());
+  EXPECT_TRUE(std::is_sorted(
+      rep.flows.begin(), rep.flows.end(),
+      [](const auto& a, const auto& b) { return a.flow < b.flow; }));
+}
+
+TEST(DelayForensicsTest, AttributionSumsOnIncast) {
+  const forensics::Report rep = incast_report(exp::Mode::kDctcp, 0);
+  expect_attribution_law(rep, /*clean_fabric=*/true);
+  // Incast congests the hub: queueing must dominate propagation.
+  EXPECT_GT(rep.totals.queueing_ns, rep.totals.propagation_ns);
+}
+
+TEST(DelayForensicsTest, SingleFlowStarHandComputed) {
+  exp::StarConfig sc;
+  sc.scenario = exp::scenario_config_for(exp::Mode::kDctcp, 1500, 3);
+  sc.hosts = 2;
+  exp::Star star(sc);
+  exp::Scenario& s = star.scenario();
+  s.enable_tracing(std::size_t{1} << 16, 0);
+  s.add_bulk_flow(star.host(1), star.host(0),
+                  s.tcp_config(tcp::CcId::kDctcp), 0,
+                  /*total_bytes=*/200 * 1024);
+  s.run_until(sim::milliseconds(50));
+
+  const forensics::Report rep = forensics::DelayAnalyzer::analyze(
+      obs::merge_recorders(s.recorders()));
+  expect_attribution_law(rep, /*clean_fabric=*/true);
+  // Every path is host -> hub -> host: exactly two transmitting ports, and
+  // propagation is exactly two host-link delays (2us each).
+  const std::int64_t two_links = 2 * sc.scenario.host_link_delay;
+  for (const forensics::PacketTrace& pt : rep.packets) {
+    if (!pt.delivered) continue;
+    EXPECT_EQ(2u, pt.hops.size()) << "uid " << pt.uid;
+    EXPECT_EQ(two_links, pt.delay.propagation_ns) << "uid " << pt.uid;
+  }
+  // The first packet (the SYN, on an idle fabric) queues nowhere.
+  ASSERT_FALSE(rep.packets.empty());
+  EXPECT_EQ(0, rep.packets.front().delay.queueing_ns);
+  EXPECT_EQ(0, rep.packets.front().delay.pacing_ns);
+}
+
+// ---- Shard-count invariance ----------------------------------------------
+
+TEST(DelayForensicsTest, SerialAndTwoShardReportsIdentical) {
+  std::string serial_text;
+  std::string sharded_text;
+  bool parallel = false;
+  const forensics::Report serial = dumbbell_report(1, &serial_text, nullptr);
+  const forensics::Report sharded =
+      dumbbell_report(2, &sharded_text, &parallel);
+  ASSERT_TRUE(parallel) << "dumbbell failed to partition into 2 shards";
+  EXPECT_EQ(serial.packets_delivered, sharded.packets_delivered);
+  EXPECT_EQ(serial.measured_total_ns, sharded.measured_total_ns);
+  EXPECT_EQ(serial_text, sharded_text);
+}
+
+// ---- AC/DC clamp-stall attribution ---------------------------------------
+
+TEST(DelayForensicsTest, ClampStallReplacesQueueing) {
+  // AC/DC with a tight static window cap: senders spend their time blocked
+  // on the rewritten RWND (the vswitch bucket), not in switch queues.
+  const forensics::Report on =
+      incast_report(exp::Mode::kAcdc, /*max_rwnd_bytes=*/3000);
+  // Same hosts without the AC/DC datapath: CUBIC fills the hub's buffer,
+  // so the latency lives in the queueing bucket and the vswitch bucket is
+  // empty.
+  const forensics::Report off = incast_report(exp::Mode::kCubic, 0);
+
+  expect_attribution_law(on, /*clean_fabric=*/true);
+  expect_attribution_law(off, /*clean_fabric=*/true);
+
+  EXPECT_GT(on.totals.vswitch_ns, 0);
+  EXPECT_GT(total_clamps(on), 0);
+  EXPECT_EQ(0, off.totals.vswitch_ns);
+  EXPECT_EQ(0, total_clamps(off));
+  EXPECT_LT(mean_queueing_ns(on), mean_queueing_ns(off));
+}
+
+// ---- Retransmission attribution ------------------------------------------
+
+TEST(DelayForensicsTest, RetransmissionAttribution) {
+  // Lossy links: drop-only faults delete packets but never delay the
+  // survivors, so the attribution law stays exact while retransmitted
+  // copies must carry their wait in the rto bucket. The fault-eaten
+  // originals have no delivery and no drop tap — they stay "outstanding".
+  exp::StarConfig sc;
+  sc.scenario = exp::scenario_config_for(exp::Mode::kDctcp, 1500, 17);
+  sc.scenario.link_faults.drop_p = 0.05;
+  sc.hosts = 2;
+  exp::Star star(sc);
+  exp::Scenario& s = star.scenario();
+  s.enable_tracing(std::size_t{1} << 19, 0);
+  s.add_bulk_flow(star.host(1), star.host(0),
+                  s.tcp_config(tcp::CcId::kDctcp), 0);
+  s.run_until(sim::milliseconds(100));
+
+  const forensics::Report rep = forensics::DelayAnalyzer::analyze(
+      obs::merge_recorders(s.recorders()));
+  expect_attribution_law(rep, /*clean_fabric=*/true);
+  EXPECT_GT(rep.packets_outstanding, 0);
+  EXPECT_GT(rep.totals.rto_ns, 0);
+
+  bool saw_retx = false;
+  bool saw_rto = false;
+  for (const forensics::PacketTrace& pt : rep.packets) {
+    if (!pt.delivered || !pt.retransmission) continue;
+    saw_retx = true;
+    EXPECT_GT(pt.delay.rto_ns, 0) << "uid " << pt.uid;
+    // A retransmission fired by the retransmission timer waited at least
+    // RTOmin (10ms) since the previous copy.
+    if (pt.rto && pt.delay.rto_ns >= sim::milliseconds(10)) saw_rto = true;
+  }
+  EXPECT_TRUE(saw_retx);
+  EXPECT_TRUE(saw_rto);
+
+  std::int64_t flow_retx = 0;
+  for (const forensics::FlowSummary& f : rep.flows) {
+    flow_retx += f.retransmissions;
+  }
+  EXPECT_GT(flow_retx, 0);
+}
+
+// ---- Renderings -----------------------------------------------------------
+
+TEST(DelayForensicsTest, RenderingsAreDeterministicAndParseable) {
+  const forensics::Report rep = dumbbell_report(1, nullptr, nullptr);
+  const std::string json = forensics::render_json(rep);
+  const std::string csv = forensics::render_csv(rep);
+  EXPECT_EQ(json, forensics::render_json(rep));
+  EXPECT_EQ(csv, forensics::render_csv(rep));
+  EXPECT_NE(json.find("\"packets_delivered\""), std::string::npos);
+  EXPECT_NE(csv.find("flow,"), std::string::npos);
+  // One CSV row per flow plus the header.
+  const auto rows = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(rows), rep.flows.size() + 1);
+}
+
+// ---- Shard merger ---------------------------------------------------------
+
+obs::TraceEvent make_event(sim::Time t, std::uint32_t source,
+                           std::int64_t a) {
+  obs::TraceEvent ev;
+  ev.t = t;
+  ev.type = obs::EventType::kPktOrigin;
+  ev.source = source;
+  ev.a = a;
+  ev.b = 1;
+  return ev;
+}
+
+TEST(TraceMergeTest, OrdersByTimeThenStreamAndReinternsSources) {
+  obs::EventStream s0;
+  s0.sources = {"", "alpha"};
+  s0.events = {make_event(10, 1, 1), make_event(30, 1, 2)};
+  obs::EventStream s1;
+  s1.sources = {"", "beta"};
+  s1.events = {make_event(10, 1, 3), make_event(20, 1, 4)};
+
+  const obs::MergedTrace merged = obs::merge_streams({s0, s1});
+  ASSERT_EQ(4u, merged.size());
+  // Time order, with the equal-time tie broken by stream index.
+  EXPECT_EQ(1, merged.events[0].a);
+  EXPECT_EQ(3, merged.events[1].a);
+  EXPECT_EQ(4, merged.events[2].a);
+  EXPECT_EQ(2, merged.events[3].a);
+  EXPECT_TRUE(std::is_sorted(
+      merged.events.begin(), merged.events.end(),
+      [](const auto& a, const auto& b) { return a.t < b.t; }));
+  EXPECT_EQ("alpha", merged.source_name(merged.events[0].source));
+  EXPECT_EQ("beta", merged.source_name(merged.events[1].source));
+  EXPECT_EQ("alpha", merged.source_name(merged.events[3].source));
+}
+
+// ---- JSONL export / import round-trip ------------------------------------
+
+TEST(TraceImportTest, JsonlRoundTripYieldsIdenticalReport) {
+  exp::StarConfig sc;
+  sc.scenario = exp::scenario_config_for(exp::Mode::kDctcp, 1500, 5);
+  sc.hosts = 3;
+  exp::Star star(sc);
+  exp::Scenario& s = star.scenario();
+  s.enable_tracing(std::size_t{1} << 16, 0);
+  const tcp::TcpConfig tcp = s.tcp_config(tcp::CcId::kDctcp);
+  s.add_bulk_flow(star.host(1), star.host(0), tcp, 0);
+  s.add_bulk_flow(star.host(2), star.host(0), tcp, sim::milliseconds(1));
+  s.run_until(sim::milliseconds(10));
+
+  const obs::MergedTrace merged = obs::merge_recorders(s.recorders());
+  const std::string path = testing::TempDir() + "forensics_roundtrip.jsonl";
+  ASSERT_TRUE(obs::write_trace_jsonl_file(merged, path));
+
+  const auto imported = forensics::import_trace_jsonl(path);
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_EQ(0, imported->skipped);
+  EXPECT_EQ(merged.size(), imported->stream.events.size());
+
+  const auto reimported = forensics::import_and_merge({path});
+  ASSERT_TRUE(reimported.has_value());
+  const std::string direct =
+      forensics::render_json(forensics::DelayAnalyzer::analyze(merged));
+  const std::string via_jsonl =
+      forensics::render_json(forensics::DelayAnalyzer::analyze(*reimported));
+  EXPECT_EQ(direct, via_jsonl);
+}
+
+// ---- Pcap bridge ----------------------------------------------------------
+
+TEST(PcapBridgeTest, RoundTrip) {
+  exp::StarConfig sc;
+  sc.scenario = exp::scenario_config_for(exp::Mode::kDctcp, 1500, 9);
+  sc.hosts = 2;
+  exp::Star star(sc);
+  exp::Scenario& s = star.scenario();
+  const std::string path = testing::TempDir() + "forensics_capture.pcap";
+  net::PcapWriter* writer =
+      s.attach_pcap(star.host(1)->nic().tx_port(), path);
+  ASSERT_NE(nullptr, writer);
+  s.add_bulk_flow(star.host(1), star.host(0),
+                  s.tcp_config(tcp::CcId::kDctcp), 0,
+                  /*total_bytes=*/64 * 1024);
+  s.run_until(sim::milliseconds(50));
+  writer->flush();
+  EXPECT_GT(writer->packets_written(), 10);
+
+  const auto file = net::read_pcap(path);
+  ASSERT_TRUE(file.has_value());
+  EXPECT_EQ(net::PcapWriter::kMagicNanos, file->magic);
+  EXPECT_EQ(net::PcapWriter::kLinkTypeRaw, file->link_type);
+  ASSERT_EQ(static_cast<std::size_t>(writer->packets_written()),
+            file->records.size());
+
+  sim::Time prev = 0;
+  for (const net::PcapRecord& rec : file->records) {
+    EXPECT_GE(rec.t, prev);
+    prev = rec.t;
+    // Captured bytes are the wire headers; they must survive a parse /
+    // re-serialize round trip byte-for-byte, and the original length must
+    // cover the (unstored) payload too.
+    const auto parsed = net::wire::parse(rec.bytes);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->ip_checksum_ok);
+    EXPECT_TRUE(parsed->tcp_checksum_ok);
+    EXPECT_EQ(rec.bytes, net::wire::serialize(parsed->packet));
+    EXPECT_GE(rec.orig_len, rec.bytes.size());
+    EXPECT_EQ(static_cast<std::uint32_t>(parsed->packet.size_bytes()),
+              rec.orig_len);
+  }
+}
+
+// ---- Histograms -----------------------------------------------------------
+
+TEST(HistogramTest, BucketsAndQuantiles) {
+  obs::Histogram h;
+  EXPECT_EQ(0, h.count());
+  EXPECT_EQ(0, h.quantile(0.5));
+  for (const std::int64_t v : {1, 2, 3, 1000}) h.record(v);
+  EXPECT_EQ(4, h.count());
+  EXPECT_EQ(1, h.min());
+  EXPECT_EQ(1000, h.max());
+  EXPECT_DOUBLE_EQ(251.5, h.mean());
+  // Quantile bounds are log-bucket upper edges: monotone in q, and the
+  // top quantile's bucket covers the max sample.
+  EXPECT_LE(h.quantile(0.0), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(1.0));
+  EXPECT_GE(h.quantile(1.0), h.max());
+  // Bucket i holds samples with bit_width == i.
+  EXPECT_EQ(0u, obs::Histogram::bucket_of(0));
+  EXPECT_EQ(1u, obs::Histogram::bucket_of(1));
+  EXPECT_EQ(3u, obs::Histogram::bucket_of(4));
+  EXPECT_EQ(obs::Histogram::bucket_upper(3), 7);
+  h.clear();
+  EXPECT_EQ(0, h.count());
+}
+
+TEST(HistogramTest, RegistryDerivesGauges) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("lat");
+  EXPECT_EQ(&h, &reg.histogram("lat"));  // same name -> same histogram
+  EXPECT_TRUE(reg.has("lat.count"));
+  EXPECT_TRUE(reg.has("lat.p50"));
+  EXPECT_TRUE(reg.has("lat.p99"));
+  EXPECT_TRUE(reg.has("lat.max"));
+  h.record(100);
+  h.record(200);
+  EXPECT_DOUBLE_EQ(2.0, reg.value("lat.count"));
+  EXPECT_DOUBLE_EQ(200.0, reg.value("lat.max"));
+}
+
+TEST(HistogramTest, RttAndSojournHistogramsPopulated) {
+  exp::StarConfig sc;
+  sc.scenario = exp::scenario_config_for(exp::Mode::kDctcp, 1500, 13);
+  sc.hosts = 2;
+  exp::Star star(sc);
+  exp::Scenario& s = star.scenario();
+  s.enable_tracing(std::size_t{1} << 16, sim::milliseconds(1));
+  s.add_bulk_flow(star.host(1), star.host(0),
+                  s.tcp_config(tcp::CcId::kDctcp), 0);
+  s.run_until(sim::milliseconds(20));
+
+  obs::MetricsRegistry* reg = s.metrics();
+  ASSERT_NE(nullptr, reg);
+  // The sender's per-flow RTT histogram fills from the estimator's samples.
+  EXPECT_GT(reg->value("h1.rtt_ns.count"), 0.0);
+  EXPECT_GT(reg->value("h1.rtt_ns.p50"), 0.0);
+  // At least one egress queue recorded sojourn times.
+  bool saw_sojourn = false;
+  for (const std::string& name : reg->names()) {
+    if (name.size() > 17 &&
+        name.compare(name.size() - 17, 17, ".sojourn_ns.count") == 0 &&
+        reg->value(name) > 0.0) {
+      saw_sojourn = true;
+    }
+  }
+  EXPECT_TRUE(saw_sojourn);
+}
+
+}  // namespace
+}  // namespace acdc

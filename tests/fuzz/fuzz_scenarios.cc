@@ -202,14 +202,16 @@ void write_artifacts(std::uint64_t seed, const DriverOptions& opt,
     for (const std::string& line : report) txt << line << "\n";
   }
 
-  // Replay once more with trace capture for the Chrome trace artifact.
+  // Replay once more with trace capture for the Chrome-trace and
+  // latency-forensics artifacts.
   ScenarioPlan plan = acdc::testlib::make_plan(seed);
   acdc::testlib::mask_faults(plan, toggles);
   RunOptions ro = run_options(opt);
   ro.trace_path = base + ".trace.json";
+  ro.forensics_path = base + ".forensics.txt";
   acdc::testlib::run_plan(plan, ro);
-  std::printf("artifacts: %s.txt, %s.trace.json\n", base.c_str(),
-              base.c_str());
+  std::printf("artifacts: %s.txt, %s.trace.json, %s.forensics.txt\n",
+              base.c_str(), base.c_str(), base.c_str());
 }
 
 }  // namespace

@@ -24,7 +24,10 @@
 
 #include "exp/leaf_spine.h"
 #include "exp/scenario.h"
+#include "forensics/delay_analyzer.h"
+#include "forensics/report.h"
 #include "obs/export.h"
+#include "obs/merge.h"
 #include "testlib/invariants.h"
 #include "testlib/seed.h"
 #include "workload/churn.h"
@@ -214,13 +217,18 @@ SoakResult run_soak(std::uint64_t seed, const SoakParams& p) {
     }
   }
   // CI sets ACDC_SOAK_TRACE_DIR to capture the tail of the event stream
-  // (the trace ring's last ~16k events) as an artifact of a failing run.
+  // (all shards' rings, merged into one time-ordered trace) plus the
+  // latency-forensics report as artifacts of a failing run.
   if (out.violations > 0) {
     if (const char* dir = std::getenv("ACDC_SOAK_TRACE_DIR")) {
-      obs::write_chrome_trace_file(
-          *recorders[0], scn.metrics(),
-          std::string(dir) + "/soak_seed_" + std::to_string(seed) +
-              (p.shards > 1 ? "_sharded" : "_serial") + ".trace.json");
+      const std::string base = std::string(dir) + "/soak_seed_" +
+                               std::to_string(seed) +
+                               (p.shards > 1 ? "_sharded" : "_serial");
+      const obs::MergedTrace merged = obs::merge_recorders(recorders);
+      obs::write_chrome_trace_file(merged, scn.metrics(),
+                                   base + ".trace.json");
+      forensics::write_text_file(forensics::DelayAnalyzer::analyze(merged),
+                                 base + ".forensics.txt");
     }
   }
   Digest combined;

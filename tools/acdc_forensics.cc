@@ -1,0 +1,81 @@
+// acdc_forensics: offline latency attribution from exported traces.
+//
+// Usage:
+//   acdc_forensics [--json PATH] [--csv PATH] [--packets] TRACE.jsonl...
+//
+// Reads one or more flat-JSONL flight-recorder exports (one per shard for
+// parallel runs), merges them into a single time-ordered stream, and prints
+// the per-flow delay attribution report. --json / --csv additionally write
+// machine-readable renderings; --packets appends per-packet lines to the
+// text report.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "forensics/delay_analyzer.h"
+#include "forensics/report.h"
+#include "forensics/trace_import.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json PATH] [--csv PATH] [--packets] "
+               "TRACE.jsonl...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string csv_path;
+  acdc::forensics::RenderOptions render;
+  std::vector<std::string> traces;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(arg, "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (std::strcmp(arg, "--packets") == 0) {
+      render.include_packets = true;
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      return usage(argv[0]);
+    } else {
+      traces.push_back(arg);
+    }
+  }
+  if (traces.empty()) return usage(argv[0]);
+
+  auto merged = acdc::forensics::import_and_merge(traces);
+  if (!merged.has_value()) {
+    std::fprintf(stderr, "failed to open one of the trace files\n");
+    return 1;
+  }
+
+  const acdc::forensics::Report report =
+      acdc::forensics::DelayAnalyzer::analyze(*merged);
+  const std::string text = acdc::forensics::render_text(report, render);
+  std::fputs(text.c_str(), stdout);
+
+  if (!json_path.empty() &&
+      !acdc::forensics::write_json_file(report, json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  if (!csv_path.empty() &&
+      !acdc::forensics::write_csv_file(report, csv_path)) {
+    std::fprintf(stderr, "failed to write %s\n", csv_path.c_str());
+    return 1;
+  }
+  return 0;
+}
