@@ -1,11 +1,29 @@
 #include "acdc/feedback.h"
 
 namespace acdc::vswitch {
+namespace {
+
+net::AcdcFeedback build_feedback(
+    std::uint32_t total_bytes, std::uint32_t marked_bytes,
+    const std::optional<net::TelemetryStamp>& telem) {
+  net::AcdcFeedback fb;
+  fb.total_bytes = total_bytes;
+  fb.marked_bytes = marked_bytes;
+  if (telem.has_value()) {
+    fb.telemetry = true;
+    fb.telem = *telem;
+  }
+  return fb;
+}
+
+}  // namespace
 
 bool attach_pack(net::Packet& ack, std::uint32_t total_bytes,
-                 std::uint32_t marked_bytes, std::int64_t mtu_bytes) {
+                 std::uint32_t marked_bytes, std::int64_t mtu_bytes,
+                 const std::optional<net::TelemetryStamp>& telem) {
+  const net::AcdcFeedback fb = build_feedback(total_bytes, marked_bytes, telem);
   net::TcpOptions probe = ack.tcp.options;
-  probe.acdc = net::AcdcFeedback{total_bytes, marked_bytes};
+  probe.acdc = fb;
   // The option must fit both the RFC 793 40-byte option budget (an ACK
   // already carrying full SACK blocks has no room) and the fabric MTU;
   // otherwise the feedback travels as a FACK.
@@ -14,12 +32,13 @@ bool attach_pack(net::Packet& ack, std::uint32_t total_bytes,
                                   net::kTcpBaseHeaderBytes +
                                   probe.wire_size() + ack.payload_bytes;
   if (probe_size > mtu_bytes) return false;
-  ack.tcp.options.acdc = net::AcdcFeedback{total_bytes, marked_bytes};
+  ack.tcp.options.acdc = fb;
   return true;
 }
 
 net::PacketPtr make_fack(const net::Packet& ack, std::uint32_t total_bytes,
-                         std::uint32_t marked_bytes) {
+                         std::uint32_t marked_bytes,
+                         const std::optional<net::TelemetryStamp>& telem) {
   auto fack = net::make_packet();
   fack->ip.src = ack.ip.src;
   fack->ip.dst = ack.ip.dst;
@@ -29,7 +48,7 @@ net::PacketPtr make_fack(const net::Packet& ack, std::uint32_t total_bytes,
   fack->tcp.ack_seq = ack.tcp.ack_seq;
   fack->tcp.flags.ack = true;
   fack->tcp.window_raw = ack.tcp.window_raw;
-  fack->tcp.options.acdc = net::AcdcFeedback{total_bytes, marked_bytes};
+  fack->tcp.options.acdc = build_feedback(total_bytes, marked_bytes, telem);
   fack->acdc_fack = true;
   return fack;
 }

@@ -12,14 +12,21 @@
 namespace acdc::vswitch {
 
 // Attaches the feedback option to `ack` if the resulting packet still fits
-// `mtu_bytes`. Returns true on success.
+// `mtu_bytes`. Returns true on success. When `telem` is set the extended
+// 26-byte option shape carrying the INT telemetry echo is used
+// (DESIGN.md §13); it competes with SACK blocks for the 40-byte budget, so
+// a telemetry-bearing feedback falls back to a FACK more often.
 bool attach_pack(net::Packet& ack, std::uint32_t total_bytes,
-                 std::uint32_t marked_bytes, std::int64_t mtu_bytes);
+                 std::uint32_t marked_bytes, std::int64_t mtu_bytes,
+                 const std::optional<net::TelemetryStamp>& telem =
+                     std::nullopt);
 
 // Builds a FACK: a minimal duplicate of `ack` carrying only the feedback
 // option (no payload), flagged so the sender module consumes it.
 net::PacketPtr make_fack(const net::Packet& ack, std::uint32_t total_bytes,
-                         std::uint32_t marked_bytes);
+                         std::uint32_t marked_bytes,
+                         const std::optional<net::TelemetryStamp>& telem =
+                             std::nullopt);
 
 // Removes and returns the feedback option, if present.
 std::optional<net::AcdcFeedback> consume_feedback(net::Packet& packet);

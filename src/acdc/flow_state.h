@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "acdc/policy.h"
+#include "net/packet.h"
 #include "sim/time.h"
 #include "tcp/seq.h"
 
@@ -52,6 +53,15 @@ struct SenderFlowState {
   double cubic_origin = 0.0;
   double cubic_tcp_wnd = 0.0;
   sim::Time cubic_epoch_start = sim::kNoTime;
+  // Virtual PowerTCP gradient state: the previous telemetry sample the
+  // queue derivative is differenced against (DESIGN.md §13).
+  std::uint32_t pt_prev_qlen_bytes = 0;
+  std::uint32_t pt_prev_ts_us = 0;
+  bool pt_prev_valid = false;
+  // Normalized power smoothed over the base-RTT timescale; without the
+  // smoothing, one sample taken across a pure-drain gap (gradient = -rate)
+  // slams the window to the cap and the control loop relaxation-oscillates.
+  double pt_power = 1.0;
 
   // ---- Enforcement bookkeeping ----
   std::int64_t last_enforced_rwnd = -1;
@@ -72,6 +82,11 @@ struct ReceiverFlowState {
   bool active = false;             // data has been seen for this flow
   bool vm_ecn_negotiated = false;  // local (receiving) VM negotiated ECN
   bool sender_vm_requested_ecn = false;  // NS bit from the sender's SYN
+  // Latest INT telemetry observed on ingress data (net/telemetry.h); echoed
+  // to the sender inside the extended PACK/FACK option and then stripped
+  // from the packet before the VM.
+  net::TelemetryStamp telem;
+  bool telem_valid = false;
 };
 
 struct FlowEntry {

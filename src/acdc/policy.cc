@@ -10,6 +10,10 @@ const char* to_string(VccKind kind) {
       return "reno";
     case VccKind::kCubic:
       return "cubic";
+    case VccKind::kPowerTcp:
+      return "powertcp";
+    case VccKind::kFairRate:
+      return "fairrate";
   }
   return "?";
 }

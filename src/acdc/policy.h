@@ -11,9 +11,11 @@
 namespace acdc::vswitch {
 
 enum class VccKind : std::uint8_t {
-  kDctcp,  // the paper's vSwitch algorithm (Fig. 5 / Eq. 1)
-  kReno,   // virtual NewReno (shows §3.1 generalises)
-  kCubic,  // e.g. for WAN-bound flows (§3.4)
+  kDctcp,    // the paper's vSwitch algorithm (Fig. 5 / Eq. 1)
+  kReno,     // virtual NewReno (shows §3.1 generalises)
+  kCubic,    // e.g. for WAN-bound flows (§3.4)
+  kPowerTcp, // INT-telemetry power control (arxiv 2112.14309)
+  kFairRate, // switch-assisted fair-rate enforcement (arxiv 2106.14100)
 };
 
 const char* to_string(VccKind kind);

@@ -10,8 +10,9 @@ void ReceiverModule::process_ingress_data(net::Packet& packet) {
   if (entry_ptr == nullptr) {
     // Admission rejected at the flow-table cap: no per-flow accounting is
     // possible, but the VM-transparency contract still holds — the VM must
-    // never see a CE mark or the repurposed reserved bit.
+    // never see a CE mark, the repurposed reserved bit or an INT stamp.
     packet.tcp.reserved_vm_ecn = false;
+    packet.telem.reset();
     if (core_.config.strip_ecn_at_receiver) packet.ip.ecn = net::Ecn::kNotEct;
     if (packet.payload_bytes > 0) ++core_.stats.ingress_data_packets;
     return;
@@ -30,6 +31,16 @@ void ReceiverModule::process_ingress_data(net::Packet& packet) {
     packet.tcp.reserved_vm_ecn = false;
   }
   if (packet.tcp.flags.fin || packet.tcp.flags.rst) entry.fin_seen = true;
+
+  // Record and strip the INT telemetry stamp: the latest data-path sample
+  // is echoed to the sender on the next PACK/FACK; the VM never sees it.
+  if (packet.telem.has_value()) {
+    if (packet.payload_bytes > 0) {
+      r.telem = *packet.telem;
+      r.telem_valid = true;
+    }
+    packet.telem.reset();
+  }
 
   if (packet.payload_bytes <= 0) return;
   ++core_.stats.ingress_data_packets;
@@ -77,13 +88,16 @@ void ReceiverModule::process_egress_ack(
   }
   if (!r.active) return;
 
+  const std::optional<net::TelemetryStamp> telem =
+      r.telem_valid ? std::optional<net::TelemetryStamp>(r.telem)
+                    : std::nullopt;
   const bool packed = attach_pack(ack, r.total_bytes, r.marked_bytes,
-                                  core_.config.mtu_bytes);
+                                  core_.config.mtu_bytes, telem);
   if (packed) {
     ++core_.stats.packs_attached;
   } else {
     ++core_.stats.facks_sent;
-    emit(make_fack(ack, r.total_bytes, r.marked_bytes));
+    emit(make_fack(ack, r.total_bytes, r.marked_bytes, telem));
   }
   if (core_.tracing()) {
     obs::TraceEvent te = core_.flow_event(

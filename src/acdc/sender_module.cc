@@ -146,6 +146,7 @@ bool SenderModule::process_ingress_ack(net::Packet& packet) {
       return false;
     }
     consume_feedback(packet);  // strip any piggybacked PACK option
+    packet.telem.reset();      // and any INT stamp from the reverse path
     if (core_.config.hide_ecn_feedback) packet.tcp.flags.ece = false;
     return true;
   }
@@ -161,6 +162,8 @@ bool SenderModule::process_ingress_ack(net::Packet& packet) {
   // ---- Feedback extraction (PACK strip / FACK consume, §3.2) ----
   std::int64_t fb_total_delta = 0;
   std::int64_t fb_marked_delta = 0;
+  bool fb_telemetry = false;
+  net::TelemetryStamp fb_telem;
   if (auto fb = consume_feedback(packet)) {
     // Feedback carries running totals, so a reordered PACK/FACK can report
     // values older than what we already consumed. Serial comparison (the
@@ -178,6 +181,10 @@ bool SenderModule::process_ingress_ack(net::Packet& packet) {
       s.fb_total = fb->total_bytes;
       s.fb_marked = fb->marked_bytes;
       s.fb_valid = true;
+      if (fb->telemetry) {
+        fb_telemetry = true;
+        fb_telem = fb->telem;
+      }
     }
   }
 
@@ -186,6 +193,13 @@ bool SenderModule::process_ingress_ack(net::Packet& packet) {
   ev.now = core_.sim->now();
   ev.fb_total_delta = fb_total_delta;
   ev.fb_marked_delta = fb_marked_delta;
+  if (fb_telemetry) {
+    ev.telemetry = true;
+    ev.qlen_bytes = fb_telem.qlen_bytes;
+    ev.tx_bytes_per_ms = fb_telem.tx_bytes_per_ms;
+    ev.fair_bytes_per_ms = fb_telem.fair_bytes_per_ms;
+    ev.ts_us = fb_telem.ts_us;
+  }
   const tcp::Seq ack = packet.tcp.ack_seq;
   if (!s.seq_valid) {
     // Mid-flow adoption: bootstrap from the ACK itself.
@@ -245,6 +259,7 @@ bool SenderModule::process_ingress_ack(net::Packet& packet) {
   if (!packet.tcp.flags.syn) enforce_window(entry, packet);
 
   if (core_.config.hide_ecn_feedback) packet.tcp.flags.ece = false;
+  packet.telem.reset();  // INT stamps never cross into the VM
 
   // Template for §3.3 injection; SYN-ACK windows have different (unscaled)
   // semantics, so only real ACKs qualify.

@@ -13,6 +13,8 @@ void VirtualCc::init(SenderFlowState& s, const VccConfig& cfg) const {
   s.win_marked = 0;
   s.window_boundary_valid = false;
   s.reduced_this_window = false;
+  s.pt_prev_valid = false;
+  s.pt_power = 1.0;
 }
 
 double VirtualCc::min_cwnd_bytes(const SenderFlowState& s) {
@@ -197,17 +199,141 @@ void VirtualCubic::on_timeout(SenderFlowState& s, const VccConfig& cfg) const {
   s.cubic_epoch_start = sim::kNoTime;
 }
 
+// ---------------------------------------------------------------- PowerTCP
+
+double VirtualPowerTcp::bdp_bytes(const VccConfig& cfg,
+                                  std::uint32_t tx_bytes_per_ms) {
+  const double rate = std::max(1.0, static_cast<double>(tx_bytes_per_ms));
+  return rate * (cfg.base_rtt_us / 1000.0);
+}
+
+void VirtualPowerTcp::on_ack(SenderFlowState& s, const FlowPolicy& policy,
+                             const VccConfig& cfg, const VccEvent& ev) const {
+  (void)policy;
+  window_rolled(s);
+  const bool loss = ev.dupack && ev.dupacks >= cfg.loss_dupacks;
+  if (loss) {
+    if (!s.reduced_this_window) {
+      s.reduced_this_window = true;
+      s.cc_window_end = s.snd_nxt;
+      s.window_boundary_valid = true;
+      s.cwnd_bytes = std::max(min_cwnd_bytes(s), s.cwnd_bytes / 2.0);
+      s.ssthresh_bytes = std::max(min_cwnd_bytes(s), s.cwnd_bytes);
+    }
+    return;
+  }
+  if (ev.dupack) return;
+  if (!ev.telemetry) {
+    reno_grow(s, ev.acked_bytes);
+    return;
+  }
+
+  const double rate = std::max(1.0, static_cast<double>(ev.tx_bytes_per_ms));
+  const double bdp = bdp_bytes(cfg, ev.tx_bytes_per_ms);
+
+  // Current Λ = q̇ + txRate (bytes/ms). The gradient differences this stamp
+  // against the previous one; both the timestamp and the subtraction are
+  // u32-wrap safe. Stale or same-µs samples contribute no gradient.
+  double gradient = 0.0;
+  double dt_smooth_us = 0.0;
+  const bool had_prev = s.pt_prev_valid;
+  if (s.pt_prev_valid) {
+    const std::uint32_t dt_us = ev.ts_us - s.pt_prev_ts_us;
+    if (dt_us > 0 && dt_us < 1'000'000'000u) {
+      const double dq = static_cast<double>(ev.qlen_bytes) -
+                        static_cast<double>(s.pt_prev_qlen_bytes);
+      gradient = dq / (static_cast<double>(dt_us) / 1000.0);
+      dt_smooth_us = static_cast<double>(dt_us);
+    }
+  }
+  s.pt_prev_qlen_bytes = ev.qlen_bytes;
+  s.pt_prev_ts_us = ev.ts_us;
+  s.pt_prev_valid = true;
+
+  const double current = std::max(1.0, gradient + rate);   // Λ
+  const double voltage = static_cast<double>(ev.qlen_bytes) + bdp;  // ν
+  const double base_power = rate * bdp;                    // e = b²τ
+  const double power_inst = current * voltage / base_power;
+  // Smooth normalized power over the base-RTT timescale τ (the paper's
+  // Γ ← (Γ·(τ−∆t) + γ_inst·∆t)/τ): one sample differenced across a
+  // pure-drain gap (gradient ≈ -rate ⇒ Λ at its floor) must not slam the
+  // window to the cap on its own.
+  const double tau_us = std::max(1.0, cfg.base_rtt_us);
+  if (!had_prev) {
+    s.pt_power = power_inst;
+  } else {
+    const double dt = std::min(dt_smooth_us, tau_us);
+    s.pt_power = (s.pt_power * (tau_us - dt) + power_inst * dt) / tau_us;
+  }
+  const double gamma_norm = std::max(1e-9, s.pt_power);
+
+  const double target =
+      s.cwnd_bytes / gamma_norm + cfg.power_beta_mss * s.mss;
+  const double w =
+      cfg.power_gamma * target + (1.0 - cfg.power_gamma) * s.cwnd_bytes;
+  const double cap = std::max(min_cwnd_bytes(s), cfg.power_cap_bdps * bdp);
+  s.cwnd_bytes = std::clamp(w, min_cwnd_bytes(s), cap);
+}
+
+void VirtualPowerTcp::on_timeout(SenderFlowState& s,
+                                 const VccConfig& cfg) const {
+  VirtualCc::on_timeout(s, cfg);
+  s.pt_prev_valid = false;
+}
+
+// --------------------------------------------------------------- Fair rate
+
+double VirtualFairRate::window_bytes(const VccConfig& cfg,
+                                     std::uint32_t fair_bytes_per_ms) {
+  return static_cast<double>(fair_bytes_per_ms) * (cfg.base_rtt_us / 1000.0) *
+         cfg.fair_window_rtts;
+}
+
+void VirtualFairRate::on_ack(SenderFlowState& s, const FlowPolicy& policy,
+                             const VccConfig& cfg, const VccEvent& ev) const {
+  (void)policy;
+  window_rolled(s);
+  const bool loss = ev.dupack && ev.dupacks >= cfg.loss_dupacks;
+  if (loss) {
+    if (!s.reduced_this_window) {
+      s.reduced_this_window = true;
+      s.cc_window_end = s.snd_nxt;
+      s.window_boundary_valid = true;
+      s.cwnd_bytes = std::max(min_cwnd_bytes(s), s.cwnd_bytes / 2.0);
+      s.ssthresh_bytes = std::max(min_cwnd_bytes(s), s.cwnd_bytes);
+    }
+    return;
+  }
+  if (ev.dupack) return;
+  if (!ev.telemetry || ev.fair_bytes_per_ms == 0) {
+    // No switch allocation yet (e.g. handshake, or an INT-less path):
+    // probe gently like Reno until one arrives.
+    reno_grow(s, ev.acked_bytes);
+    return;
+  }
+  // Track the switch's allocation directly — the controller's whole point
+  // is that the vSwitch pins the VM to the fabric-computed fair share.
+  s.cwnd_bytes =
+      std::max(min_cwnd_bytes(s), window_bytes(cfg, ev.fair_bytes_per_ms));
+}
+
 // ----------------------------------------------------------------- Registry
 
 const VirtualCc& virtual_cc_for(VccKind kind) {
   static const VirtualDctcp dctcp;
   static const VirtualReno reno;
   static const VirtualCubic cubic;
+  static const VirtualPowerTcp powertcp;
+  static const VirtualFairRate fairrate;
   switch (kind) {
     case VccKind::kReno:
       return reno;
     case VccKind::kCubic:
       return cubic;
+    case VccKind::kPowerTcp:
+      return powertcp;
+    case VccKind::kFairRate:
+      return fairrate;
     case VccKind::kDctcp:
       break;
   }

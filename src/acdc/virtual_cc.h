@@ -25,12 +25,30 @@ struct VccEvent {
   bool dupack = false;
   std::uint32_t dupacks = 0;  // current duplicate-ACK count
   sim::Time now = 0;
+  // INT telemetry echoed in the extended PACK/FACK option (DESIGN.md §13);
+  // valid only when `telemetry` is set. Algorithms that need it fall back
+  // to Reno-style growth on telemetry-blind ACKs.
+  bool telemetry = false;
+  std::uint32_t qlen_bytes = 0;        // bottleneck egress queue depth
+  std::uint32_t tx_bytes_per_ms = 0;   // bottleneck drain rate
+  std::uint32_t fair_bytes_per_ms = 0; // min fair share across hops
+  std::uint32_t ts_us = 0;             // stamping hop's clock (µs, wraps)
 };
 
 struct VccConfig {
   double g = 1.0 / 16.0;           // DCTCP EWMA gain
   double initial_cwnd_packets = 10;  // RFC 6928 (§3.1)
   std::uint32_t loss_dupacks = 3;
+  // ---- PowerTCP (arxiv 2112.14309) ----
+  double power_gamma = 0.9;      // EWMA weight of the power-derived target
+  double power_beta_mss = 1.0;   // additive bandwidth share, in MSS
+  double power_cap_bdps = 8.0;   // window cap as a multiple of the BDP
+  // ---- shared rate-to-window conversion ----
+  double base_rtt_us = 40.0;     // τ: fabric base RTT estimate
+  // Fair-rate controller: window = fair_rate · τ · margin. The margin buys
+  // headroom for τ underestimating the true RTT; the clamp still only ever
+  // lowers the VM's own window.
+  double fair_window_rtts = 1.5;
 };
 
 class VirtualCc {
@@ -90,6 +108,38 @@ class VirtualCubic : public VirtualCc {
   static constexpr double kBeta = 0.7;
   void cut(SenderFlowState& s) const;
   void grow(SenderFlowState& s, const VccEvent& ev) const;
+};
+
+// Virtual PowerTCP (arxiv 2112.14309): per-ACK window control driven by
+// normalized power Γ = Λ·ν / e, where Λ = q̇ + txRate (current),
+// ν = qlen + BDP (voltage) and e = txRate·BDP (base power). The queue
+// gradient q̇ comes from differencing consecutive telemetry stamps. Update:
+//   w ← γ·(w/Γ + β·mss) + (1−γ)·w,  clamped to [mss, cap·BDP].
+// Telemetry-blind ACKs fall back to Reno growth so the algorithm still
+// works (degraded) on paths without INT.
+class VirtualPowerTcp : public VirtualCc {
+ public:
+  std::string_view name() const override { return "vpowertcp"; }
+  void on_ack(SenderFlowState& s, const FlowPolicy& policy,
+              const VccConfig& cfg, const VccEvent& ev) const override;
+  void on_timeout(SenderFlowState& s, const VccConfig& cfg) const override;
+
+  // BDP in bytes implied by one telemetry sample (exposed for tests).
+  static double bdp_bytes(const VccConfig& cfg, std::uint32_t tx_bytes_per_ms);
+};
+
+// Switch-assisted fair-rate enforcement (arxiv 2106.14100): the switch
+// computes a per-flow fair share from active-flow counts (net/telemetry.h)
+// and the vSwitch drains it through the RWND rewrite: w = fair·τ·margin.
+class VirtualFairRate : public VirtualCc {
+ public:
+  std::string_view name() const override { return "vfairrate"; }
+  void on_ack(SenderFlowState& s, const FlowPolicy& policy,
+              const VccConfig& cfg, const VccEvent& ev) const override;
+
+  // The window a fair-share sample converts to (exposed for tests).
+  static double window_bytes(const VccConfig& cfg,
+                             std::uint32_t fair_bytes_per_ms);
 };
 
 // Returns the singleton algorithm for a policy kind.

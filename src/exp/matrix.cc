@@ -1,0 +1,395 @@
+#include "exp/matrix.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+
+#include "exp/star.h"
+#include "sim/rng.h"
+#include "stats/fct_collector.h"
+#include "stats/percentile.h"
+#include "workload/churn.h"
+
+namespace acdc::exp {
+namespace {
+
+// Substream tags for cell seeds; mixed from identifiers, not grid
+// positions, so --ccs/--scenarios subsets reproduce full-grid cells.
+constexpr std::uint64_t kCcStream = 0xCCAC5E00;
+constexpr std::uint64_t kScenStream = 0x5CE4A110;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+
+// Fixed-precision, locale-independent double formatting so report bytes
+// (and therefore digests) are stable across runs and machines.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+struct CellWorkload {
+  std::vector<host::MessageApp*> measured;  // FCT + fairness population
+  std::vector<host::BulkApp*> background;   // mixed-tenant elephants
+};
+
+// One matrix cell: an independent star-topology Scenario running `cc` as
+// the vSwitch default policy under `scenario`'s workload.
+CellResult run_cell(const MatrixConfig& mc, vswitch::VccKind cc,
+                    MatrixScenario scenario) {
+  CellResult out;
+  out.cc = cc;
+  out.scenario = scenario;
+  out.cell_seed = sim::mix_seed(
+      sim::mix_seed(mc.seed, kCcStream + static_cast<std::uint64_t>(cc)),
+      kScenStream + static_cast<std::uint64_t>(scenario));
+
+  int hosts = 0;
+  switch (scenario) {
+    case MatrixScenario::kIncast:
+      hosts = mc.incast_fanin + 3;  // + receiver + two elephants
+      break;
+    case MatrixScenario::kShuffle:
+      hosts = mc.shuffle_hosts;
+      break;
+    case MatrixScenario::kChurn:
+      hosts = mc.churn_sources + 2;
+      break;
+    case MatrixScenario::kMixedTenant:
+      hosts = 5;
+      break;
+  }
+
+  StarConfig sc;
+  sc.scenario.seed = out.cell_seed;
+  sc.scenario.mtu_bytes = 1500;
+  sc.hosts = hosts;
+  // 1ns per-spoke skew: keeps independent uplinks off each other's ticks,
+  // which is what makes the serial and 2-shard reports byte-identical.
+  sc.host_delay_skew = sim::nanoseconds(1);
+  Star star(sc);
+  Scenario& s = star.scenario();
+
+  // threads == 0 means one per shard; enable_parallel treats a
+  // non-positive thread count as a serial fallback, so resolve it here.
+  if (mc.shards > 1) {
+    s.enable_parallel(mc.shards, mc.threads > 0 ? mc.threads : mc.shards);
+  }
+
+  // INT telemetry on every hub egress port — on for every cell (not just
+  // the telemetry-consuming CCs) so all columns run the same datapath and
+  // differ only in the virtual algorithm.
+  for (const auto& port : star.hub()->ports()) port->enable_telemetry();
+
+  vswitch::AcdcConfig acfg;
+  acfg.mtu_bytes = sc.scenario.mtu_bytes;
+  acfg.vcc.base_rtt_us = 25.0;  // star: 4x2us prop + serialization
+  vswitch::FlowPolicy policy;
+  policy.kind = cc;
+  std::vector<vswitch::AcdcVswitch*> vswitches;
+  for (int i = 0; i < star.host_count(); ++i) {
+    vswitch::AcdcVswitch* vs = s.attach_acdc(star.host(i), acfg);
+    vs->policy().set_default(policy);
+    vswitches.push_back(vs);
+  }
+
+  const tcp::TcpConfig tenant = s.tcp_config(tcp::CcId::kCubic);
+  stats::FctCollector fct(10 * 1024);
+  CellWorkload w;
+  const sim::Time t0 = sim::milliseconds(1);
+
+  switch (scenario) {
+    case MatrixScenario::kIncast:
+      // Near-synchronized rounds: every sender fires `incast_bytes` at
+      // host 0 within a few µs — the §5 incast pattern. Two long-lived
+      // elephants (same CC) keep the port loaded between rounds, so the
+      // mice p99 reflects the standing queue each algorithm maintains.
+      // The 1µs per-sender stagger (vs 2ms rounds) keeps the burst intact
+      // while avoiding exact-tick ties between senders on different
+      // shards: event-queue ties break by insertion order, which is the
+      // one thing the serial and sharded engines order differently.
+      for (int i = 1; i <= mc.incast_fanin; ++i) {
+        w.measured.push_back(s.add_message_app(
+            star.host(i), star.host(0), tenant,
+            t0 + i * sim::microseconds(1), sim::milliseconds(2),
+            mc.incast_bytes, &fct));
+      }
+      for (int i = mc.incast_fanin + 1; i <= mc.incast_fanin + 2; ++i) {
+        w.background.push_back(s.add_bulk_flow(
+            star.host(i), star.host(0), tenant, i * sim::microseconds(1)));
+      }
+      break;
+    case MatrixScenario::kShuffle: {
+      // All-to-all mice; starts staggered deterministically so rounds
+      // overlap without being phase-locked.
+      int pair = 0;
+      for (int i = 0; i < hosts; ++i) {
+        for (int j = 0; j < hosts; ++j) {
+          if (i == j) continue;
+          w.measured.push_back(s.add_message_app(
+              star.host(i), star.host(j), tenant,
+              t0 + pair * sim::microseconds(100), sim::milliseconds(4),
+              mc.message_bytes, &fct));
+          ++pair;
+        }
+      }
+      break;
+    }
+    case MatrixScenario::kChurn: {
+      // Open-loop churn into host 0's downlink; two probe mice apps share
+      // the congested port and carry the FCT measurement (ChurnSource has
+      // no collector of its own).
+      workload::ChurnConfig cc_cfg;
+      cc_cfg.flows_per_sec = 400.0;
+      cc_cfg.message_bytes = 10'000;
+      cc_cfg.stop_after = mc.horizon * 3 / 5;
+      for (int i = 0; i < mc.churn_sources; ++i) {
+        s.add_churn_workload(star.host(i + 2), star.host(0), tenant, cc_cfg);
+      }
+      for (int p = 0; p < 2; ++p) {
+        w.measured.push_back(s.add_message_app(
+            star.host(1), star.host(0), tenant, t0 + p * sim::milliseconds(1),
+            sim::milliseconds(2), mc.message_bytes, &fct));
+      }
+      break;
+    }
+    case MatrixScenario::kMixedTenant: {
+      // Two long-lived vCUBIC elephants (per-flow dst-port policy rules)
+      // sharing host 0's downlink with two mice tenants running the CC
+      // under test — the §3.4 mixed-policy port.
+      // Starts staggered by 1µs for the same cross-shard tie-avoidance as
+      // the incast cell.
+      w.background.push_back(s.add_bulk_flow(star.host(1), star.host(0),
+                                             tenant, sim::microseconds(1)));
+      w.background.push_back(s.add_bulk_flow(star.host(2), star.host(0),
+                                             tenant, sim::microseconds(2)));
+      for (host::BulkApp* bulk : w.background) {
+        vswitch::FlowPolicy bp = policy;
+        bp.kind = vswitch::VccKind::kCubic;
+        for (vswitch::AcdcVswitch* vs : vswitches) {
+          vs->policy().add_dst_port_rule(bulk->port(), bp);
+        }
+      }
+      for (int i = 3; i <= 4; ++i) {
+        w.measured.push_back(s.add_message_app(
+            star.host(i), star.host(0), tenant,
+            t0 + i * sim::microseconds(1), sim::milliseconds(2),
+            mc.message_bytes, &fct));
+      }
+      break;
+    }
+  }
+
+  // Run in fixed steps, sampling hub queue occupancy at each run_until
+  // boundary (shard clocks agree there, so samples are shard-invariant);
+  // the peak comes from the queues' exact high-watermark stat instead, so
+  // sub-boundary transients are not missed.
+  const int steps = std::max(1, mc.queue_samples);
+  std::int64_t queue_sum = 0;
+  for (int step = 1; step <= steps; ++step) {
+    s.run_until(mc.horizon * step / steps);
+    std::int64_t depth = 0;
+    for (const auto& port : star.hub()->ports()) {
+      depth = std::max(depth, port->queue().byte_length());
+    }
+    queue_sum += depth;
+  }
+  out.queue_mean_bytes = static_cast<double>(queue_sum) / steps;
+  out.queue_peak_bytes = star.hub()->total_stats().peak_bytes;
+
+  // FCT aggregates from a sorted copy: the collector's insertion order is
+  // shard-timing-dependent, the sorted multiset is not.
+  std::vector<double> samples = fct.all_ms().values();
+  std::sort(samples.begin(), samples.end());
+  out.fct_count = samples.size();
+  if (!samples.empty()) {
+    stats::Sampler sorted;
+    for (double v : samples) sorted.add(v);
+    out.fct_p50_ms = sorted.percentile(50.0);
+    out.fct_p99_ms = sorted.percentile(99.0);
+    out.fct_mean_ms = sorted.mean();
+    for (double v : samples) {
+      if (v > mc.slo_ms) ++out.slo_violations;
+    }
+  }
+
+  std::vector<double> allocations;
+  for (host::MessageApp* app : w.measured) {
+    allocations.push_back(static_cast<double>(app->delivered_bytes()));
+    out.delivered_bytes += app->delivered_bytes();
+  }
+  for (host::BulkApp* app : w.background) {
+    out.delivered_bytes += app->delivered_bytes();
+  }
+  out.fairness = allocations.size() > 1
+                     ? stats::jain_fairness_index(allocations)
+                     : 1.0;
+
+  const net::QueueStats q = s.fabric_stats();
+  out.drops = q.dropped_packets;
+  out.marks = q.marked_packets;
+  for (const vswitch::AcdcVswitch* vs : vswitches) {
+    out.windows_lowered += vs->stats().windows_lowered;
+  }
+  return out;
+}
+
+std::string csv_row(const CellResult& c, bool with_digest) {
+  std::string row;
+  row += to_string(c.cc);
+  row += ',';
+  row += to_string(c.scenario);
+  row += ',' + std::to_string(c.cell_seed);
+  row += ',' + std::to_string(c.fct_count);
+  row += ',' + fmt(c.fct_p50_ms);
+  row += ',' + fmt(c.fct_p99_ms);
+  row += ',' + fmt(c.fct_mean_ms);
+  row += ',' + std::to_string(c.slo_violations);
+  row += ',' + std::to_string(c.queue_peak_bytes);
+  row += ',' + fmt(c.queue_mean_bytes);
+  row += ',' + fmt(c.fairness);
+  row += ',' + std::to_string(c.delivered_bytes);
+  row += ',' + std::to_string(c.drops);
+  row += ',' + std::to_string(c.marks);
+  row += ',' + std::to_string(c.windows_lowered);
+  if (with_digest) row += ',' + std::to_string(c.digest);
+  return row;
+}
+
+}  // namespace
+
+const char* to_string(MatrixScenario scenario) {
+  switch (scenario) {
+    case MatrixScenario::kIncast:
+      return "incast";
+    case MatrixScenario::kShuffle:
+      return "shuffle";
+    case MatrixScenario::kChurn:
+      return "churn";
+    case MatrixScenario::kMixedTenant:
+      return "mixed-tenant";
+  }
+  return "?";
+}
+
+std::optional<MatrixScenario> matrix_scenario_from_string(std::string_view s) {
+  if (s == "incast") return MatrixScenario::kIncast;
+  if (s == "shuffle") return MatrixScenario::kShuffle;
+  if (s == "churn") return MatrixScenario::kChurn;
+  if (s == "mixed-tenant" || s == "mixed") return MatrixScenario::kMixedTenant;
+  return std::nullopt;
+}
+
+std::optional<vswitch::VccKind> vcc_from_string(std::string_view s) {
+  if (s == "dctcp") return vswitch::VccKind::kDctcp;
+  if (s == "reno") return vswitch::VccKind::kReno;
+  if (s == "cubic") return vswitch::VccKind::kCubic;
+  if (s == "powertcp") return vswitch::VccKind::kPowerTcp;
+  if (s == "fairrate") return vswitch::VccKind::kFairRate;
+  return std::nullopt;
+}
+
+MatrixConfig MatrixConfig::quick() const {
+  MatrixConfig q = *this;
+  q.incast_fanin = 4;
+  q.shuffle_hosts = 4;
+  q.churn_sources = 2;
+  q.horizon = sim::milliseconds(120);
+  q.queue_samples = 24;
+  return q;
+}
+
+std::string MatrixReport::to_json() const {
+  std::string j = "{\n  \"schema\": \"acdc-matrix-v1\",\n  \"seed\": ";
+  j += std::to_string(seed);
+  j += ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    j += "    {\"cc\": \"";
+    j += to_string(c.cc);
+    j += "\", \"scenario\": \"";
+    j += to_string(c.scenario);
+    j += "\", \"cell_seed\": " + std::to_string(c.cell_seed);
+    j += ", \"fct_count\": " + std::to_string(c.fct_count);
+    j += ", \"fct_p50_ms\": " + fmt(c.fct_p50_ms);
+    j += ", \"fct_p99_ms\": " + fmt(c.fct_p99_ms);
+    j += ", \"fct_mean_ms\": " + fmt(c.fct_mean_ms);
+    j += ", \"slo_violations\": " + std::to_string(c.slo_violations);
+    j += ", \"queue_peak_bytes\": " + std::to_string(c.queue_peak_bytes);
+    j += ", \"queue_mean_bytes\": " + fmt(c.queue_mean_bytes);
+    j += ", \"fairness\": " + fmt(c.fairness);
+    j += ", \"delivered_bytes\": " + std::to_string(c.delivered_bytes);
+    j += ", \"drops\": " + std::to_string(c.drops);
+    j += ", \"marks\": " + std::to_string(c.marks);
+    j += ", \"windows_lowered\": " + std::to_string(c.windows_lowered);
+    j += ", \"digest\": " + std::to_string(c.digest);
+    j += i + 1 < cells.size() ? "},\n" : "}\n";
+  }
+  j += "  ]\n}\n";
+  return j;
+}
+
+std::string MatrixReport::to_csv() const {
+  std::string csv =
+      "cc,scenario,cell_seed,fct_count,fct_p50_ms,fct_p99_ms,fct_mean_ms,"
+      "slo_violations,queue_peak_bytes,queue_mean_bytes,fairness,"
+      "delivered_bytes,drops,marks,windows_lowered,digest\n";
+  for (const CellResult& c : cells) csv += csv_row(c, true) + "\n";
+  return csv;
+}
+
+std::string MatrixReport::to_table() const {
+  std::string t;
+  char buf[256];
+  for (const CellResult& c : cells) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-12s %-12s fct(n=%llu) p50=%8.3fms p99=%8.3fms slo=%lld "
+                  "qpeak=%8lld fair=%.4f drops=%lld lowered=%lld\n",
+                  to_string(c.cc), to_string(c.scenario),
+                  static_cast<unsigned long long>(c.fct_count), c.fct_p50_ms,
+                  c.fct_p99_ms, static_cast<long long>(c.slo_violations),
+                  static_cast<long long>(c.queue_peak_bytes), c.fairness,
+                  static_cast<long long>(c.drops),
+                  static_cast<long long>(c.windows_lowered));
+    t += buf;
+  }
+  return t;
+}
+
+std::uint64_t MatrixReport::digest() const {
+  const std::string j = to_json();
+  return fnv1a(kFnvOffset, j.data(), j.size());
+}
+
+const CellResult* MatrixReport::cell(vswitch::VccKind cc,
+                                     MatrixScenario scenario) const {
+  for (const CellResult& c : cells) {
+    if (c.cc == cc && c.scenario == scenario) return &c;
+  }
+  return nullptr;
+}
+
+MatrixReport run_matrix(const MatrixConfig& config) {
+  MatrixReport report;
+  report.seed = config.seed;
+  for (vswitch::VccKind cc : config.ccs) {
+    for (MatrixScenario scenario : config.scenarios) {
+      CellResult cell = run_cell(config, cc, scenario);
+      const std::string row = csv_row(cell, false);
+      cell.digest = fnv1a(kFnvOffset, row.data(), row.size());
+      report.cells.push_back(cell);
+    }
+  }
+  return report;
+}
+
+}  // namespace acdc::exp

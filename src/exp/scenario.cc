@@ -97,20 +97,22 @@ net::PacketSink* Scenario::wrap_link(net::PacketSink* sink,
   return injector;
 }
 
-void Scenario::attach(host::Host* h, net::Switch* sw) {
+void Scenario::attach(host::Host* h, net::Switch* sw, sim::Time delay) {
   assert(shard_sims_.empty() && "topology is frozen after enable_parallel");
+  const sim::Time d = delay > 0 ? delay : config_.host_link_delay;
   LinkRec rec{};
   rec.host_side = true;
   rec.host = host_index_.at(h);
   rec.sw_a = switch_index_.at(sw);
   rec.sw_b = -1;
-  rec.delay = config_.host_link_delay;
+  rec.delay = d;
   // Host -> switch direction.
   rec.a_to_b = &h->nic().tx_port();
+  rec.a_to_b->set_propagation_delay(d);
   rec.head_a_to_b = wrap_link(sw, rec.inj_a_to_b);
   rec.a_to_b->set_peer(rec.head_a_to_b);
   // Switch -> host direction.
-  rec.b_to_a = sw->add_port(config_.link_rate, config_.host_link_delay);
+  rec.b_to_a = sw->add_port(config_.link_rate, d);
   rec.head_b_to_a = wrap_link(&h->nic(), rec.inj_b_to_a);
   rec.b_to_a->set_peer(rec.head_b_to_a);
   sw->add_route(h->ip(), rec.b_to_a);
@@ -388,6 +390,7 @@ net::QueueStats Scenario::fabric_stats() const {
     total.dropped_packets += s.dropped_packets;
     total.dropped_bytes += s.dropped_bytes;
     total.marked_packets += s.marked_packets;
+    if (s.peak_bytes > total.peak_bytes) total.peak_bytes = s.peak_bytes;
   }
   return total;
 }

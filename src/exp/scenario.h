@@ -109,7 +109,11 @@ class Scenario {
   net::Switch* add_switch(const std::string& name,
                           const SwitchOptions& options = {});
   // Full-duplex host <-> switch attachment with routes installed.
-  void attach(host::Host* h, net::Switch* sw);
+  // delay == 0 inherits ScenarioConfig::host_link_delay; a positive value
+  // overrides both directions (per-link skew decorrelates spokes so
+  // independent uplinks never deliver on the same tick — cable-length
+  // heterogeneity, and what keeps serial and sharded runs tie-free).
+  void attach(host::Host* h, net::Switch* sw, sim::Time delay = 0);
   // Full-duplex switch <-> switch trunk; returns the two unidirectional
   // egress ports (a->b, b->a) so callers can install routes/inspect queues.
   // rate == 0 inherits ScenarioConfig::link_rate.

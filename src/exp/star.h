@@ -12,6 +12,12 @@ namespace acdc::exp {
 struct StarConfig {
   ScenarioConfig scenario;
   int hosts = 17;
+  // Per-spoke link-delay skew: host i's link gets host_link_delay +
+  // i * host_delay_skew. Models cable-length heterogeneity; a nonzero skew
+  // decorrelates the spokes so independent uplinks never deliver to the hub
+  // on the same tick (same-tick ties are the one thing the serial and
+  // sharded engines order differently).
+  sim::Time host_delay_skew = 0;
 };
 
 class Star {

@@ -40,6 +40,9 @@ class BulkApp {
   bool completed() const { return completed_; }
   sim::Time completion_time() const { return completion_time_; }
   sim::Time start_time() const { return start_time_; }
+  // Receiver-side listen port; data-direction packets carry it as dst_port,
+  // so per-flow vSwitch policies can target this app with a dst-port rule.
+  net::TcpPort port() const { return port_; }
 
   tcp::TcpConnection* sender_connection() { return conn_; }
   const tcp::TcpConnection* receiver_connection() const { return server_conn_; }

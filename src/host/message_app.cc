@@ -52,6 +52,7 @@ void MessageApp::send_message(std::int64_t bytes,
 }
 
 void MessageApp::handle_acked(std::int64_t acked_total) {
+  if (acked_total > delivered_bytes_) delivered_bytes_ = acked_total;
   while (!outstanding_.empty() &&
          acked_total >= outstanding_.front().target_acked_bytes) {
     Outstanding done = std::move(outstanding_.front());

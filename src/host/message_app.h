@@ -35,7 +35,11 @@ class MessageApp {
   bool established() const { return established_; }
   std::int64_t messages_sent() const { return messages_sent_; }
   std::int64_t messages_completed() const { return messages_completed_; }
+  std::int64_t delivered_bytes() const { return delivered_bytes_; }
   tcp::TcpConnection* connection() { return conn_; }
+  // Receiver-side listen port (dst_port of data packets); lets per-flow
+  // vSwitch policies target this app with a dst-port rule.
+  net::TcpPort port() const { return port_; }
 
   std::function<void()> on_established;
 
@@ -67,6 +71,7 @@ class MessageApp {
   std::deque<Outstanding> outstanding_;
   std::int64_t messages_sent_ = 0;
   std::int64_t messages_completed_ = 0;
+  std::int64_t delivered_bytes_ = 0;  // cumulative acked payload
 };
 
 }  // namespace acdc::host

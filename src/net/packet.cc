@@ -18,7 +18,9 @@ std::uint8_t TcpOptions::wire_size() const {
   if (window_scale) n += 3;
   if (sack_permitted) n += 2;
   if (!sack.empty()) n += 2 + 8 * static_cast<std::uint32_t>(sack.size());
-  if (acdc) n += 10;  // kind + len + two uint32 counters
+  // kind + len + two uint32 counters, plus four telemetry words when the
+  // extended shape is carried (DESIGN.md §13).
+  if (acdc) n += acdc->telemetry ? 26 : 10;
   // Pad with NOPs to a 4-byte boundary, as on the wire.
   return static_cast<std::uint8_t>((n + 3) & ~3u);
 }

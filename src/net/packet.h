@@ -71,13 +71,37 @@ struct SackBlock {
   bool operator==(const SackBlock&) const = default;
 };
 
+// INT-style egress telemetry stamped onto packets by switch ports
+// (net/telemetry.h) and echoed to the sender-side vSwitch inside the PACK/
+// FACK option. Rates are bytes per millisecond so a uint32 spans past
+// 30 Tbit/s; the timestamp is microseconds truncated to 32 bits (gradient
+// computations difference it, so wrap-around is harmless).
+struct TelemetryStamp {
+  std::uint32_t qlen_bytes = 0;        // egress queue depth after dequeue
+  std::uint32_t tx_bytes_per_ms = 0;   // egress port drain rate
+  std::uint32_t fair_bytes_per_ms = 0; // per-flow fair share at the port
+  std::uint32_t ts_us = 0;             // stamping hop's clock, µs, wraps
+
+  bool operator==(const TelemetryStamp&) const = default;
+};
+
 // AC/DC congestion feedback (§3.2): running totals of bytes received and
 // bytes received with CE set, maintained by the receiver-side vSwitch and
 // reported back to the sender-side vSwitch. 8 bytes on the wire plus
-// kind/length, carried as experimental TCP option kind 253.
+// kind/length, carried as experimental TCP option kind 253. When the
+// receiver vSwitch has fresh INT telemetry for the flow it appends the
+// four TelemetryStamp words, growing the option from 10 to 26 bytes
+// (DESIGN.md §13); `telemetry` distinguishes the two wire shapes.
 struct AcdcFeedback {
+  AcdcFeedback() = default;
+  // The common classic-option shape: counters only, no telemetry block.
+  AcdcFeedback(std::uint32_t total, std::uint32_t marked)
+      : total_bytes(total), marked_bytes(marked) {}
+
   std::uint32_t total_bytes = 0;
   std::uint32_t marked_bytes = 0;
+  bool telemetry = false;  // extended option shape carrying `telem`
+  TelemetryStamp telem;
 
   bool operator==(const AcdcFeedback&) const = default;
 };
@@ -143,6 +167,13 @@ struct Packet {
   // modules use to recognise their own packets.
   bool acdc_fack = false;
 
+  // In-band telemetry stamped by switch egress ports when telemetry is
+  // enabled (net/telemetry.h). Modelled out-of-band like `acdc_fack`: a
+  // real deployment would use an INT shim header; here it adds no wire
+  // bytes and the vSwitch strips it before the VM, so enabling telemetry
+  // does not perturb byte-level behaviour of flows that ignore it.
+  std::optional<TelemetryStamp> telem;
+
   // Simulator bookkeeping (not on the wire).
   std::uint64_t uid = 0;
   sim::Time enqueued_at = 0;
@@ -175,6 +206,7 @@ struct Packet {
     tcp.options.reset_for_reuse();
     payload_bytes = 0;
     acdc_fack = false;
+    telem.reset();
     uid = 0;
     enqueued_at = 0;
   }

@@ -7,6 +7,26 @@
 
 namespace acdc::net {
 
+std::uint64_t Port::delivery_tie_key(const Packet& packet) {
+  // FNV-1a over the packet's invariant identity. uid alone is not enough:
+  // vSwitch-crafted packets (FACKs, injected dupACKs) keep uid 0.
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(packet.uid);
+  mix((static_cast<std::uint64_t>(packet.ip.src) << 32) | packet.ip.dst);
+  mix((static_cast<std::uint64_t>(packet.tcp.src_port) << 48) |
+      (static_cast<std::uint64_t>(packet.tcp.dst_port) << 32) |
+      packet.tcp.seq);
+  mix((static_cast<std::uint64_t>(packet.tcp.ack_seq) << 32) |
+      static_cast<std::uint64_t>(packet.payload_bytes));
+  return h;
+}
+
 Port::Port(sim::Simulator* sim, std::string name, sim::Rate rate,
            sim::Time propagation_delay, std::unique_ptr<Queue> queue)
     : sim_(sim),
@@ -46,6 +66,9 @@ void Port::start_transmission() {
   const sim::Time tx = sim::transmission_time(packet->wire_bytes(), rate_);
   ++transmitted_packets_;
   transmitted_bytes_ += packet->wire_bytes();
+  if (telemetry_ != nullptr) {
+    telemetry_->stamp(*packet, queue_->byte_length(), sim_->now());
+  }
 
   // Observation taps at transmission start: queue sojourn for the
   // histogram, one trace event per dequeue, and the pcap bridge. The
@@ -84,14 +107,16 @@ void Port::start_transmission() {
 
   // Deliver at tx + propagation; free the transmitter at tx. A remote peer
   // (cross-shard link) takes the delivery time with the packet instead of a
-  // local event.
+  // local event. Both paths carry the content-derived tie key so same-tick
+  // arrivals at the receiver order identically on either engine.
+  const std::uint64_t key = delivery_tie_key(*packet);
   if (remote_peer_ != nullptr) {
     remote_peer_->deliver(packet.release(),
-                          sim_->now() + tx + propagation_delay_);
+                          sim_->now() + tx + propagation_delay_, key);
   } else {
     PacketSink* peer = peer_;
     Packet* raw = packet.release();
-    sim_->schedule(tx + propagation_delay_, [peer, raw] {
+    sim_->schedule_keyed(tx + propagation_delay_, key, [peer, raw] {
       if (peer != nullptr) {
         peer->receive(PacketPtr(raw));
       } else {

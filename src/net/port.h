@@ -11,6 +11,7 @@
 
 #include "net/packet.h"
 #include "net/queue.h"
+#include "net/telemetry.h"
 #include "sim/simulator.h"
 
 namespace acdc::net {
@@ -24,7 +25,10 @@ class PcapWriter;
 class RemotePeer {
  public:
   virtual ~RemotePeer() = default;
-  virtual void deliver(Packet* packet, sim::Time at) = 0;
+  // `key` is the delivery's tie key (see Port::delivery_tie_key); the
+  // destination shard schedules the delivery with it so same-tick arrivals
+  // order exactly as they would on the serial engine.
+  virtual void deliver(Packet* packet, sim::Time at, std::uint64_t key) = 0;
 };
 
 class Port : public PacketSink {
@@ -42,6 +46,12 @@ class Port : public PacketSink {
     assert(!transmitting_);
     sim_ = sim;
   }
+  // Adjusts the propagation delay; only legal while idle, i.e. during
+  // topology construction (per-link skew, exp::Scenario::attach).
+  void set_propagation_delay(sim::Time delay) {
+    assert(!transmitting_);
+    propagation_delay_ = delay;
+  }
 
   // Queues the packet for transmission (may drop per the queue's policy).
   void receive(PacketPtr packet) override { send(std::move(packet)); }
@@ -55,6 +65,15 @@ class Port : public PacketSink {
 
   std::int64_t transmitted_packets() const { return transmitted_packets_; }
   std::int64_t transmitted_bytes() const { return transmitted_bytes_; }
+
+  // Canonical same-timestamp ordering key for a packet-delivery event,
+  // derived from packet content (addressing, sequence numbers, uid) — never
+  // from engine state. Two packets delivered to one simulator on the same
+  // tick order by this key on both the serial and the sharded engine, which
+  // is what keeps the two engines' event streams identical: insertion-order
+  // tie-breaking necessarily differs across engines (cross-shard deliveries
+  // are inserted at mailbox-drain time, not at their causal schedule time).
+  static std::uint64_t delivery_tie_key(const Packet& packet);
 
   // Invoked after each dequeue; lets a host implement TSQ-style
   // back-pressure (resume blocked senders when the TX queue drains).
@@ -75,6 +94,14 @@ class Port : public PacketSink {
   // the port's last transmission.
   void set_pcap(PcapWriter* pcap) { pcap_ = pcap; }
 
+  // INT telemetry: once enabled, each data packet is stamped at dequeue
+  // with this port's queue depth / rate / fair share (net/telemetry.h).
+  // Off by default — the datapath pays only a null check.
+  void enable_telemetry(const TelemetryConfig& config = {}) {
+    telemetry_ = std::make_unique<TelemetrySampler>(rate_, config);
+  }
+  TelemetrySampler* telemetry() const { return telemetry_.get(); }
+
  private:
   void start_transmission();
 
@@ -89,6 +116,7 @@ class Port : public PacketSink {
   obs::FlightRecorder* trace_ = nullptr;
   std::uint32_t trace_source_ = 0;
   PcapWriter* pcap_ = nullptr;
+  std::unique_ptr<TelemetrySampler> telemetry_;
   // Observation channel, set from the const register_metrics (the registry
   // owns the histogram; recording does not change the port's logical state).
   mutable obs::Histogram* sojourn_ns_ = nullptr;

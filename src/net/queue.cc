@@ -21,6 +21,7 @@ void Queue::accept(PacketPtr packet) {
   if (pool_ != nullptr) pool_->on_enqueue(bytes);
   ++stats_.enqueued_packets;
   stats_.enqueued_bytes += bytes;
+  if (bytes_ > stats_.peak_bytes) stats_.peak_bytes = bytes_;
   if (tracing()) {
     // uid-stamped packets emit nothing at admission: their queue wait rides
     // on kPktTxStart (tx-start minus enqueued_at, the sojourn-histogram

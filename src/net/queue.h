@@ -20,6 +20,7 @@ struct QueueStats {
   std::int64_t dropped_packets = 0;
   std::int64_t dropped_bytes = 0;
   std::int64_t marked_packets = 0;  // CE marks applied by AQM
+  std::int64_t peak_bytes = 0;      // occupancy high-watermark
 
   double drop_rate() const {
     const std::int64_t offered = enqueued_packets + dropped_packets;

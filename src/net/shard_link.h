@@ -17,8 +17,8 @@ class MailboxPeer : public RemotePeer {
   MailboxPeer(sim::par::Mailbox* mailbox, PacketSink* sink)
       : mailbox_(mailbox), sink_(sink) {}
 
-  void deliver(Packet* packet, sim::Time at) override {
-    mailbox_->send(at, &deliver_packet, &dispose_packet, sink_, packet);
+  void deliver(Packet* packet, sim::Time at, std::uint64_t key) override {
+    mailbox_->send(at, key, &deliver_packet, &dispose_packet, sink_, packet);
   }
 
  private:

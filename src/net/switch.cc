@@ -105,6 +105,7 @@ QueueStats Switch::total_stats() const {
     total.dropped_packets += s.dropped_packets;
     total.dropped_bytes += s.dropped_bytes;
     total.marked_packets += s.marked_packets;
+    if (s.peak_bytes > total.peak_bytes) total.peak_bytes = s.peak_bytes;
   }
   return total;
 }

@@ -173,9 +173,15 @@ std::vector<std::uint8_t> serialize(const Packet& packet) {
   }
   if (opts.acdc) {
     out.push_back(kOptAcdcFeedback);
-    out.push_back(10);
+    out.push_back(opts.acdc->telemetry ? 26 : 10);
     put_u32(out, opts.acdc->total_bytes);
     put_u32(out, opts.acdc->marked_bytes);
+    if (opts.acdc->telemetry) {
+      put_u32(out, opts.acdc->telem.qlen_bytes);
+      put_u32(out, opts.acdc->telem.tx_bytes_per_ms);
+      put_u32(out, opts.acdc->telem.fair_bytes_per_ms);
+      put_u32(out, opts.acdc->telem.ts_us);
+    }
   }
   while ((out.size() - opts_start) % 4 != 0) out.push_back(kOptNop);
   assert(out.size() - opts_start == opt_len);
@@ -258,11 +264,22 @@ std::optional<ParseResult> parse(std::span<const std::uint8_t> data) {
         }
         break;
       }
-      case kOptAcdcFeedback:
-        if (len != 10) return std::nullopt;
-        p.tcp.options.acdc =
-            AcdcFeedback{get_u32(tcp, i + 2), get_u32(tcp, i + 6)};
+      case kOptAcdcFeedback: {
+        // 10 = classic totals-only shape; 26 = extended telemetry shape.
+        if (len != 10 && len != 26) return std::nullopt;
+        AcdcFeedback fb;
+        fb.total_bytes = get_u32(tcp, i + 2);
+        fb.marked_bytes = get_u32(tcp, i + 6);
+        if (len == 26) {
+          fb.telemetry = true;
+          fb.telem.qlen_bytes = get_u32(tcp, i + 10);
+          fb.telem.tx_bytes_per_ms = get_u32(tcp, i + 14);
+          fb.telem.fair_bytes_per_ms = get_u32(tcp, i + 18);
+          fb.telem.ts_us = get_u32(tcp, i + 22);
+        }
+        p.tcp.options.acdc = fb;
         break;
+      }
       default:
         break;  // Unknown options are skipped.
     }

@@ -82,11 +82,15 @@ void EventQueue::pop_heap_top() {
 }
 
 EventId EventQueue::schedule(Time at, EventAction action) {
+  return schedule(at, kUnkeyedTieKey, std::move(action));
+}
+
+EventId EventQueue::schedule(Time at, std::uint64_t key, EventAction action) {
   const std::uint32_t index = acquire_slot();
   Slot& slot = slots_[index];
   slot.action = std::move(action);
   slot.armed = true;
-  heap_.push_back(Entry{at, next_seq_++, index});
+  heap_.push_back(Entry{at, key, next_seq_++, index});
   sift_up(heap_.size() - 1);
   ++live_count_;
   return pack_id(slot.generation, index);

@@ -11,8 +11,14 @@
 //  - An EventId packs {generation, slot}. cancel() validates the generation,
 //    so a stale id (slot since recycled) is a no-op — the same contract the
 //    old unordered_set gave, without the per-cancel node allocation.
-//  - Ties break by schedule order (monotonic `seq`), preserving the seed's
-//    determinism contract exactly.
+//  - Ties break by an optional explicit key first, then schedule order
+//    (monotonic `seq`), preserving the seed's determinism contract exactly.
+//    The key exists for packet-delivery events: a content-derived canonical
+//    key makes same-timestamp deliveries order identically on the serial
+//    and sharded engines, where insertion order necessarily differs (a
+//    cross-shard delivery is inserted at mailbox-drain time, not at its
+//    causal schedule time). Keyed events order before unkeyed ones at the
+//    same timestamp.
 #pragma once
 
 #include <cstdint>
@@ -30,11 +36,18 @@ using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
 
+// Tie key for events scheduled without one; sorts after every real key.
+inline constexpr std::uint64_t kUnkeyedTieKey = ~std::uint64_t{0};
+
 class EventQueue {
  public:
   // Schedules `action` at absolute time `at`. Ties are broken by insertion
   // order so the simulation is deterministic.
   EventId schedule(Time at, EventAction action);
+
+  // As above with an explicit tie key: same-time events order by key before
+  // insertion order, and before any unkeyed event at that time.
+  EventId schedule(Time at, std::uint64_t key, EventAction action);
 
   // Cancels a pending event. Cancelling an already-fired, already-cancelled
   // or invalid id is a no-op, which keeps timer bookkeeping in callers
@@ -68,8 +81,9 @@ class EventQueue {
 
   struct Entry {
     Time at = 0;
-    std::uint64_t seq = 0;   // tie-break: insertion order
-    std::uint32_t slot = 0;  // index into slots_
+    std::uint64_t key = kUnkeyedTieKey;  // tie-break 1: explicit key
+    std::uint64_t seq = 0;               // tie-break 2: insertion order
+    std::uint32_t slot = 0;              // index into slots_
   };
 
   struct Slot {
@@ -82,6 +96,7 @@ class EventQueue {
 
   static bool earlier(const Entry& a, const Entry& b) {
     if (a.at != b.at) return a.at < b.at;
+    if (a.key != b.key) return a.key < b.key;
     return a.seq < b.seq;
   }
 

@@ -99,6 +99,7 @@ void ParallelExecutor::drain_shard(int shard) {
   if (merged.empty()) return;
   std::sort(merged.begin(), merged.end(), [](const InMsg& a, const InMsg& b) {
     if (a.msg.at != b.msg.at) return a.msg.at < b.msg.at;
+    if (a.msg.key != b.msg.key) return a.msg.key < b.msg.key;
     if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
     return a.msg.seq < b.msg.seq;
   });
@@ -108,10 +109,12 @@ void ParallelExecutor::drain_shard(int shard) {
     // receiver's future.
     assert(in.msg.at >= sim->now());
     // 24 captured bytes — fits EventAction's inline storage, so merging
-    // mail stays allocation-free.
-    sim->schedule_at(in.msg.at,
-                     [deliver = in.msg.deliver, ctx = in.msg.ctx,
-                      payload = in.msg.payload] { deliver(ctx, payload); });
+    // mail stays allocation-free. Scheduling with the producer's tie key
+    // makes same-tick arrivals order exactly as on the serial engine.
+    sim->schedule_at_keyed(
+        in.msg.at, in.msg.key,
+        [deliver = in.msg.deliver, ctx = in.msg.ctx,
+         payload = in.msg.payload] { deliver(ctx, payload); });
   }
 }
 

@@ -10,15 +10,18 @@
 //
 // Determinism: each mailbox stamps messages with a producer-side sequence
 // number. The consumer sorts the union of its inboxes by
-// (deliver_time, source_shard, seq) before inserting into the shard's event
-// queue, so the merged order is a pure function of the simulation state —
-// never of thread timing.
+// (deliver_time, tie_key, source_shard, seq) before inserting into the
+// shard's event queue, so the merged order is a pure function of the
+// simulation state — never of thread timing. The tie key (see
+// sim/event_queue.h) additionally makes the merged order match what the
+// serial engine would have produced for the same same-tick deliveries.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 
+#include "sim/event_queue.h"
 #include "sim/time.h"
 
 namespace acdc::sim::par {
@@ -29,6 +32,7 @@ namespace acdc::sim::par {
 // delivered (executor torn down with mail still in flight).
 struct CrossShardMsg {
   Time at = 0;
+  std::uint64_t key = kUnkeyedTieKey;  // same-tick ordering (event_queue.h)
   std::uint64_t seq = 0;
   void (*deliver)(void* ctx, void* payload) = nullptr;
   void (*dispose)(void* ctx, void* payload) = nullptr;
@@ -123,8 +127,14 @@ class Mailbox {
 
   void send(Time at, void (*deliver)(void*, void*),
             void (*dispose)(void*, void*), void* ctx, void* payload) {
+    send(at, kUnkeyedTieKey, deliver, dispose, ctx, payload);
+  }
+
+  void send(Time at, std::uint64_t key, void (*deliver)(void*, void*),
+            void (*dispose)(void*, void*), void* ctx, void* payload) {
     CrossShardMsg msg;
     msg.at = at;
+    msg.key = key;
     msg.seq = next_seq_++;
     msg.deliver = deliver;
     msg.dispose = dispose;

@@ -15,6 +15,18 @@ EventId Simulator::schedule_at(Time at, EventAction action) {
   return queue_.schedule(at, std::move(action));
 }
 
+EventId Simulator::schedule_keyed(Time delay, std::uint64_t key,
+                                  EventAction action) {
+  assert(delay >= 0);
+  return queue_.schedule(now_ + delay, key, std::move(action));
+}
+
+EventId Simulator::schedule_at_keyed(Time at, std::uint64_t key,
+                                     EventAction action) {
+  assert(at >= now_);
+  return queue_.schedule(at, key, std::move(action));
+}
+
 void Simulator::run() {
   while (step()) {
   }

@@ -29,6 +29,12 @@ class Simulator {
   // Schedules `action` at absolute time `at` (at >= now()).
   EventId schedule_at(Time at, EventAction action);
 
+  // Keyed variants: same-time events order by `key` before insertion order
+  // (see EventQueue). Packet deliveries use a content-derived key so the
+  // serial and sharded engines order same-tick arrivals identically.
+  EventId schedule_keyed(Time delay, std::uint64_t key, EventAction action);
+  EventId schedule_at_keyed(Time at, std::uint64_t key, EventAction action);
+
   void cancel(EventId id) { queue_.cancel(id); }
 
   // Runs events until the queue drains.

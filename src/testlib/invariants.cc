@@ -365,6 +365,13 @@ void InvariantChecker::on_vm_ingress(const std::string& host,
       fail(msg.str());
       msg.str("");
     }
+    // DESIGN.md §13: INT telemetry is fabric/vSwitch machinery; like the
+    // PACK option it must be stripped before the tenant boundary.
+    if (p.telem.has_value()) {
+      msg << host << ": INT telemetry stamp reached the VM";
+      fail(msg.str());
+      msg.str("");
+    }
     if (p.tcp.flags.ack && !p.tcp.flags.syn && p.tcp.flags.ece) {
       msg << host << ": ECN-Echo reached the VM";
       fail(msg.str());

@@ -28,6 +28,11 @@ constexpr std::uint64_t kPlanStream = 0xACDCF022;
 // isolation contract the per-link fault streams give the shrinker.
 constexpr std::uint64_t kChurnPlanStream = 0xACDCC4B2;
 
+// Arsenal policy draws (INT telemetry + per-flow CC from the full arsenal,
+// including PowerTCP and fair-rate) on their own substream, so masking the
+// arsenal leaves every other draw bit-identical.
+constexpr std::uint64_t kArsenalPlanStream = 0xACDCA12E;
+
 // FNV-1a 64-bit, mixed 8 bytes at a time.
 struct Digest {
   std::uint64_t h = 14695981039346656037ull;
@@ -48,6 +53,11 @@ struct Digest {
 constexpr tcp::CcId tenant_cc_pool[] = {
     tcp::CcId::kCubic, tcp::CcId::kReno, tcp::CcId::kVegas,
     tcp::CcId::kIllinois, tcp::CcId::kHighspeed};
+
+constexpr vswitch::VccKind arsenal_pool[] = {
+    vswitch::VccKind::kDctcp, vswitch::VccKind::kReno,
+    vswitch::VccKind::kCubic, vswitch::VccKind::kPowerTcp,
+    vswitch::VccKind::kFairRate};
 
 // Everything a sampled topology exposes to the harness: the scenario, the
 // host list (transfer indices refer to it) and the switches to audit.
@@ -141,7 +151,19 @@ std::string ScenarioPlan::summary() const {
   std::ostringstream os;
   os << "seed=" << seed << " topo=" << to_string(topology)
      << " hosts=" << hosts << " mtu=" << mtu_bytes
-     << " vcc=" << vswitch::to_string(vcc) << " beta=" << beta;
+     << " vcc=" << vswitch::to_string(arsenal_default_vcc.value_or(vcc))
+     << " beta=" << beta;
+  if (int_telemetry) os << " telemetry";
+  if (!transfer_vcc.empty()) {
+    os << " arsenal[";
+    for (std::size_t i = 0; i < transfer_vcc.size(); ++i) {
+      if (i > 0) os << ",";
+      os << (transfer_vcc[i]
+                 ? vswitch::to_string(*transfer_vcc[i])
+                 : "-");
+    }
+    os << "]";
+  }
   if (max_rwnd_bytes > 0) os << " rwnd-cap=" << max_rwnd_bytes;
   if (police) os << " police";
   if (inject_dupacks_on_timeout) os << " dupack-inject";
@@ -264,6 +286,26 @@ ScenarioPlan make_plan(std::uint64_t seed) {
     c.table_cap = crng.chance(0.5) ? crng.uniform_int(4, 16) : 0;
     c.stop_after = sim::milliseconds(crng.uniform_int(20, 60));
   }
+
+  // Arsenal policy (own substream; see kArsenalPlanStream). Telemetry and
+  // CC draws are independent: a PowerTCP/fair-rate flow on a telemetry-less
+  // fabric must degrade gracefully, and that path deserves fuzz pressure.
+  sim::Rng arng(sim::mix_seed(seed, kArsenalPlanStream));
+  plan.int_telemetry = arng.chance(0.6);
+  if (arng.chance(0.3)) {
+    plan.arsenal_default_vcc =
+        arsenal_pool[arng.uniform_int(0, std::size(arsenal_pool) - 1)];
+  }
+  if (arng.chance(0.5)) {
+    for (std::size_t i = 0; i < plan.transfers.size(); ++i) {
+      plan.transfer_vcc.push_back(
+          arng.chance(0.6)
+              ? std::optional<vswitch::VccKind>(
+                    arsenal_pool[arng.uniform_int(
+                        0, std::size(arsenal_pool) - 1)])
+              : std::nullopt);
+    }
+  }
   return plan;
 }
 
@@ -273,6 +315,11 @@ void mask_faults(ScenarioPlan& plan, const FaultToggles& keep) {
   if (!keep.reorder) plan.faults.reorder_p = 0.0;
   if (!keep.jitter) plan.faults.jitter_p = 0.0;
   if (!keep.churn) plan.churn = ChurnWorkloadPlan{};
+  if (!keep.arsenal) {
+    plan.int_telemetry = false;
+    plan.arsenal_default_vcc.reset();
+    plan.transfer_vcc.clear();
+  }
 }
 
 RunOutcome run_plan(const ScenarioPlan& plan, const RunOptions& options) {
@@ -282,6 +329,13 @@ RunOutcome run_plan(const ScenarioPlan& plan, const RunOptions& options) {
     scenario.enable_parallel(
         options.shards,
         options.threads > 0 ? options.threads : options.shards);
+  }
+  if (plan.int_telemetry) {
+    // INT sampling at every switch egress port; samplers are per-port state
+    // driven by the port's own shard clock, so this is parallel-safe.
+    for (net::Switch* sw : topo.switches) {
+      for (const auto& port : sw->ports()) port->enable_telemetry();
+    }
   }
   scenario.enable_tracing(options.ring_capacity, /*metrics_interval=*/0);
   const std::vector<obs::FlightRecorder*> recorders = scenario.recorders();
@@ -323,7 +377,7 @@ RunOutcome run_plan(const ScenarioPlan& plan, const RunOptions& options) {
     acfg.inject_dupacks_on_timeout = plan.inject_dupacks_on_timeout;
     acfg.flow_table_max_entries = plan.churn.table_cap;
     vswitch::FlowPolicy policy;
-    policy.kind = plan.vcc;
+    policy.kind = plan.arsenal_default_vcc.value_or(plan.vcc);
     policy.beta = plan.beta;
     policy.max_rwnd_bytes = plan.max_rwnd_bytes;
     policy.police = plan.police;
@@ -346,6 +400,20 @@ RunOutcome run_plan(const ScenarioPlan& plan, const RunOptions& options) {
         topo.hosts[static_cast<std::size_t>(tp.src)],
         topo.hosts[static_cast<std::size_t>(tp.dst)],
         scenario.tcp_config(tp.host_cc), tp.start, tp.bytes));
+  }
+  // Per-transfer arsenal CC via dst-port rules (the apps' listen ports are
+  // assigned deterministically in creation order). Rules go on every
+  // vSwitch: both directions' entries look up the data-direction dst port.
+  if (options.acdc && !plan.transfer_vcc.empty()) {
+    for (std::size_t i = 0;
+         i < apps.size() && i < plan.transfer_vcc.size(); ++i) {
+      if (!plan.transfer_vcc[i]) continue;
+      for (vswitch::AcdcVswitch* vs : vswitches) {
+        vswitch::FlowPolicy p = vs->policy().default_policy();
+        p.kind = *plan.transfer_vcc[i];
+        vs->policy().add_dst_port_rule(apps[i]->port(), p);
+      }
+    }
   }
 
   const bool churn_on = plan.churn.enabled && !plan.churn.pairs.empty();

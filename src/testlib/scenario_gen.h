@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,17 @@ struct ScenarioPlan {
   bool inject_dupacks_on_timeout = false;
   std::vector<TransferPlan> transfers;
   ChurnWorkloadPlan churn;
+  // ---- Arsenal policy substream (kArsenalPlanStream) ----
+  // Drawn independently of every other substream so the shrinker can mask
+  // the arsenal without shifting topology/workload/fault/churn draws.
+  // INT telemetry sampling on every switch egress port (net/telemetry.h).
+  bool int_telemetry = false;
+  // Overrides the default vSwitch policy kind (covers churn flows too).
+  std::optional<vswitch::VccKind> arsenal_default_vcc;
+  // Per-transfer CC assignment via dst-port policy rules; empty entries
+  // fall through to the default. Same length as `transfers` when non-empty
+  // — incast plans then put mixed-CC tenants on one congested port.
+  std::vector<std::optional<vswitch::VccKind>> transfer_vcc;
 
   // One-line human description for fuzz logs and repro reports.
   std::string summary() const;
@@ -93,8 +105,13 @@ struct FaultToggles {
   // way: its draws come from an independent substream, so disabling it
   // leaves every other class bit-identical.
   bool churn = true;
+  // Arsenal policy substream (telemetry + per-flow CC overrides): also
+  // independently maskable for shrinking.
+  bool arsenal = true;
 
-  bool all() const { return drop && dup && reorder && jitter && churn; }
+  bool all() const {
+    return drop && dup && reorder && jitter && churn && arsenal;
+  }
 };
 
 void mask_faults(ScenarioPlan& plan, const FaultToggles& keep);

@@ -32,9 +32,24 @@ net::Packet make_ack(std::int64_t payload = 0) {
   return p;
 }
 
-// PACK option on the wire: kind + length + two 32-bit counters, NOP-padded
-// to the 4-byte boundary.
+// PACK option on the wire. Classic shape: kind + length + two 32-bit
+// counters, NOP-padded to the 4-byte boundary. Extended shape (DESIGN.md
+// §13): four more 32-bit telemetry words.
 constexpr std::int64_t kPackWireBytes = 12;
+constexpr std::int64_t kPackWireBytesExt = 28;
+
+net::TelemetryStamp make_stamp(sim::Rng& rng) {
+  net::TelemetryStamp t;
+  t.qlen_bytes = static_cast<std::uint32_t>(
+      rng.uniform_int(0, std::numeric_limits<std::uint32_t>::max()));
+  t.tx_bytes_per_ms = static_cast<std::uint32_t>(
+      rng.uniform_int(0, std::numeric_limits<std::uint32_t>::max()));
+  t.fair_bytes_per_ms = static_cast<std::uint32_t>(
+      rng.uniform_int(0, std::numeric_limits<std::uint32_t>::max()));
+  t.ts_us = static_cast<std::uint32_t>(
+      rng.uniform_int(0, std::numeric_limits<std::uint32_t>::max()));
+  return t;
+}
 
 TEST(FeedbackProperty, AttachConsumeRoundTripsRandomTotals) {
   sim::Rng rng(testlib::test_seed(0xFEEDBAC0));
@@ -46,11 +61,19 @@ TEST(FeedbackProperty, AttachConsumeRoundTripsRandomTotals) {
     const auto marked = static_cast<std::uint32_t>(
         rng.uniform_int(0, std::numeric_limits<std::uint32_t>::max()));
     net::Packet ack = make_ack(rng.uniform_int(0, 1400));
-    ASSERT_TRUE(attach_pack(ack, total, marked, 9000));
+    // Half the iterations use the extended telemetry-echo shape; both must
+    // round-trip exactly.
+    std::optional<net::TelemetryStamp> telem;
+    if (rng.chance(0.5)) telem = make_stamp(rng);
+    ASSERT_TRUE(attach_pack(ack, total, marked, 9000, telem));
     const auto fb = consume_feedback(ack);
     ASSERT_TRUE(fb.has_value());
     EXPECT_EQ(fb->total_bytes, total);
     EXPECT_EQ(fb->marked_bytes, marked);
+    EXPECT_EQ(fb->telemetry, telem.has_value());
+    if (telem.has_value()) {
+      EXPECT_EQ(fb->telem, *telem);
+    }
     // Consuming strips the option: a second consume sees nothing, and the
     // VM-visible packet carries no trace of it.
     EXPECT_FALSE(ack.tcp.options.acdc.has_value());
@@ -62,7 +85,12 @@ TEST(FeedbackProperty, WireRoundTripPreservesFeedback) {
   sim::Rng rng(testlib::test_seed(0xFEEDBAC1));
   for (int i = 0; i < 300; ++i) {
     net::Packet ack = make_ack(rng.uniform_int(0, 1000));
-    const int sack_blocks = static_cast<int>(rng.uniform_int(0, 3));
+    // The extended shape shares RFC 793's 40-byte option budget with SACK:
+    // at most one block fits beside the 26-byte option.
+    std::optional<net::TelemetryStamp> telem;
+    if (rng.chance(0.5)) telem = make_stamp(rng);
+    const int sack_blocks =
+        static_cast<int>(rng.uniform_int(0, telem.has_value() ? 1 : 3));
     for (int b = 0; b < sack_blocks; ++b) {
       const auto start = static_cast<std::uint32_t>(
           rng.uniform_int(0, std::numeric_limits<std::uint32_t>::max()));
@@ -74,7 +102,7 @@ TEST(FeedbackProperty, WireRoundTripPreservesFeedback) {
         rng.uniform_int(0, std::numeric_limits<std::uint32_t>::max()));
     const auto marked = static_cast<std::uint32_t>(
         rng.uniform_int(0, std::numeric_limits<std::uint32_t>::max()));
-    ASSERT_TRUE(attach_pack(ack, total, marked, 9000));
+    ASSERT_TRUE(attach_pack(ack, total, marked, 9000, telem));
 
     const std::vector<std::uint8_t> bytes = net::wire::serialize(ack);
     const auto parsed = net::wire::parse(bytes);
@@ -84,42 +112,51 @@ TEST(FeedbackProperty, WireRoundTripPreservesFeedback) {
     ASSERT_TRUE(parsed->packet.tcp.options.acdc.has_value());
     EXPECT_EQ(parsed->packet.tcp.options.acdc->total_bytes, total);
     EXPECT_EQ(parsed->packet.tcp.options.acdc->marked_bytes, marked);
+    EXPECT_EQ(parsed->packet.tcp.options.acdc->telemetry, telem.has_value());
+    if (telem.has_value()) {
+      EXPECT_EQ(parsed->packet.tcp.options.acdc->telem, *telem);
+    }
     EXPECT_EQ(parsed->packet.tcp.options.sack, ack.tcp.options.sack);
   }
 }
 
 TEST(FeedbackProperty, TruncatedBuffersNeverCrashTheParser) {
   sim::Rng rng(testlib::test_seed(0xFEEDBAC2));
-  net::Packet ack = make_ack(200);
-  ack.tcp.options.sack.push_back({1'000, 2'000});
-  ASSERT_TRUE(attach_pack(ack, 123'456u, 7'890u, 9000));
-  const std::vector<std::uint8_t> bytes = net::wire::serialize(ack);
-  // Every strict prefix must be rejected (or parsed without reading past
-  // the span — ASan watches). The full buffer must parse.
-  for (std::size_t len = 0; len < bytes.size(); ++len) {
-    const auto parsed =
-        net::wire::parse(std::span<const std::uint8_t>(bytes.data(), len));
-    if (parsed.has_value()) {
-      // A shorter-than-serialized prefix can only be accepted if the codec
-      // found self-consistent headers inside it; it must never report both
-      // checksums intact for a truncated PACK-carrying segment.
-      EXPECT_FALSE(parsed->ip_checksum_ok && parsed->tcp_checksum_ok &&
-                   parsed->packet.tcp.options.acdc.has_value())
-          << "prefix length " << len;
+  for (const bool extended : {false, true}) {
+    net::Packet ack = make_ack(200);
+    ack.tcp.options.sack.push_back({1'000, 2'000});
+    std::optional<net::TelemetryStamp> telem;
+    if (extended) telem = make_stamp(rng);
+    ASSERT_TRUE(attach_pack(ack, 123'456u, 7'890u, 9000, telem));
+    const std::vector<std::uint8_t> bytes = net::wire::serialize(ack);
+    // Every strict prefix must be rejected (or parsed without reading past
+    // the span — ASan watches). The full buffer must parse.
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const auto parsed =
+          net::wire::parse(std::span<const std::uint8_t>(bytes.data(), len));
+      if (parsed.has_value()) {
+        // A shorter-than-serialized prefix can only be accepted if the codec
+        // found self-consistent headers inside it; it must never report both
+        // checksums intact for a truncated PACK-carrying segment.
+        EXPECT_FALSE(parsed->ip_checksum_ok && parsed->tcp_checksum_ok &&
+                     parsed->packet.tcp.options.acdc.has_value())
+            << "prefix length " << len << " extended " << extended;
+      }
     }
-  }
-  ASSERT_TRUE(net::wire::parse(bytes).has_value());
+    ASSERT_TRUE(net::wire::parse(bytes).has_value());
 
-  // Random corruption: flip bytes anywhere; parse must stay memory-safe.
-  for (int i = 0; i < 2'000; ++i) {
-    std::vector<std::uint8_t> fuzzed = bytes;
-    const int flips = static_cast<int>(rng.uniform_int(1, 4));
-    for (int f = 0; f < flips; ++f) {
-      const auto at = static_cast<std::size_t>(
-          rng.uniform_int(0, static_cast<std::int64_t>(fuzzed.size()) - 1));
-      fuzzed[at] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    // Random corruption: flip bytes anywhere; parse must stay memory-safe.
+    // Hits the option-length dispatch (10 vs 26) among everything else.
+    for (int i = 0; i < 2'000; ++i) {
+      std::vector<std::uint8_t> fuzzed = bytes;
+      const int flips = static_cast<int>(rng.uniform_int(1, 4));
+      for (int f = 0; f < flips; ++f) {
+        const auto at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(fuzzed.size()) - 1));
+        fuzzed[at] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+      }
+      (void)net::wire::parse(fuzzed);
     }
-    (void)net::wire::parse(fuzzed);
   }
 }
 
@@ -137,6 +174,26 @@ TEST(FeedbackProperty, PackRespectsMtuBoundaryExactly) {
   EXPECT_FALSE(over.tcp.options.acdc.has_value());
   EXPECT_EQ(over.size_bytes(),
             net::kIpv4HeaderBytes + net::kTcpBaseHeaderBytes + fit_payload + 1);
+}
+
+TEST(FeedbackProperty, ExtendedPackRespectsMtuBoundaryExactly) {
+  // Same boundary with the 28-wire-byte telemetry shape: the fit point
+  // shifts down by the 16 extra option bytes.
+  const net::TelemetryStamp telem{1'000, 1'250'000, 125'000, 42};
+  const std::int64_t mtu = 1500;
+  const std::int64_t fit_payload = mtu - net::kIpv4HeaderBytes -
+                                   net::kTcpBaseHeaderBytes -
+                                   kPackWireBytesExt;
+  net::Packet fits = make_ack(fit_payload);
+  EXPECT_TRUE(attach_pack(fits, 1, 1, mtu, telem));
+  EXPECT_EQ(fits.size_bytes(), mtu);
+
+  net::Packet over = make_ack(fit_payload + 1);
+  EXPECT_FALSE(attach_pack(over, 1, 1, mtu, telem));
+  EXPECT_FALSE(over.tcp.options.acdc.has_value());
+  // The classic shape still fits where the extended one no longer does.
+  net::Packet classic = make_ack(fit_payload + 1);
+  EXPECT_TRUE(attach_pack(classic, 1, 1, mtu));
 }
 
 TEST(FeedbackProperty, PackRespectsOptionBudgetWithSack) {
@@ -157,6 +214,29 @@ TEST(FeedbackProperty, PackRespectsOptionBudgetWithSack) {
   EXPECT_LE(roomy.tcp.options.wire_size(), net::kMaxTcpOptionBytes);
 }
 
+TEST(FeedbackProperty, ExtendedPackCompetesWithSackForOptionBudget) {
+  const net::TelemetryStamp telem{64'000, 1'250'000, 250'000, 7};
+  // Two SACK blocks (18 option bytes) + the 26-byte extended option = 44:
+  // over budget, so the telemetry shape must be refused where the classic
+  // one (18 + 10 = 28) still fits.
+  net::Packet two_blocks = make_ack(0);
+  two_blocks.tcp.options.sack.push_back({0, 1'448});
+  two_blocks.tcp.options.sack.push_back({3'000, 4'448});
+  EXPECT_FALSE(attach_pack(two_blocks, 5, 5, 9000, telem));
+  EXPECT_FALSE(two_blocks.tcp.options.acdc.has_value());
+  EXPECT_TRUE(attach_pack(two_blocks, 5, 5, 9000));
+
+  // One block (10 option bytes) + 26 = 36 <= 40: fits.
+  net::Packet one_block = make_ack(0);
+  one_block.tcp.options.sack.push_back({0, 1'448});
+  EXPECT_TRUE(attach_pack(one_block, 5, 5, 9000, telem));
+  EXPECT_LE(one_block.tcp.options.wire_size(), net::kMaxTcpOptionBytes);
+  const auto fb = consume_feedback(one_block);
+  ASSERT_TRUE(fb.has_value());
+  EXPECT_TRUE(fb->telemetry);
+  EXPECT_EQ(fb->telem, telem);
+}
+
 TEST(FeedbackProperty, FackCarriesFeedbackAndAddressing) {
   sim::Rng rng(testlib::test_seed(0xFEEDBAC3));
   for (int i = 0; i < 100; ++i) {
@@ -165,7 +245,9 @@ TEST(FeedbackProperty, FackCarriesFeedbackAndAddressing) {
         rng.uniform_int(0, std::numeric_limits<std::uint32_t>::max()));
     const auto marked = static_cast<std::uint32_t>(
         rng.uniform_int(0, std::numeric_limits<std::uint32_t>::max()));
-    net::PacketPtr fack = make_fack(ack, total, marked);
+    std::optional<net::TelemetryStamp> telem;
+    if (rng.chance(0.5)) telem = make_stamp(rng);
+    net::PacketPtr fack = make_fack(ack, total, marked, telem);
     ASSERT_NE(fack, nullptr);
     EXPECT_TRUE(fack->acdc_fack);
     EXPECT_TRUE(fack->tcp.flags.ack);
@@ -174,14 +256,19 @@ TEST(FeedbackProperty, FackCarriesFeedbackAndAddressing) {
     EXPECT_EQ(fack->ip.dst, ack.ip.dst);
     EXPECT_EQ(fack->tcp.src_port, ack.tcp.src_port);
     EXPECT_EQ(fack->tcp.dst_port, ack.tcp.dst_port);
-    // A FACK always fits in any sane MTU: headers + 12 option bytes only.
-    EXPECT_EQ(fack->size_bytes(), net::kIpv4HeaderBytes +
-                                      net::kTcpBaseHeaderBytes +
-                                      kPackWireBytes);
+    // A FACK always fits in any sane MTU: headers + the padded option only
+    // (12 classic, 28 extended).
+    EXPECT_EQ(fack->size_bytes(),
+              net::kIpv4HeaderBytes + net::kTcpBaseHeaderBytes +
+                  (telem.has_value() ? kPackWireBytesExt : kPackWireBytes));
     const auto fb = consume_feedback(*fack);
     ASSERT_TRUE(fb.has_value());
     EXPECT_EQ(fb->total_bytes, total);
     EXPECT_EQ(fb->marked_bytes, marked);
+    EXPECT_EQ(fb->telemetry, telem.has_value());
+    if (telem.has_value()) {
+      EXPECT_EQ(fb->telem, *telem);
+    }
   }
 }
 

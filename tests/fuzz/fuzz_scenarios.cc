@@ -2,8 +2,8 @@
 //
 //   fuzz_scenarios --seed N --iters K [--differential-every D]
 //                  [--no-drop] [--no-dup] [--no-reorder] [--no-jitter]
-//                  [--no-churn] [--horizon-ms M] [--artifact-dir DIR]
-//                  [--quiet] [--shards S] [--threads T]
+//                  [--no-churn] [--no-arsenal] [--horizon-ms M]
+//                  [--artifact-dir DIR] [--quiet] [--shards S] [--threads T]
 //
 // --shards S (S > 1) partitions every sampled topology and runs it on the
 // parallel engine with T worker threads (default: one per shard); results
@@ -57,8 +57,8 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--seed N] [--iters K] [--differential-every D]\n"
       "          [--no-drop] [--no-dup] [--no-reorder] [--no-jitter]\n"
-      "          [--no-churn] [--horizon-ms M] [--artifact-dir DIR]\n"
-      "          [--quiet] [--shards S] [--threads T]\n"
+      "          [--no-churn] [--no-arsenal] [--horizon-ms M]\n"
+      "          [--artifact-dir DIR] [--quiet] [--shards S] [--threads T]\n"
       "ACDC_TEST_SEED overrides the default --seed.\n",
       argv0);
 }
@@ -94,6 +94,8 @@ bool parse_args(int argc, char** argv, DriverOptions& opt) {
       opt.toggles.jitter = false;
     } else if (arg == "--no-churn") {
       opt.toggles.churn = false;
+    } else if (arg == "--no-arsenal") {
+      opt.toggles.arsenal = false;
     } else if (arg == "--artifact-dir" && i + 1 < argc) {
       opt.artifact_dir = argv[++i];
     } else if (arg == "--quiet") {
@@ -164,6 +166,7 @@ std::string repro_command(std::uint64_t seed, const FaultToggles& t,
   if (!t.reorder) cmd += " --no-reorder";
   if (!t.jitter) cmd += " --no-jitter";
   if (!t.churn) cmd += " --no-churn";
+  if (!t.arsenal) cmd += " --no-arsenal";
   if (opt.shards > 0) cmd += " --shards " + std::to_string(opt.shards);
   if (opt.threads > 0) cmd += " --threads " + std::to_string(opt.threads);
   return cmd;
@@ -174,8 +177,10 @@ std::string repro_command(std::uint64_t seed, const FaultToggles& t,
 FaultToggles shrink(std::uint64_t seed, const DriverOptions& opt,
                     FaultToggles toggles, bool with_differential) {
   bool* const classes[] = {&toggles.drop, &toggles.dup, &toggles.reorder,
-                           &toggles.jitter, &toggles.churn};
-  const char* const names[] = {"drop", "dup", "reorder", "jitter", "churn"};
+                           &toggles.jitter, &toggles.churn,
+                           &toggles.arsenal};
+  const char* const names[] = {"drop",   "dup",   "reorder",
+                               "jitter", "churn", "arsenal"};
   for (std::size_t c = 0; c < std::size(classes); ++c) {
     if (!*classes[c]) continue;
     *classes[c] = false;

@@ -73,6 +73,39 @@ TEST(ScenarioGen, MaskFaultsClearsClasses) {
   EXPECT_TRUE(plan.churn.pairs.empty());
 }
 
+TEST(ScenarioGen, ArsenalDrawsAreSampledAndMaskable) {
+  // The arsenal substream must actually sample telemetry-enabled plans and
+  // per-transfer CC overrides, and masking the arsenal class must clear
+  // them without perturbing any other draw (the shrinker depends on this).
+  int with_telemetry = 0;
+  int with_overrides = 0;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const ScenarioPlan plan = make_plan(seed);
+    if (plan.int_telemetry) ++with_telemetry;
+    for (const auto& v : plan.transfer_vcc) {
+      if (v) ++with_overrides;
+    }
+    ASSERT_LE(plan.transfer_vcc.size(), plan.transfers.size());
+
+    ScenarioPlan masked = make_plan(seed);
+    FaultToggles keep;
+    keep.arsenal = false;
+    mask_faults(masked, keep);
+    EXPECT_FALSE(masked.int_telemetry);
+    EXPECT_FALSE(masked.arsenal_default_vcc.has_value());
+    EXPECT_TRUE(masked.transfer_vcc.empty());
+    // Everything outside the arsenal substream is untouched.
+    EXPECT_EQ(masked.hosts, plan.hosts);
+    EXPECT_EQ(masked.vcc, plan.vcc);
+    EXPECT_EQ(masked.transfers.size(), plan.transfers.size());
+    EXPECT_EQ(masked.faults.drop_p, plan.faults.drop_p);
+    EXPECT_EQ(masked.churn.enabled, plan.churn.enabled);
+  }
+  // ~60% of seeds carry telemetry; 0/64 means the substream wiring broke.
+  EXPECT_GT(with_telemetry, 0);
+  EXPECT_GT(with_overrides, 0);
+}
+
 TEST(ScenarioGen, ChurnPlansAreSampledAndStayInsideTopology) {
   int with_churn = 0;
   for (std::uint64_t seed = 1; seed <= 64; ++seed) {
@@ -158,6 +191,23 @@ TEST(FuzzInvariants, BatchOfRandomScenariosHoldsAllInvariants) {
     const RunOutcome out = run_plan(plan);
     EXPECT_TRUE(out.ok()) << failure_text(out, plan);
     EXPECT_GT(out.events, 0u) << plan.summary();
+    EXPECT_GT(out.packets_checked, 0u) << plan.summary();
+  }
+}
+
+TEST(FuzzInvariants, ArsenalScenariosHoldAllInvariants) {
+  // CI-sized slice of the 200-iteration arsenal smoke: force telemetry on
+  // and rotate the default CC through the telemetry-consuming algorithms so
+  // the extended PACK/FACK path and RWND enforcement run under faults.
+  const std::uint64_t base = test_seed(8100);
+  constexpr acdc::vswitch::VccKind kinds[] = {
+      acdc::vswitch::VccKind::kPowerTcp, acdc::vswitch::VccKind::kFairRate};
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ScenarioPlan plan = make_plan(base + i);
+    plan.int_telemetry = true;
+    plan.arsenal_default_vcc = kinds[i % std::size(kinds)];
+    const RunOutcome out = run_plan(plan);
+    EXPECT_TRUE(out.ok()) << failure_text(out, plan);
     EXPECT_GT(out.packets_checked, 0u) << plan.summary();
   }
 }

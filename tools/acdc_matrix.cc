@@ -1,0 +1,169 @@
+// Head-to-head virtual-CC matrix runner (src/exp/matrix.h): runs the
+// {dctcp, cubic, powertcp, fairrate} x {incast, shuffle, churn,
+// mixed-tenant} grid, prints a summary table and the report digest, and
+// optionally writes JSON/CSV reports or compares the digest against a
+// checked-in golden file (CI's matrix-smoke job).
+//
+// Usage:
+//   acdc_matrix [--seed=N] [--ccs=dctcp,powertcp] [--scenarios=incast,churn]
+//               [--shards=N] [--threads=N] [--quick]
+//               [--json=PATH] [--csv=PATH]
+//               [--golden=PATH | --write-golden=PATH]
+//
+// Exit codes: 0 success, 1 bad usage, 2 golden-digest mismatch.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/matrix.h"
+
+namespace {
+
+using acdc::exp::MatrixConfig;
+using acdc::exp::MatrixReport;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << contents;
+  return static_cast<bool>(f);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed=N] [--ccs=LIST] [--scenarios=LIST]\n"
+               "          [--shards=N] [--threads=N] [--quick]\n"
+               "          [--json=PATH] [--csv=PATH]\n"
+               "          [--golden=PATH | --write-golden=PATH]\n"
+               "  ccs: dctcp reno cubic powertcp fairrate\n"
+               "  scenarios: incast shuffle churn mixed-tenant\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  MatrixConfig config;
+  bool quick = false;
+  std::string json_path, csv_path, golden_path, write_golden_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      if (arg.compare(0, n, flag) == 0 && arg.size() > n && arg[n] == '=') {
+        return arg.c_str() + n + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value("--seed")) {
+      config.seed = std::strtoull(v, nullptr, 0);
+    } else if (const char* v = value("--shards")) {
+      config.shards = std::atoi(v);
+    } else if (const char* v = value("--threads")) {
+      config.threads = std::atoi(v);
+    } else if (const char* v = value("--ccs")) {
+      config.ccs.clear();
+      for (const std::string& name : split_csv(v)) {
+        auto cc = acdc::exp::vcc_from_string(name);
+        if (!cc) {
+          std::fprintf(stderr, "unknown cc: %s\n", name.c_str());
+          return usage(argv[0]);
+        }
+        config.ccs.push_back(*cc);
+      }
+    } else if (const char* v = value("--scenarios")) {
+      config.scenarios.clear();
+      for (const std::string& name : split_csv(v)) {
+        auto sc = acdc::exp::matrix_scenario_from_string(name);
+        if (!sc) {
+          std::fprintf(stderr, "unknown scenario: %s\n", name.c_str());
+          return usage(argv[0]);
+        }
+        config.scenarios.push_back(*sc);
+      }
+    } else if (const char* v = value("--json")) {
+      json_path = v;
+    } else if (const char* v = value("--csv")) {
+      csv_path = v;
+    } else if (const char* v = value("--golden")) {
+      golden_path = v;
+    } else if (const char* v = value("--write-golden")) {
+      write_golden_path = v;
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (config.ccs.empty() || config.scenarios.empty()) {
+    std::fprintf(stderr, "empty cc or scenario set\n");
+    return usage(argv[0]);
+  }
+  if (quick) config = config.quick();
+
+  const MatrixReport report = acdc::exp::run_matrix(config);
+
+  std::fputs(report.to_table().c_str(), stdout);
+  char digest_line[64];
+  std::snprintf(digest_line, sizeof(digest_line), "%016llx",
+                static_cast<unsigned long long>(report.digest()));
+  std::printf("digest: %s  (%zu cells, seed %llu, shards %d)\n", digest_line,
+              report.cells.size(),
+              static_cast<unsigned long long>(report.seed),
+              config.shards > 1 ? config.shards : 1);
+
+  if (!json_path.empty() && !write_file(json_path, report.to_json())) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  if (!csv_path.empty() && !write_file(csv_path, report.to_csv())) {
+    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+  if (!write_golden_path.empty()) {
+    if (!write_file(write_golden_path, std::string(digest_line) + "\n")) {
+      std::fprintf(stderr, "cannot write %s\n", write_golden_path.c_str());
+      return 1;
+    }
+    std::printf("golden written: %s\n", write_golden_path.c_str());
+  }
+  if (!golden_path.empty()) {
+    std::ifstream f(golden_path);
+    std::string expected;
+    if (!f || !(f >> expected)) {
+      std::fprintf(stderr, "cannot read golden %s\n", golden_path.c_str());
+      return 1;
+    }
+    if (expected != digest_line) {
+      std::fprintf(stderr,
+                   "digest mismatch: got %s, golden %s (%s)\n"
+                   "regenerate with --write-golden=%s if the change is "
+                   "intended\n",
+                   digest_line, expected.c_str(), golden_path.c_str(),
+                   golden_path.c_str());
+      return 2;
+    }
+    std::printf("golden match: %s\n", golden_path.c_str());
+  }
+  return 0;
+}
