@@ -51,7 +51,7 @@ void ablation_gain() {
     RunConfig cfg;
     cfg.mode = exp::Mode::kAcdc;
     cfg.duration = sim::seconds(1.5);
-    cfg.acdc.vcc.g = g;
+    cfg.acdc.vcc.dctcp.g = g;
     const RunResult r = run_dumbbell(cfg, std::vector<FlowSpec>(5));
     t.add_row({stats::Table::num(g), stats::Table::num(r.rtt_ms.median()),
                stats::Table::num(r.rtt_ms.percentile(99.9)),

@@ -36,6 +36,11 @@ if [[ ! -x "$churn_bin" ]]; then
   echo "building bench_churn_pps in $build_dir ..." >&2
   cmake --build "$build_dir" --target bench_churn_pps -j "$(nproc)" >&2
 fi
+multiflow_bin="$build_dir/bench/bench_multiflow_pps"
+if [[ ! -x "$multiflow_bin" ]]; then
+  echo "building bench_multiflow_pps in $build_dir ..." >&2
+  cmake --build "$build_dir" --target bench_multiflow_pps -j "$(nproc)" >&2
+fi
 
 # Benchmarks want a quiet machine: warn when any CPU is not on the
 # `performance` governor (frequency ramps skew ns/packet numbers).
@@ -68,14 +73,48 @@ fi
 
 raw="$(mktemp)"
 churn_raw="$(mktemp)"
-trap 'rm -f "$raw" "$churn_raw"' EXIT
+multiflow_raw="$(mktemp)"
+trap 'rm -f "$raw" "$churn_raw" "$multiflow_raw"' EXIT
 "${pin[@]}" "$bench_bin" "${iters[@]}" --json "$raw"
 
 churn_args=()
 [[ "$quick" == 1 ]] && churn_args=(--quick)
 "${pin[@]}" "$churn_bin" "${churn_args[@]}" --json "$churn_raw"
 
-CHECK="$check" RAW="$raw" CHURN_RAW="$churn_raw" OUT="$out" \
+multiflow_args=()
+[[ "$quick" == 1 ]] && multiflow_args=(--quick)
+"${pin[@]}" "$multiflow_bin" "${multiflow_args[@]}" --json "$multiflow_raw"
+
+# The occupancy sweep's 1M/10k ratio is self-relative but still at the mercy
+# of whoever else is on the socket: a noisy-neighbor phase in the shared L3
+# depresses the 1M arm (DRAM/L3-bound) far more than the 10k arm
+# (L2-resident) and can sink the ratio by 10-20% for minutes at a time. When
+# gating, retry the sweep up to twice on a miss and keep the best run: a real
+# cache regression fails every attempt, a bad phase rarely survives three.
+if [[ "$check" == 1 ]]; then
+  ratio_of() { python3 -c \
+    "import json,sys; print(json.load(open(sys.argv[1]))['ratio_1m_10k'])" \
+    "$1"; }
+  best_ratio="$(ratio_of "$multiflow_raw")"
+  for attempt in 2 3; do
+    awk -v r="$best_ratio" 'BEGIN { exit !(r < 0.70) }' || break
+    echo "multiflow ratio_1m_10k $best_ratio < 0.70;" \
+         "retry $attempt/3 (noisy-neighbor tolerance)" >&2
+    retry_raw="$(mktemp)"
+    "${pin[@]}" "$multiflow_bin" "${multiflow_args[@]}" --json "$retry_raw"
+    retry_ratio="$(ratio_of "$retry_raw")"
+    if awk -v a="$retry_ratio" -v b="$best_ratio" 'BEGIN { exit !(a > b) }'
+    then
+      mv "$retry_raw" "$multiflow_raw"
+      best_ratio="$retry_ratio"
+    else
+      rm -f "$retry_raw"
+    fi
+  done
+fi
+
+CHECK="$check" RAW="$raw" CHURN_RAW="$churn_raw" \
+MULTIFLOW_RAW="$multiflow_raw" OUT="$out" \
 BASELINE="$repo_root/bench/perf_baseline.json" \
 CHURN_BASELINE="$repo_root/bench/churn_baseline.json" python3 - <<'PY'
 import json, os, sys
@@ -84,6 +123,7 @@ current = json.load(open(os.environ["RAW"]))
 baseline = json.load(open(os.environ["BASELINE"]))
 churn = json.load(open(os.environ["CHURN_RAW"]))
 churn_baseline = json.load(open(os.environ["CHURN_BASELINE"]))
+multiflow = json.load(open(os.environ["MULTIFLOW_RAW"]))
 
 def ratio(key):
     base = baseline.get(key)
@@ -110,6 +150,9 @@ merged = {
             "churn_flows_per_sec_wall": churn_ratio("churn_flows_per_sec_wall"),
         },
     },
+    # Self-relative occupancy sweep: no committed baseline, because the
+    # gate (ratio_1m_10k) compares the machine against itself.
+    "multiflow": multiflow,
 }
 with open(os.environ["OUT"], "w") as f:
     json.dump(merged, f, indent=2)
@@ -123,6 +166,11 @@ print(f"  churn flows/sec wall: {churn['churn_flows_per_sec_wall']:.0f} "
       f"({merged['churn']['speedup']['churn_flows_per_sec_wall']}x vs "
       f"baseline, table peak {churn['churn_table_peak']}/"
       f"{churn['churn_table_cap']})")
+print(f"  multiflow pps 10k/100k/1M: {multiflow['pps_10k']:.0f} / "
+      f"{multiflow['pps_100k']:.0f} / {multiflow['pps_1m']:.0f} "
+      f"(1M/10k ratio {multiflow['ratio_1m_10k']})")
+if "pps_10m" in multiflow:
+    print(f"  multiflow pps 10M: {multiflow['pps_10m']:.0f}")
 if "parallel_speedup_t8" in current:
     print(f"  parallel speedup t8/t1: {current['parallel_speedup_t8']}x "
           f"({current['hw_threads']} hw threads)")
@@ -166,6 +214,12 @@ if os.environ["CHECK"] == "1":
     if churn["churn_gc_removed"] + churn["churn_evictions"] <= 0:
         failed.append("churn removed no flow-table state "
                       "(gc_removed + evictions == 0)")
+    # Occupancy scaling: per-packet throughput at 1M resident flows must
+    # hold at least 70% of the 10k-flow figure. Self-relative, so it gates
+    # the table's cache behavior rather than absolute machine speed.
+    if multiflow["ratio_1m_10k"] < 0.70:
+        failed.append(f"multiflow ratio_1m_10k {multiflow['ratio_1m_10k']} "
+                      "< 0.70")
     # Tracing must stay cheap enough to leave on while debugging: the
     # end-to-end run with all forensic taps + post-run analysis must keep
     # packets/sec within 10% of the untraced run.

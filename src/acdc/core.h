@@ -35,10 +35,15 @@ struct AcdcConfig {
   // Extra window slack tolerated before the policer drops (in MSS).
   double police_slack_mss = 4.0;
   VccConfig vcc;
-  // Inactivity-based timeout inference (§3.1) and flow GC (§4).
+  // Timeout inference (§3.1): the scan visits stalled flows every interval;
+  // a flow whose RFC 6298 estimator has a sample times out at its own RTO
+  // (clamped to [min_rto, max_rto]), sample-less flows fall back to the
+  // fixed inactivity_timeout.
   bool infer_timeouts = true;
   sim::Time inactivity_scan_interval = sim::milliseconds(10);
   sim::Time inactivity_timeout = sim::milliseconds(40);
+  sim::Time min_rto = sim::milliseconds(10);
+  sim::Time max_rto = sim::seconds(4);
   // §3.3: on an inferred timeout, generate duplicate ACKs toward the VM to
   // trigger its fast retransmit (useful when the VM RTO is large).
   bool inject_dupacks_on_timeout = false;
@@ -78,6 +83,10 @@ struct AcdcStats {
   std::int64_t inferred_timeouts = 0;
   std::int64_t injected_dupacks = 0;
   std::int64_t injected_window_updates = 0;
+  std::int64_t rtt_samples = 0;
+  // Feedback deltas clamped after a remote flow-entry eviction restarted
+  // the receiver's running totals (marked delta exceeded total delta).
+  std::int64_t feedback_resyncs = 0;
   // Per-direction single-entry lookup caches (see AcdcCore::entry/find).
   std::int64_t flow_cache_hits = 0;
   std::int64_t flow_cache_misses = 0;
@@ -116,30 +125,31 @@ struct AcdcCore {
 
   // The RWND-enforcement observation point: records a kWindowEnforced trace
   // event and replays it to the legacy on_window observer.
-  void emit_window_enforced(const FlowEntry& entry, std::int64_t wnd) {
+  void emit_window_enforced(const FlowRef& f, std::int64_t wnd) {
     if (tracing()) {
-      obs::TraceEvent ev = flow_event(obs::EventType::kWindowEnforced,
-                                      entry.key);
+      obs::TraceEvent ev =
+          flow_event(obs::EventType::kWindowEnforced, *f.key);
       ev.a = wnd;
-      ev.b = static_cast<std::int64_t>(entry.snd.cwnd_bytes);
-      ev.x = entry.snd.alpha;
+      ev.b = static_cast<std::int64_t>(f.hot->cwnd_bytes);
+      ev.x = f.hot->alpha;
       trace->record(ev);
     }
-    if (on_window) on_window(entry.key, sim->now(), wnd);
+    if (on_window) on_window(*f.key, sim->now(), wnd);
   }
 
   // Single-entry lookup caches, one per datapath direction so the four hot
   // call sites never evict each other. A slot remembers the last key looked
-  // up there together with the table version at that moment; while the
-  // table's membership is unchanged (version match) a repeat of the same key
-  // returns the cached pointer with zero hashing. Erase/GC/insert all bump
-  // the version, which invalidates every slot at once — there is no explicit
-  // invalidation to forget. find() slots also cache misses (entry ==
-  // nullptr), safe for the same reason.
+  // up there together with the generation-checked handle it resolved to;
+  // a repeat of the same key revalidates with one bounds check plus one
+  // integer compare (FlowTable::deref) — no hashing, no probing. Erase, GC,
+  // eviction and rehash all retire the handle's generation, so a stale slot
+  // simply fails deref and falls through to a real lookup. This replaces
+  // the old whole-table version counter: invalidation is per-flow and
+  // cannot be forgotten, and a membership change elsewhere in the table no
+  // longer evicts unrelated cache slots.
   struct FlowCacheSlot {
     FlowKey key{};
-    FlowEntry* entry = nullptr;
-    std::uint64_t version = 0;  // 0 never matches: table versions start at 1
+    FlowHandle handle{};
   };
   static constexpr int kCacheSndEgress = 0;      // sender module, data out
   static constexpr int kCacheSndIngressAck = 1;  // sender module, ACK in
@@ -148,60 +158,84 @@ struct AcdcCore {
   static constexpr int kCacheSlots = 4;
   FlowCacheSlot flow_cache[kCacheSlots];
 
-  // Looks up or creates the entry for `key`, binding its policy and
+  // Looks up or creates the flow for `key`, binding its policy and
   // initialising the virtual CC on creation. `slot` selects which direction
-  // cache fronts the table lookup. Returns nullptr when the table is at its
-  // cap under OverflowPolicy::kReject — the packet then passes through
-  // unmanaged (no tracking, no policing, but the transparency transforms
-  // still apply at the call sites).
-  FlowEntry* entry(const FlowKey& key, int slot) {
+  // cache fronts the table lookup. Returns a null FlowRef when the table is
+  // at its cap under OverflowPolicy::kReject — the packet then passes
+  // through unmanaged (no tracking, no policing, but the transparency
+  // transforms still apply at the call sites).
+  FlowRef entry(const FlowKey& key, int slot) {
     FlowCacheSlot& c = flow_cache[slot];
-    if (c.version == table.version() && c.entry != nullptr && c.key == key) {
-      ++stats.flow_cache_hits;
-      return c.entry;
+    if (c.handle.valid() && c.key == key) {
+      FlowRef f = table.deref(c.handle);
+      if (f) {
+        ++stats.flow_cache_hits;
+        return f;
+      }
     }
     ++stats.flow_cache_misses;
-    auto [e, created] = table.find_or_create(key, sim->now());
-    if (e == nullptr) return nullptr;  // rejected inserts don't bump the
-                                       // version, so never cache them
-    if (created) {
-      e->policy = policy.lookup(key);
-      virtual_cc_for(e->policy.kind).init(e->snd, config.vcc);
-    }
+    FlowRef f = table.find_or_create(key, sim->now());
+    if (!f) return f;  // rejected admission: never cached
+    if (f.created) bind_policy(f);
     c.key = key;
-    c.entry = e;
-    c.version = table.version();
-    return e;
+    c.handle = f.handle;
+    return f;
   }
 
-  // Cached find: may return (and cache) nullptr for absent flows.
-  FlowEntry* find(const FlowKey& key, int slot) {
+  // Cached find. Unlike the old version-stamped cache this never caches
+  // absence — there is no table-wide epoch to tie a negative result to —
+  // so misses always probe. The hot directions (established flows) still
+  // hit the handle path.
+  FlowRef find(const FlowKey& key, int slot) {
     FlowCacheSlot& c = flow_cache[slot];
-    if (c.version == table.version() && c.key == key) {
-      ++stats.flow_cache_hits;
-      return c.entry;
+    if (c.handle.valid() && c.key == key) {
+      FlowRef f = table.deref(c.handle);
+      if (f) {
+        ++stats.flow_cache_hits;
+        return f;
+      }
     }
     ++stats.flow_cache_misses;
-    FlowEntry* e = table.find(key);
-    c.key = key;
-    c.entry = e;
-    c.version = table.version();
-    return e;
+    FlowRef f = table.find(key);
+    if (f) {
+      c.key = key;
+      c.handle = f.handle;
+    }
+    return f;
   }
 
-  std::int64_t min_rwnd_bytes(const SenderFlowState& s) const {
+  // Policy binding on creation: the authoritative FlowPolicy lands in the
+  // cold record, the fields the per-packet path reads are copied into the
+  // hot record, and the flow's virtual CC is initialised.
+  void bind_policy(const FlowRef& f) {
+    f.cold->policy = policy.lookup(*f.key);
+    const FlowPolicy& p = f.cold->policy;
+    f.hot->cc_kind = p.kind;
+    f.hot->beta = p.beta;
+    f.hot->max_rwnd_bytes = packed_rwnd_cap(p.max_rwnd_bytes);
+    f.hot->police = p.police;
+    virtual_cc_for(p.kind).init(*f.hot, config.vcc);
+  }
+
+  std::int64_t min_rwnd_bytes(const FlowHot& s) const {
     return config.min_rwnd_bytes > 0 ? config.min_rwnd_bytes : s.mss;
   }
 
-  // Restarts an entry in place for a recycled 4-tuple (fresh SYN over a
-  // FIN-marked entry the GC has not swept yet). Key, policy and the LRU
-  // links survive; all per-incarnation state is re-initialised.
-  void reset_entry(FlowEntry& e) {
-    e.snd = SenderFlowState{};
-    e.rcv = ReceiverFlowState{};
-    e.fin_seen = false;
-    e.created_at = sim->now();
-    virtual_cc_for(e.policy.kind).init(e.snd, config.vcc);
+  // Restarts a flow in place for a recycled 4-tuple (fresh SYN over a
+  // FIN-marked entry the GC has not swept yet). Key, slot, handle, policy
+  // and the LRU position survive; all per-incarnation state is
+  // re-initialised.
+  void reset_entry(const FlowRef& f) {
+    f.hot->reset_runtime();
+    const FlowPolicy& p = f.cold->policy;
+    f.hot->cc_kind = p.kind;
+    f.hot->beta = p.beta;
+    f.hot->max_rwnd_bytes = packed_rwnd_cap(p.max_rwnd_bytes);
+    f.hot->police = p.police;
+    f.cold->created_at = sim->now();
+    f.cold->last_timeout_at = sim::kNoTime;
+    f.cold->telem = {};
+    virtual_cc_for(p.kind).init(*f.hot, config.vcc);
   }
 };
 

@@ -32,7 +32,13 @@ struct FlowKey {
 
 struct FlowKeyHash {
   std::size_t operator()(const FlowKey& k) const {
-    // FNV-1a over the tuple fields.
+    // FNV-1a over the tuple fields, then a murmur3-style finalizer. The
+    // finalizer is load-bearing: FNV's multiply only carries entropy
+    // *upward*, so without it bit i of the hash never sees input bits
+    // above i — and a power-of-two table indexed by the low bits would
+    // send every flow of one host pair (same IPs, same dst_port, varying
+    // src_port mixed in at bits 16..31) to a single home slot, degenerating
+    // the probe chain into one cluster the size of the live flow count.
     std::uint64_t h = 1469598103934665603ull;
     auto mix = [&h](std::uint64_t v) {
       h ^= v;
@@ -41,6 +47,11 @@ struct FlowKeyHash {
     mix(k.src_ip);
     mix(k.dst_ip);
     mix((static_cast<std::uint64_t>(k.src_port) << 16) | k.dst_port);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    h ^= h >> 33;
     return static_cast<std::size_t>(h);
   }
 };

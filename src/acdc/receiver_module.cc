@@ -5,9 +5,9 @@
 namespace acdc::vswitch {
 
 void ReceiverModule::process_ingress_data(net::Packet& packet) {
-  FlowEntry* entry_ptr =
+  FlowRef f =
       core_.entry(FlowKey::from_packet(packet), AcdcCore::kCacheRcvIngressData);
-  if (entry_ptr == nullptr) {
+  if (!f) {
     // Admission rejected at the flow-table cap: no per-flow accounting is
     // possible, but the VM-transparency contract still holds — the VM must
     // never see a CE mark, the repurposed reserved bit or an INT stamp.
@@ -17,37 +17,36 @@ void ReceiverModule::process_ingress_data(net::Packet& packet) {
     if (packet.payload_bytes > 0) ++core_.stats.ingress_data_packets;
     return;
   }
-  FlowEntry& entry = *entry_ptr;
-  core_.table.touch(entry, core_.sim->now());
-  if (packet.tcp.flags.syn && !packet.tcp.flags.ack && entry.fin_seen) {
-    core_.reset_entry(entry);  // recycled 4-tuple (see SenderModule)
+  core_.table.touch(f, core_.sim->now());
+  FlowHot& s = *f.hot;
+  if (packet.tcp.flags.syn && !packet.tcp.flags.ack && s.fin_seen) {
+    core_.reset_entry(f);  // recycled 4-tuple (see SenderModule)
   }
-  ReceiverFlowState& r = entry.rcv;
 
   if (packet.tcp.flags.syn) {
     // The sender vSwitch recorded whether its VM negotiated ECN in the
     // reserved bit (§3.2); remember it and hide the bit from the VM.
-    r.sender_vm_requested_ecn = packet.tcp.reserved_vm_ecn;
+    s.rcv_sender_vm_requested_ecn = packet.tcp.reserved_vm_ecn;
     packet.tcp.reserved_vm_ecn = false;
   }
-  if (packet.tcp.flags.fin || packet.tcp.flags.rst) entry.fin_seen = true;
+  if (packet.tcp.flags.fin || packet.tcp.flags.rst) s.fin_seen = true;
 
   // Record and strip the INT telemetry stamp: the latest data-path sample
   // is echoed to the sender on the next PACK/FACK; the VM never sees it.
   if (packet.telem.has_value()) {
     if (packet.payload_bytes > 0) {
-      r.telem = *packet.telem;
-      r.telem_valid = true;
+      f.cold->telem = *packet.telem;
+      s.rcv_telem_valid = true;
     }
     packet.telem.reset();
   }
 
   if (packet.payload_bytes <= 0) return;
   ++core_.stats.ingress_data_packets;
-  r.active = true;
-  r.total_bytes += static_cast<std::uint32_t>(packet.payload_bytes);
+  s.rcv_active = true;
+  s.rcv_total_bytes += static_cast<std::uint32_t>(packet.payload_bytes);
   if (packet.ip.ecn == net::Ecn::kCe) {
-    r.marked_bytes += static_cast<std::uint32_t>(packet.payload_bytes);
+    s.rcv_marked_bytes += static_cast<std::uint32_t>(packet.payload_bytes);
   }
 
   if (core_.config.strip_ecn_at_receiver) {
@@ -55,14 +54,14 @@ void ReceiverModule::process_ingress_data(net::Packet& packet) {
     // ECT(0) (so its own stack never reacts, §3.2); a non-ECN VM sees the
     // original Not-ECT.
     const net::Ecn before = packet.ip.ecn;
-    if (r.vm_ecn_negotiated) {
+    if (s.rcv_vm_ecn_negotiated) {
       if (packet.ip.ecn == net::Ecn::kCe) packet.ip.ecn = net::Ecn::kEct0;
     } else {
       packet.ip.ecn = net::Ecn::kNotEct;
     }
     if (packet.ip.ecn != before && core_.tracing()) {
       obs::TraceEvent te =
-          core_.flow_event(obs::EventType::kEcnStrip, entry.key);
+          core_.flow_event(obs::EventType::kEcnStrip, *f.key);
       te.a = packet.payload_bytes;
       te.b = before == net::Ecn::kCe ? 1 : 0;
       core_.trace->record(te);
@@ -74,37 +73,37 @@ void ReceiverModule::process_egress_ack(
     net::Packet& ack, const std::function<void(net::PacketPtr)>& emit) {
   if (!core_.config.generate_feedback) return;
   // The ACK acknowledges the reverse flow — the data direction we count.
-  FlowEntry* entry = core_.find(FlowKey::from_packet(ack).reversed(),
-                                AcdcCore::kCacheRcvEgressAck);
-  if (entry == nullptr) return;
-  core_.table.touch(*entry, core_.sim->now());
-  const ReceiverFlowState& r = entry->rcv;
+  FlowRef f = core_.find(FlowKey::from_packet(ack).reversed(),
+                         AcdcCore::kCacheRcvEgressAck);
+  if (!f) return;
+  core_.table.touch(f, core_.sim->now());
+  FlowHot& s = *f.hot;
 
   // Record the local VM's ECN acceptance from its SYN-ACK as it passes.
   if (ack.tcp.flags.syn) {
-    entry->rcv.vm_ecn_negotiated =
-        r.sender_vm_requested_ecn && ack.tcp.flags.ece;
+    s.rcv_vm_ecn_negotiated =
+        s.rcv_sender_vm_requested_ecn && ack.tcp.flags.ece;
     return;  // no feedback on handshake packets
   }
-  if (!r.active) return;
+  if (!s.rcv_active) return;
 
   const std::optional<net::TelemetryStamp> telem =
-      r.telem_valid ? std::optional<net::TelemetryStamp>(r.telem)
-                    : std::nullopt;
-  const bool packed = attach_pack(ack, r.total_bytes, r.marked_bytes,
+      s.rcv_telem_valid ? std::optional<net::TelemetryStamp>(f.cold->telem)
+                        : std::nullopt;
+  const bool packed = attach_pack(ack, s.rcv_total_bytes, s.rcv_marked_bytes,
                                   core_.config.mtu_bytes, telem);
   if (packed) {
     ++core_.stats.packs_attached;
   } else {
     ++core_.stats.facks_sent;
-    emit(make_fack(ack, r.total_bytes, r.marked_bytes, telem));
+    emit(make_fack(ack, s.rcv_total_bytes, s.rcv_marked_bytes, telem));
   }
   if (core_.tracing()) {
     obs::TraceEvent te = core_.flow_event(
         packed ? obs::EventType::kPackAttached : obs::EventType::kFackEmitted,
-        entry->key);
-    te.a = r.total_bytes;
-    te.b = r.marked_bytes;
+        *f.key);
+    te.a = s.rcv_total_bytes;
+    te.b = s.rcv_marked_bytes;
     core_.trace->record(te);
   }
 }

@@ -12,59 +12,79 @@ using tcp::seq_gt;
 using tcp::seq_lt;
 using tcp::seq_max;
 
-void SenderModule::learn_from_egress_syn(FlowEntry& entry,
+void SenderModule::learn_from_egress_syn(const FlowRef& f,
                                          const net::Packet& syn) {
-  SenderFlowState& s = entry.snd;
+  FlowHot& s = *f.hot;
   if (syn.tcp.options.mss) {
     s.mss = *syn.tcp.options.mss;
-    virtual_cc_for(entry.policy.kind).init(s, core_.config.vcc);
+    virtual_cc_for(s.cc_kind).init(s, core_.config.vcc);
   }
   s.vm_requested_ecn = syn.tcp.flags.ece && syn.tcp.flags.cwr;
 }
 
-void SenderModule::learn_from_ingress_synack(FlowEntry& entry,
+void SenderModule::learn_from_ingress_synack(const FlowRef& f,
                                              const net::Packet& synack) {
-  SenderFlowState& s = entry.snd;
+  FlowHot& s = *f.hot;
   if (synack.tcp.options.window_scale) {
     s.peer_wscale = *synack.tcp.options.window_scale;
     s.peer_wscale_valid = true;
   }
   if (synack.tcp.options.mss) {
     s.mss = std::min<std::uint32_t>(s.mss, *synack.tcp.options.mss);
-    virtual_cc_for(entry.policy.kind).init(s, core_.config.vcc);
+    virtual_cc_for(s.cc_kind).init(s, core_.config.vcc);
   }
   s.vm_ecn_negotiated = s.vm_requested_ecn && synack.tcp.flags.ece;
 }
 
-void SenderModule::track_sequences(FlowEntry& entry,
-                                   const net::Packet& packet) {
-  SenderFlowState& s = entry.snd;
+void SenderModule::track_sequences(FlowHot& s, const net::Packet& packet,
+                                   sim::Time now) {
   const std::uint32_t span =
       static_cast<std::uint32_t>(packet.payload_bytes) +
       (packet.tcp.flags.syn ? 1 : 0) + (packet.tcp.flags.fin ? 1 : 0);
   if (span == 0) return;
   const tcp::Seq seq_end = packet.tcp.seq + span;
+  // One RTT sample in flight at a time (RFC 6298 needs no more), armed only
+  // on *new* data — handshake segments are excluded so the estimator tracks
+  // the data path the virtual CC actually schedules.
+  const bool sampleable = packet.payload_bytes > 0 && !packet.tcp.flags.syn;
   if (!s.seq_valid) {
     s.snd_una = packet.tcp.seq;
     s.snd_nxt = seq_end;
     s.seq_valid = true;
-  } else {
+    if (sampleable) {
+      s.rtt_sample_pending = true;
+      s.rtt_sample_end = seq_end;
+      s.rtt_sample_sent_at = now;
+    }
+    return;
+  }
+  if (seq_gt(seq_end, s.snd_nxt)) {
     s.snd_nxt = seq_max(s.snd_nxt, seq_end);
+    if (sampleable && !s.rtt_sample_pending) {
+      s.rtt_sample_pending = true;
+      s.rtt_sample_end = seq_end;
+      s.rtt_sample_sent_at = now;
+    }
+    return;
+  }
+  // Retransmission into the sampled range: Karn's rule — the eventual ACK
+  // could match either transmission, so the measurement is void.
+  if (s.rtt_sample_pending && seq_lt(packet.tcp.seq, s.rtt_sample_end)) {
+    s.rtt_sample_pending = false;
   }
 }
 
-std::int64_t SenderModule::enforced_window_bytes(
-    const FlowEntry& entry) const {
-  std::int64_t wnd = static_cast<std::int64_t>(entry.snd.cwnd_bytes);
-  if (entry.policy.max_rwnd_bytes > 0) {
-    wnd = std::min(wnd, entry.policy.max_rwnd_bytes);
+std::int64_t SenderModule::enforced_window_bytes(const FlowHot& s) const {
+  std::int64_t wnd = static_cast<std::int64_t>(s.cwnd_bytes);
+  if (s.max_rwnd_bytes > 0) {
+    wnd = std::min(wnd, static_cast<std::int64_t>(s.max_rwnd_bytes));
   }
-  return std::max(wnd, core_.min_rwnd_bytes(entry.snd));
+  return std::max(wnd, core_.min_rwnd_bytes(s));
 }
 
-bool SenderModule::police(FlowEntry& entry, const net::Packet& packet) {
-  if (!entry.policy.police || !core_.config.enforce) return true;
-  const SenderFlowState& s = entry.snd;
+bool SenderModule::police(const FlowRef& f, const net::Packet& packet) {
+  const FlowHot& s = *f.hot;
+  if (!s.police || !core_.config.enforce) return true;
   if (!s.seq_valid || packet.payload_bytes == 0) return true;
   const std::uint32_t span = static_cast<std::uint32_t>(packet.payload_bytes);
   const tcp::Seq seq_end = packet.tcp.seq + span;
@@ -73,7 +93,7 @@ bool SenderModule::police(FlowEntry& entry, const net::Packet& packet) {
   const std::int64_t slack = static_cast<std::int64_t>(
       core_.config.police_slack_mss * static_cast<double>(s.mss));
   const std::int64_t allowed =
-      std::max<std::int64_t>(enforced_window_bytes(entry) + slack,
+      std::max<std::int64_t>(enforced_window_bytes(s) + slack,
                              static_cast<std::int64_t>(
                                  core_.config.vcc.initial_cwnd_packets *
                                  static_cast<double>(s.mss)));
@@ -83,7 +103,7 @@ bool SenderModule::police(FlowEntry& entry, const net::Packet& packet) {
     ++core_.stats.policed_drops;
     if (core_.tracing()) {
       obs::TraceEvent ev =
-          core_.flow_event(obs::EventType::kPolicedDrop, entry.key);
+          core_.flow_event(obs::EventType::kPolicedDrop, *f.key);
       ev.a = packet.payload_bytes;
       ev.b = allowed;
       core_.trace->record(ev);
@@ -94,40 +114,41 @@ bool SenderModule::police(FlowEntry& entry, const net::Packet& packet) {
 }
 
 bool SenderModule::process_egress(net::Packet& packet) {
-  FlowEntry* entry_ptr =
+  FlowRef f =
       core_.entry(FlowKey::from_packet(packet), AcdcCore::kCacheSndEgress);
-  if (entry_ptr == nullptr) {
+  if (!f) {
     // Admission rejected at the flow-table cap: the flow is unmanaged —
     // no tracking and no policing, but the packet still flows.
     if (packet.payload_bytes > 0) ++core_.stats.egress_data_packets;
     return true;
   }
-  FlowEntry& entry = *entry_ptr;
-  core_.table.touch(entry, core_.sim->now());
+  const sim::Time now = core_.sim->now();
+  core_.table.touch(f, now);
+  FlowHot& s = *f.hot;
 
-  if (packet.tcp.flags.syn && !packet.tcp.flags.ack && entry.fin_seen) {
+  if (packet.tcp.flags.syn && !packet.tcp.flags.ack && s.fin_seen) {
     // Recycled 4-tuple: the previous incarnation FINished but its entry
     // still lingers (GC hasn't swept it). §3.1 allocates flow state on SYN,
     // so a fresh SYN restarts the entry from scratch rather than inheriting
     // stale sequence/CC state.
-    core_.reset_entry(entry);
+    core_.reset_entry(f);
   }
 
   if (packet.tcp.flags.syn) {
-    learn_from_egress_syn(entry, packet);
+    learn_from_egress_syn(f, packet);
     // Repurposed reserved bit: tell the remote vSwitch whether this VM's
     // stack itself negotiated ECN (§3.2).
-    packet.tcp.reserved_vm_ecn = entry.snd.vm_requested_ecn;
+    packet.tcp.reserved_vm_ecn = s.vm_requested_ecn;
   }
   // FIN and RST both end the flow; either marks the entry for the GC's
   // short fin_linger path (§3.1: state deallocated on FIN or inactivity).
-  if (packet.tcp.flags.fin || packet.tcp.flags.rst) entry.fin_seen = true;
+  if (packet.tcp.flags.fin || packet.tcp.flags.rst) s.fin_seen = true;
 
   // Police against the window *before* admitting the packet's sequence
   // range into snd_nxt (otherwise everything looks like a retransmission).
-  if (!police(entry, packet)) return false;
+  if (!police(f, packet)) return false;
 
-  track_sequences(entry, packet);
+  track_sequences(s, packet, now);
 
   if (packet.payload_bytes > 0) ++core_.stats.egress_data_packets;
   return true;
@@ -135,9 +156,9 @@ bool SenderModule::process_egress(net::Packet& packet) {
 
 bool SenderModule::process_ingress_ack(net::Packet& packet) {
   // This ACK acknowledges the reverse flow: data we sent.
-  FlowEntry* entry_ptr = core_.entry(FlowKey::from_packet(packet).reversed(),
-                                     AcdcCore::kCacheSndIngressAck);
-  if (entry_ptr == nullptr) {
+  FlowRef f = core_.entry(FlowKey::from_packet(packet).reversed(),
+                          AcdcCore::kCacheSndIngressAck);
+  if (!f) {
     // Unmanaged flow (admission rejected): keep the VM-transparency
     // contract anyway — FACKs never reach the VM and ECN feedback stays
     // hidden — but skip tracking, virtual CC and enforcement.
@@ -150,13 +171,12 @@ bool SenderModule::process_ingress_ack(net::Packet& packet) {
     if (core_.config.hide_ecn_feedback) packet.tcp.flags.ece = false;
     return true;
   }
-  FlowEntry& entry = *entry_ptr;
-  core_.table.touch(entry, core_.sim->now());
-  SenderFlowState& s = entry.snd;
+  core_.table.touch(f, core_.sim->now());
+  FlowHot& s = *f.hot;
   ++core_.stats.acks_processed;
 
   if (packet.tcp.flags.syn) {
-    learn_from_ingress_synack(entry, packet);
+    learn_from_ingress_synack(f, packet);
   }
 
   // ---- Feedback extraction (PACK strip / FACK consume, §3.2) ----
@@ -178,6 +198,18 @@ bool SenderModule::process_ingress_ack(net::Packet& packet) {
           static_cast<std::uint32_t>(fb->total_bytes - s.fb_total);
       fb_marked_delta =
           static_cast<std::uint32_t>(fb->marked_bytes - s.fb_marked);
+      // Baseline resync: the receiver's totals are running counters that
+      // restart from zero when its vSwitch evicts the flow entry under cap
+      // pressure (§4). Once the new incarnation's totals grow past our old
+      // baseline the stale test stops firing, but the two deltas straddle
+      // the restart and can disagree — up to reporting more newly-marked
+      // than newly-sent bytes, which would push the DCTCP fraction (and
+      // eventually alpha) above 1. Marked can never exceed total within one
+      // receiver incarnation, so clamp and count the resync.
+      if (fb_marked_delta > fb_total_delta) {
+        fb_marked_delta = fb_total_delta;
+        ++core_.stats.feedback_resyncs;
+      }
       s.fb_total = fb->total_bytes;
       s.fb_marked = fb->marked_bytes;
       s.fb_valid = true;
@@ -210,23 +242,40 @@ bool SenderModule::process_ingress_ack(net::Packet& packet) {
     ev.acked_bytes = static_cast<std::uint32_t>(ack - s.snd_una);
     s.snd_una = ack;
     s.dupacks = 0;
+    // ---- RTT sample completion (RFC 6298) ----
+    if (s.rtt_sample_pending && seq_ge(ack, s.rtt_sample_end)) {
+      s.rtt_sample_pending = false;
+      const sim::Time elapsed = ev.now - s.rtt_sample_sent_at;
+      s.rtt.on_sample(
+          static_cast<std::uint32_t>(sim::to_microseconds(elapsed)));
+      s.rto_backoff = 0;  // fresh evidence the path is alive
+      ++core_.stats.rtt_samples;
+    }
   } else if (ack == s.snd_una && s.snd_nxt != s.snd_una &&
              packet.is_pure_ack() && !packet.acdc_fack) {
     ++s.dupacks;
     ev.dupack = true;
     ev.dupacks = s.dupacks;
   }
+  // Measured per-flow base RTT feeds the telemetry-driven CCs as τ; before
+  // the first sample they fall back to the configured fabric estimate.
+  if (s.rtt.min_rtt_us > 0) {
+    ev.base_rtt_us = static_cast<double>(s.rtt.min_rtt_us);
+  }
 
   // ---- Virtual congestion control (Fig. 5) ----
   if (!packet.tcp.flags.syn) {
+    const bool tracing = core_.tracing();
     const double cwnd_before = s.cwnd_bytes;
-    const double alpha_before = s.alpha;
-    virtual_cc_for(entry.policy.kind)
-        .on_ack(s, entry.policy, core_.config.vcc, ev);
-    if (core_.tracing()) {
+    // Only snapshot alpha when it will be compared: it lives on the flow
+    // record's per-window line, which the steady-state ACK path otherwise
+    // never has to pull in.
+    const double alpha_before = tracing ? s.alpha : 0.0;
+    virtual_cc_for(s.cc_kind).on_ack(s, core_.config.vcc, ev);
+    if (tracing) {
       if (s.alpha != alpha_before) {
         obs::TraceEvent te =
-            core_.flow_event(obs::EventType::kAlphaUpdate, entry.key);
+            core_.flow_event(obs::EventType::kAlphaUpdate, *f.key);
         te.a = fb_marked_delta;
         te.b = fb_total_delta;
         te.x = s.alpha;
@@ -234,7 +283,7 @@ bool SenderModule::process_ingress_ack(net::Packet& packet) {
       }
       if (s.cwnd_bytes != cwnd_before) {
         obs::TraceEvent te =
-            core_.flow_event(obs::EventType::kCwndUpdate, entry.key);
+            core_.flow_event(obs::EventType::kCwndUpdate, *f.key);
         te.a = static_cast<std::int64_t>(s.cwnd_bytes);
         te.b = static_cast<std::int64_t>(s.ssthresh_bytes);
         te.x = s.alpha;
@@ -247,7 +296,7 @@ bool SenderModule::process_ingress_ack(net::Packet& packet) {
     ++core_.stats.facks_consumed;
     if (core_.tracing()) {
       obs::TraceEvent te =
-          core_.flow_event(obs::EventType::kFackConsumed, entry.key);
+          core_.flow_event(obs::EventType::kFackConsumed, *f.key);
       te.a = fb_total_delta;
       te.b = fb_marked_delta;
       core_.trace->record(te);
@@ -256,7 +305,7 @@ bool SenderModule::process_ingress_ack(net::Packet& packet) {
   }
 
   // ---- Enforcement (§3.3) ----
-  if (!packet.tcp.flags.syn) enforce_window(entry, packet);
+  if (!packet.tcp.flags.syn) enforce_window(f, packet);
 
   if (core_.config.hide_ecn_feedback) packet.tcp.flags.ece = false;
   packet.telem.reset();  // INT stamps never cross into the VM
@@ -271,13 +320,17 @@ bool SenderModule::process_ingress_ack(net::Packet& packet) {
   return true;
 }
 
-void SenderModule::enforce_window(FlowEntry& entry, net::Packet& ack) {
-  const std::int64_t wnd = enforced_window_bytes(entry);
-  entry.snd.last_enforced_rwnd = wnd;
-  core_.emit_window_enforced(entry, wnd);
+void SenderModule::enforce_window(const FlowRef& f, net::Packet& ack) {
+  FlowHot& s = *f.hot;
+  const std::int64_t wnd = enforced_window_bytes(s);
+  // Saturating narrow: the record keeps 32 bits, and a wire window can
+  // never exceed 2^30, so the clamp only ever bites on an uncapped cwnd
+  // the ACK rewrite would have clipped to 65535 << wscale anyway.
+  s.last_enforced_rwnd = static_cast<std::int32_t>(
+      std::min<std::int64_t>(wnd, INT32_MAX));
+  core_.emit_window_enforced(f, wnd);
   if (!core_.config.enforce) return;
-  const std::uint8_t scale =
-      entry.snd.peer_wscale_valid ? entry.snd.peer_wscale : 0;
+  const std::uint8_t scale = s.peer_wscale_valid ? s.peer_wscale : 0;
   // Round up so the effective window never falls below the computed one
   // (flooring could leave the VM unable to send even a single MSS).
   std::int64_t raw = (wnd + (std::int64_t{1} << scale) - 1) >> scale;
@@ -285,7 +338,7 @@ void SenderModule::enforce_window(FlowEntry& entry, net::Packet& ack) {
   if (raw < static_cast<std::int64_t>(ack.tcp.window_raw)) {
     if (core_.tracing()) {
       obs::TraceEvent te =
-          core_.flow_event(obs::EventType::kRwndClamped, entry.key);
+          core_.flow_event(obs::EventType::kRwndClamped, *f.key);
       te.a = wnd;
       te.b = static_cast<std::int64_t>(ack.tcp.window_raw) << scale;
       core_.trace->record(te);
@@ -297,22 +350,35 @@ void SenderModule::enforce_window(FlowEntry& entry, net::Packet& ack) {
 
 int SenderModule::infer_timeouts(sim::Time now) {
   int fired = 0;
-  core_.table.for_each([&](FlowEntry& entry) {
-    SenderFlowState& s = entry.snd;
+  core_.table.for_each([&](const FlowRef& f) {
+    FlowHot& s = *f.hot;
     if (!s.seq_valid || !seq_lt(s.snd_una, s.snd_nxt)) return;
-    if (now - entry.last_activity < core_.config.inactivity_timeout) return;
-    if (s.last_timeout_at != sim::kNoTime &&
-        s.last_timeout_at >= entry.last_activity) {
+    // Per-flow RTO once the estimator has a sample (clamped to the
+    // configured bounds); the fixed inactivity timeout is the sample-less
+    // fallback for flows that stalled before any data round trip.
+    sim::Time threshold = core_.config.inactivity_timeout;
+    if (s.rtt.valid()) {
+      threshold = std::clamp(
+          sim::microseconds(
+              static_cast<sim::Time>(s.rtt.rto_us(s.rto_backoff))),
+          core_.config.min_rto, core_.config.max_rto);
+    }
+    if (now - s.last_activity < threshold) return;
+    if (f.cold->last_timeout_at != sim::kNoTime &&
+        f.cold->last_timeout_at >= s.last_activity) {
       return;  // already reacted to this stall
     }
-    s.last_timeout_at = now;
-    virtual_cc_for(entry.policy.kind).on_timeout(s, core_.config.vcc);
+    f.cold->last_timeout_at = now;
+    if (s.rto_backoff < 15) ++s.rto_backoff;  // exponential RTO backoff
+    s.rtt_sample_pending = false;  // Karn: the stalled segment will be
+                                   // retransmitted by the VM
+    virtual_cc_for(s.cc_kind).on_timeout(s, core_.config.vcc);
     ++core_.stats.inferred_timeouts;
     if (core_.tracing()) {
       obs::TraceEvent te =
-          core_.flow_event(obs::EventType::kTimeoutInferred, entry.key);
+          core_.flow_event(obs::EventType::kTimeoutInferred, *f.key);
       te.a = static_cast<std::int64_t>(s.cwnd_bytes);
-      te.b = now - entry.last_activity;
+      te.b = now - s.last_activity;
       core_.trace->record(te);
     }
     ++fired;

@@ -1,7 +1,8 @@
 // The AC/DC sender module (§3, left side of Fig. 3): on egress data it
-// reconstructs sequence state, marks packets ECT and polices non-conforming
-// flows; on ingress ACKs it extracts PACK/FACK feedback, updates the
-// reconstructed connection variables, runs the virtual congestion control
+// reconstructs sequence state, marks packets ECT, takes RTT samples and
+// polices non-conforming flows; on ingress ACKs it extracts PACK/FACK
+// feedback, updates the reconstructed connection variables, completes RTT
+// samples (RFC 6298, Karn's rule), runs the virtual congestion control
 // (Fig. 5) and enforces the result by overwriting RWND (§3.3).
 #pragma once
 
@@ -22,17 +23,18 @@ class SenderModule {
   // when the packet was consumed (FACK).
   bool process_ingress_ack(net::Packet& packet);
 
-  // Periodic inactivity scan: infers RTOs (§3.1). Returns the number of
-  // flows whose virtual CC was reset.
+  // Periodic stall scan: infers RTOs (§3.1) at each flow's own RFC 6298
+  // RTO when an estimate exists, else at the configured inactivity
+  // timeout. Returns the number of flows whose virtual CC was reset.
   int infer_timeouts(sim::Time now);
 
  private:
-  void learn_from_egress_syn(FlowEntry& entry, const net::Packet& syn);
-  void learn_from_ingress_synack(FlowEntry& entry, const net::Packet& synack);
-  void track_sequences(FlowEntry& entry, const net::Packet& packet);
-  bool police(FlowEntry& entry, const net::Packet& packet);
-  void enforce_window(FlowEntry& entry, net::Packet& ack);
-  std::int64_t enforced_window_bytes(const FlowEntry& entry) const;
+  void learn_from_egress_syn(const FlowRef& f, const net::Packet& syn);
+  void learn_from_ingress_synack(const FlowRef& f, const net::Packet& synack);
+  void track_sequences(FlowHot& s, const net::Packet& packet, sim::Time now);
+  bool police(const FlowRef& f, const net::Packet& packet);
+  void enforce_window(const FlowRef& f, net::Packet& ack);
+  std::int64_t enforced_window_bytes(const FlowHot& s) const;
 
   AcdcCore& core_;
 };

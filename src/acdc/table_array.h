@@ -1,0 +1,118 @@
+// Zero-initialized raw storage for one slot-indexed FlowTable lane.
+//
+// Two properties the per-packet path depends on (DESIGN.md §14):
+//
+//  * Raw memory, not constructed objects. The table placement-news a record
+//    into a slot on occupy/rehash before its first read, so allocating a
+//    lane never sweeps a constructor over millions of slots and untouched
+//    tail pages are never faulted. Zero bytes are the "vacant" encoding the
+//    probe/deref paths rely on (FlowHot::gen == 0).
+//
+//  * Huge pages when it matters. Lanes of 2 MB and up come straight from
+//    anonymous mmap with MADV_HUGEPAGE: at 1M+ slots the hot lane spans
+//    hundreds of MB, and with 4 KB pages nearly every random lookup pays a
+//    TLB miss on top of the DRAM line — worse, x86 silently drops a
+//    software prefetch whose translation misses the TLB, which defeats the
+//    burst path's prefetch pass exactly at the occupancies it exists for.
+//    2 MB pages put the whole table back inside the STLB. Smaller lanes
+//    (and non-Linux builds) fall back to aligned heap memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace acdc::vswitch {
+
+template <typename T>
+class TableArray {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "lanes are reclaimed without destructor sweeps");
+
+ public:
+  TableArray() = default;
+
+  explicit TableArray(std::size_t count) {
+    if (count == 0) return;
+    bytes_ = count * sizeof(T);
+#if defined(__linux__)
+    if (bytes_ >= kHugePageBytes) {
+      bytes_ = (bytes_ + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+      void* p = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+      if (p != MAP_FAILED) {
+#if defined(MADV_HUGEPAGE)
+        ::madvise(p, bytes_, MADV_HUGEPAGE);
+#endif
+        data_ = static_cast<T*>(p);
+        mapped_ = true;
+        return;
+      }
+      // Fall through to the heap on mmap failure.
+    }
+#endif
+    constexpr std::size_t kAlign =
+        alignof(T) > alignof(std::max_align_t) ? alignof(T)
+                                               : alignof(std::max_align_t);
+    bytes_ = (bytes_ + kAlign - 1) & ~(kAlign - 1);
+    void* p = std::aligned_alloc(kAlign, bytes_);
+    if (p == nullptr) throw std::bad_alloc{};
+    std::memset(p, 0, bytes_);
+    data_ = static_cast<T*>(p);
+  }
+
+  TableArray(TableArray&& other) noexcept { swap(other); }
+  TableArray& operator=(TableArray&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  TableArray(const TableArray&) = delete;
+  TableArray& operator=(const TableArray&) = delete;
+  ~TableArray() { release(); }
+
+  // Shallow const, like unique_ptr<T[]>: the lane is the table's storage,
+  // not part of its logical state.
+  T& operator[](std::size_t i) const { return data_[i]; }
+  T* data() const { return data_; }
+
+ private:
+  static constexpr std::size_t kHugePageBytes = std::size_t{2} << 20;
+
+  void release() noexcept {
+    if (data_ == nullptr) return;
+#if defined(__linux__)
+    if (mapped_) {
+      ::munmap(data_, bytes_);
+    } else {
+      std::free(data_);
+    }
+#else
+    std::free(data_);
+#endif
+    data_ = nullptr;
+    bytes_ = 0;
+    mapped_ = false;
+  }
+
+  void swap(TableArray& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(bytes_, other.bytes_);
+    std::swap(mapped_, other.mapped_);
+  }
+
+  T* data_ = nullptr;
+  std::size_t bytes_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace acdc::vswitch

@@ -5,7 +5,7 @@
 
 namespace acdc::vswitch {
 
-void VirtualCc::init(SenderFlowState& s, const VccConfig& cfg) const {
+void VirtualCc::init(FlowHot& s, const VccConfig& cfg) const {
   s.cwnd_bytes = cfg.initial_cwnd_packets * s.mss;
   s.ssthresh_bytes = 1e18;
   s.alpha = 1.0;
@@ -13,18 +13,23 @@ void VirtualCc::init(SenderFlowState& s, const VccConfig& cfg) const {
   s.win_marked = 0;
   s.window_boundary_valid = false;
   s.reduced_this_window = false;
-  s.pt_prev_valid = false;
-  s.pt_power = 1.0;
+  // All-zero bytes are a valid fresh state for every variant (flow_state.h),
+  // so one fill resets whichever algorithm the flow runs.
+  s.cc = CcState{};
 }
 
-double VirtualCc::min_cwnd_bytes(const SenderFlowState& s) {
+double VirtualCc::min_cwnd_bytes(const FlowHot& s) {
   // The enforced window may fall to a single MSS — below host DCTCP's
   // two-packet floor, which is why AC/DC beats host DCTCP at high incast
   // fan-in (Fig. 19a).
   return static_cast<double>(s.mss);
 }
 
-bool VirtualCc::window_rolled(SenderFlowState& s) {
+double VirtualCc::tau_us(const VccConfig& cfg, const VccEvent& ev) {
+  return ev.base_rtt_us > 0.0 ? ev.base_rtt_us : cfg.base_rtt_us;
+}
+
+bool VirtualCc::window_rolled(FlowHot& s) {
   if (!s.window_boundary_valid || tcp::seq_ge(s.snd_una, s.cc_window_end)) {
     s.cc_window_end = s.snd_nxt;
     s.window_boundary_valid = true;
@@ -34,7 +39,7 @@ bool VirtualCc::window_rolled(SenderFlowState& s) {
   return false;
 }
 
-void VirtualCc::reno_grow(SenderFlowState& s, std::int64_t acked_bytes) {
+void VirtualCc::reno_grow(FlowHot& s, std::int64_t acked_bytes) {
   if (acked_bytes <= 0) return;
   if (s.cwnd_bytes < s.ssthresh_bytes) {
     s.cwnd_bytes += static_cast<double>(acked_bytes);  // slow start
@@ -46,7 +51,7 @@ void VirtualCc::reno_grow(SenderFlowState& s, std::int64_t acked_bytes) {
   }
 }
 
-void VirtualCc::on_timeout(SenderFlowState& s, const VccConfig& cfg) const {
+void VirtualCc::on_timeout(FlowHot& s, const VccConfig& cfg) const {
   (void)cfg;
   s.ssthresh_bytes = std::max(min_cwnd_bytes(s), s.cwnd_bytes / 2.0);
   s.cwnd_bytes = min_cwnd_bytes(s);
@@ -61,8 +66,8 @@ double VirtualDctcp::reduction_factor(double alpha, double beta) {
   return std::clamp(1.0 - cut, 0.0, 1.0);
 }
 
-void VirtualDctcp::on_ack(SenderFlowState& s, const FlowPolicy& policy,
-                          const VccConfig& cfg, const VccEvent& ev) const {
+void VirtualDctcp::on_ack(FlowHot& s, const VccConfig& cfg,
+                          const VccEvent& ev) const {
   // Track the fraction of CE-marked bytes reported by the receiver module.
   s.win_total += ev.fb_total_delta;
   s.win_marked += ev.fb_marked_delta;
@@ -71,7 +76,7 @@ void VirtualDctcp::on_ack(SenderFlowState& s, const FlowPolicy& policy,
   if (window_rolled(s) && s.win_total > 0) {
     const double fraction = static_cast<double>(s.win_marked) /
                             static_cast<double>(s.win_total);
-    s.alpha = (1.0 - cfg.g) * s.alpha + cfg.g * fraction;
+    s.alpha = (1.0 - cfg.dctcp.g) * s.alpha + cfg.dctcp.g * fraction;
     s.win_total = 0;
     s.win_marked = 0;
   }
@@ -89,9 +94,9 @@ void VirtualDctcp::on_ack(SenderFlowState& s, const FlowPolicy& policy,
       s.reduced_this_window = true;
       s.cc_window_end = s.snd_nxt;
       s.window_boundary_valid = true;
-      s.cwnd_bytes = std::max(
-          min_cwnd_bytes(s),
-          s.cwnd_bytes * reduction_factor(s.alpha, policy.beta));
+      s.cwnd_bytes =
+          std::max(min_cwnd_bytes(s),
+                   s.cwnd_bytes * reduction_factor(s.alpha, s.beta));
       s.ssthresh_bytes = std::max(min_cwnd_bytes(s), s.cwnd_bytes);
       return;
     }
@@ -101,7 +106,7 @@ void VirtualDctcp::on_ack(SenderFlowState& s, const FlowPolicy& policy,
   if (!ev.dupack) reno_grow(s, ev.acked_bytes);  // tcp_cong_avoid()
 }
 
-void VirtualDctcp::on_timeout(SenderFlowState& s, const VccConfig& cfg) const {
+void VirtualDctcp::on_timeout(FlowHot& s, const VccConfig& cfg) const {
   (void)cfg;
   s.alpha = 1.0;
   s.ssthresh_bytes = std::max(min_cwnd_bytes(s), s.cwnd_bytes / 2.0);
@@ -111,9 +116,8 @@ void VirtualDctcp::on_timeout(SenderFlowState& s, const VccConfig& cfg) const {
 
 // -------------------------------------------------------------------- Reno
 
-void VirtualReno::on_ack(SenderFlowState& s, const FlowPolicy& policy,
-                         const VccConfig& cfg, const VccEvent& ev) const {
-  (void)policy;
+void VirtualReno::on_ack(FlowHot& s, const VccConfig& cfg,
+                         const VccEvent& ev) const {
   window_rolled(s);
   const bool loss = ev.dupack && ev.dupacks >= cfg.loss_dupacks;
   const bool congestion = ev.fb_marked_delta > 0;
@@ -132,36 +136,39 @@ void VirtualReno::on_ack(SenderFlowState& s, const FlowPolicy& policy,
 
 // ------------------------------------------------------------------- CUBIC
 
-void VirtualCubic::cut(SenderFlowState& s) const {
+void VirtualCubic::cut(FlowHot& s) const {
+  CubicCc& c = s.cc.cubic;
   const double w = s.cwnd_bytes;
-  s.cubic_w_last_max = w < s.cubic_w_last_max ? w * (2.0 - kBeta) / 2.0 : w;
+  c.w_last_max = w < c.w_last_max ? w * (2.0 - kBeta) / 2.0 : w;
   s.cwnd_bytes = std::max(min_cwnd_bytes(s), w * kBeta);
   s.ssthresh_bytes = std::max(min_cwnd_bytes(s), s.cwnd_bytes);
-  s.cubic_epoch_start = sim::kNoTime;
+  c.epoch_valid = false;
 }
 
-void VirtualCubic::grow(SenderFlowState& s, const VccEvent& ev) const {
+void VirtualCubic::grow(FlowHot& s, const VccEvent& ev) const {
   if (s.cwnd_bytes < s.ssthresh_bytes) {
     s.cwnd_bytes += static_cast<double>(ev.acked_bytes);
     return;
   }
+  CubicCc& c = s.cc.cubic;
   const double mss = static_cast<double>(s.mss);
-  if (s.cubic_epoch_start == sim::kNoTime) {
-    s.cubic_epoch_start = ev.now;
+  if (!c.epoch_valid) {
+    c.epoch_valid = true;
+    c.epoch_start = ev.now;
     const double w_pkts = s.cwnd_bytes / mss;
-    const double wmax_pkts = s.cubic_w_last_max / mss;
+    const double wmax_pkts = c.w_last_max / mss;
     if (w_pkts < wmax_pkts) {
-      s.cubic_k = std::cbrt((wmax_pkts - w_pkts) / kC);
-      s.cubic_origin = wmax_pkts;
+      c.k = std::cbrt((wmax_pkts - w_pkts) / kC);
+      c.origin = wmax_pkts;
     } else {
-      s.cubic_k = 0.0;
-      s.cubic_origin = w_pkts;
+      c.k = 0.0;
+      c.origin = w_pkts;
     }
-    s.cubic_tcp_wnd = w_pkts;
+    c.tcp_wnd = w_pkts;
   }
-  const double t = sim::to_seconds(ev.now - s.cubic_epoch_start);
-  const double delta = t - s.cubic_k;
-  const double target_pkts = s.cubic_origin + kC * delta * delta * delta;
+  const double t = sim::to_seconds(ev.now - c.epoch_start);
+  const double delta = t - c.k;
+  const double target_pkts = c.origin + kC * delta * delta * delta;
   const double w_pkts = s.cwnd_bytes / mss;
   const double acked_pkts =
       static_cast<double>(ev.acked_bytes) / std::max(1.0, mss);
@@ -171,14 +178,13 @@ void VirtualCubic::grow(SenderFlowState& s, const VccEvent& ev) const {
   } else {
     next_pkts += 0.01 * acked_pkts / w_pkts;
   }
-  s.cubic_tcp_wnd += 3.0 * (1.0 - kBeta) / (1.0 + kBeta) * acked_pkts / w_pkts;
-  next_pkts = std::max(next_pkts, s.cubic_tcp_wnd);
+  c.tcp_wnd += 3.0 * (1.0 - kBeta) / (1.0 + kBeta) * acked_pkts / w_pkts;
+  next_pkts = std::max(next_pkts, c.tcp_wnd);
   s.cwnd_bytes = next_pkts * mss;
 }
 
-void VirtualCubic::on_ack(SenderFlowState& s, const FlowPolicy& policy,
-                          const VccConfig& cfg, const VccEvent& ev) const {
-  (void)policy;
+void VirtualCubic::on_ack(FlowHot& s, const VccConfig& cfg,
+                          const VccEvent& ev) const {
   window_rolled(s);
   const bool loss = ev.dupack && ev.dupacks >= cfg.loss_dupacks;
   const bool congestion = ev.fb_marked_delta > 0;
@@ -194,22 +200,21 @@ void VirtualCubic::on_ack(SenderFlowState& s, const FlowPolicy& policy,
   if (!ev.dupack) grow(s, ev);
 }
 
-void VirtualCubic::on_timeout(SenderFlowState& s, const VccConfig& cfg) const {
+void VirtualCubic::on_timeout(FlowHot& s, const VccConfig& cfg) const {
   VirtualCc::on_timeout(s, cfg);
-  s.cubic_epoch_start = sim::kNoTime;
+  s.cc.cubic.epoch_valid = false;
 }
 
 // ---------------------------------------------------------------- PowerTCP
 
-double VirtualPowerTcp::bdp_bytes(const VccConfig& cfg,
+double VirtualPowerTcp::bdp_bytes(double tau_us,
                                   std::uint32_t tx_bytes_per_ms) {
   const double rate = std::max(1.0, static_cast<double>(tx_bytes_per_ms));
-  return rate * (cfg.base_rtt_us / 1000.0);
+  return rate * (tau_us / 1000.0);
 }
 
-void VirtualPowerTcp::on_ack(SenderFlowState& s, const FlowPolicy& policy,
-                             const VccConfig& cfg, const VccEvent& ev) const {
-  (void)policy;
+void VirtualPowerTcp::on_ack(FlowHot& s, const VccConfig& cfg,
+                             const VccEvent& ev) const {
   window_rolled(s);
   const bool loss = ev.dupack && ev.dupacks >= cfg.loss_dupacks;
   if (loss) {
@@ -228,27 +233,29 @@ void VirtualPowerTcp::on_ack(SenderFlowState& s, const FlowPolicy& policy,
     return;
   }
 
+  PowerCc& pt = s.cc.pt;
+  const double tau = std::max(1.0, tau_us(cfg, ev));
   const double rate = std::max(1.0, static_cast<double>(ev.tx_bytes_per_ms));
-  const double bdp = bdp_bytes(cfg, ev.tx_bytes_per_ms);
+  const double bdp = bdp_bytes(tau, ev.tx_bytes_per_ms);
 
   // Current Λ = q̇ + txRate (bytes/ms). The gradient differences this stamp
   // against the previous one; both the timestamp and the subtraction are
   // u32-wrap safe. Stale or same-µs samples contribute no gradient.
   double gradient = 0.0;
   double dt_smooth_us = 0.0;
-  const bool had_prev = s.pt_prev_valid;
-  if (s.pt_prev_valid) {
-    const std::uint32_t dt_us = ev.ts_us - s.pt_prev_ts_us;
+  const bool had_prev = pt.prev_valid;
+  if (pt.prev_valid) {
+    const std::uint32_t dt_us = ev.ts_us - pt.prev_ts_us;
     if (dt_us > 0 && dt_us < 1'000'000'000u) {
       const double dq = static_cast<double>(ev.qlen_bytes) -
-                        static_cast<double>(s.pt_prev_qlen_bytes);
+                        static_cast<double>(pt.prev_qlen_bytes);
       gradient = dq / (static_cast<double>(dt_us) / 1000.0);
       dt_smooth_us = static_cast<double>(dt_us);
     }
   }
-  s.pt_prev_qlen_bytes = ev.qlen_bytes;
-  s.pt_prev_ts_us = ev.ts_us;
-  s.pt_prev_valid = true;
+  pt.prev_qlen_bytes = ev.qlen_bytes;
+  pt.prev_ts_us = ev.ts_us;
+  pt.prev_valid = true;
 
   const double current = std::max(1.0, gradient + rate);   // Λ
   const double voltage = static_cast<double>(ev.qlen_bytes) + bdp;  // ν
@@ -258,40 +265,38 @@ void VirtualPowerTcp::on_ack(SenderFlowState& s, const FlowPolicy& policy,
   // Γ ← (Γ·(τ−∆t) + γ_inst·∆t)/τ): one sample differenced across a
   // pure-drain gap (gradient ≈ -rate ⇒ Λ at its floor) must not slam the
   // window to the cap on its own.
-  const double tau_us = std::max(1.0, cfg.base_rtt_us);
   if (!had_prev) {
-    s.pt_power = power_inst;
+    pt.power = power_inst;
   } else {
-    const double dt = std::min(dt_smooth_us, tau_us);
-    s.pt_power = (s.pt_power * (tau_us - dt) + power_inst * dt) / tau_us;
+    const double dt = std::min(dt_smooth_us, tau);
+    pt.power = (pt.power * (tau - dt) + power_inst * dt) / tau;
   }
-  const double gamma_norm = std::max(1e-9, s.pt_power);
+  const double gamma_norm = std::max(1e-9, pt.power);
 
   const double target =
-      s.cwnd_bytes / gamma_norm + cfg.power_beta_mss * s.mss;
+      s.cwnd_bytes / gamma_norm + cfg.powertcp.beta_mss * s.mss;
   const double w =
-      cfg.power_gamma * target + (1.0 - cfg.power_gamma) * s.cwnd_bytes;
-  const double cap = std::max(min_cwnd_bytes(s), cfg.power_cap_bdps * bdp);
+      cfg.powertcp.gamma * target + (1.0 - cfg.powertcp.gamma) * s.cwnd_bytes;
+  const double cap =
+      std::max(min_cwnd_bytes(s), cfg.powertcp.cap_bdps * bdp);
   s.cwnd_bytes = std::clamp(w, min_cwnd_bytes(s), cap);
 }
 
-void VirtualPowerTcp::on_timeout(SenderFlowState& s,
-                                 const VccConfig& cfg) const {
+void VirtualPowerTcp::on_timeout(FlowHot& s, const VccConfig& cfg) const {
   VirtualCc::on_timeout(s, cfg);
-  s.pt_prev_valid = false;
+  s.cc.pt.prev_valid = false;
 }
 
 // --------------------------------------------------------------- Fair rate
 
-double VirtualFairRate::window_bytes(const VccConfig& cfg,
+double VirtualFairRate::window_bytes(double tau_us, double window_rtts,
                                      std::uint32_t fair_bytes_per_ms) {
-  return static_cast<double>(fair_bytes_per_ms) * (cfg.base_rtt_us / 1000.0) *
-         cfg.fair_window_rtts;
+  return static_cast<double>(fair_bytes_per_ms) * (tau_us / 1000.0) *
+         window_rtts;
 }
 
-void VirtualFairRate::on_ack(SenderFlowState& s, const FlowPolicy& policy,
-                             const VccConfig& cfg, const VccEvent& ev) const {
-  (void)policy;
+void VirtualFairRate::on_ack(FlowHot& s, const VccConfig& cfg,
+                             const VccEvent& ev) const {
   window_rolled(s);
   const bool loss = ev.dupack && ev.dupacks >= cfg.loss_dupacks;
   if (loss) {
@@ -313,8 +318,10 @@ void VirtualFairRate::on_ack(SenderFlowState& s, const FlowPolicy& policy,
   }
   // Track the switch's allocation directly — the controller's whole point
   // is that the vSwitch pins the VM to the fabric-computed fair share.
-  s.cwnd_bytes =
-      std::max(min_cwnd_bytes(s), window_bytes(cfg, ev.fair_bytes_per_ms));
+  s.cwnd_bytes = std::max(
+      min_cwnd_bytes(s),
+      window_bytes(tau_us(cfg, ev), cfg.fair.window_rtts,
+                   ev.fair_bytes_per_ms));
 }
 
 // ----------------------------------------------------------------- Registry

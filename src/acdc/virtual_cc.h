@@ -5,11 +5,14 @@
 // policy engine (§3.4).
 //
 // Algorithms are stateless singletons: all per-flow state lives inline in
-// SenderFlowState so the flow table stays compact (§4).
+// FlowHot so the flow table stays compact (§4). Tuning lives in VccConfig —
+// a small shared core plus one typed sub-config per algorithm family
+// (DctcpConfig / PowerTcpConfig / FairRateConfig), selected by the flow's
+// VccKind, so adding a controller grows its own struct rather than one
+// shared bag of loosely-owned fields.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string_view>
 
 #include "acdc/flow_state.h"
@@ -25,6 +28,10 @@ struct VccEvent {
   bool dupack = false;
   std::uint32_t dupacks = 0;  // current duplicate-ACK count
   sim::Time now = 0;
+  // Per-flow measured base RTT (µs) from the hot record's RFC 6298
+  // estimator; 0 until the first sample lands, in which case algorithms
+  // fall back to the configured fabric-wide τ.
+  double base_rtt_us = 0.0;
   // INT telemetry echoed in the extended PACK/FACK option (DESIGN.md §13);
   // valid only when `telemetry` is set. Algorithms that need it fall back
   // to Reno-style growth on telemetry-blind ACKs.
@@ -35,20 +42,37 @@ struct VccEvent {
   std::uint32_t ts_us = 0;             // stamping hop's clock (µs, wraps)
 };
 
+// ---- Per-kind tuning ------------------------------------------------------
+
+struct DctcpConfig {
+  double g = 1.0 / 16.0;  // EWMA gain for the marked-fraction estimate
+};
+
+// PowerTCP (arxiv 2112.14309).
+struct PowerTcpConfig {
+  double gamma = 0.9;     // EWMA weight of the power-derived target
+  double beta_mss = 1.0;  // additive bandwidth share, in MSS
+  double cap_bdps = 8.0;  // window cap as a multiple of the BDP
+};
+
+// Switch-assisted fair rate (arxiv 2106.14100): window = fair_rate·τ·margin.
+// The margin buys headroom for τ underestimating the true RTT; the clamp
+// still only ever lowers the VM's own window.
+struct FairRateConfig {
+  double window_rtts = 1.5;
+};
+
 struct VccConfig {
-  double g = 1.0 / 16.0;           // DCTCP EWMA gain
+  // ---- shared across algorithms ----
   double initial_cwnd_packets = 10;  // RFC 6928 (§3.1)
   std::uint32_t loss_dupacks = 3;
-  // ---- PowerTCP (arxiv 2112.14309) ----
-  double power_gamma = 0.9;      // EWMA weight of the power-derived target
-  double power_beta_mss = 1.0;   // additive bandwidth share, in MSS
-  double power_cap_bdps = 8.0;   // window cap as a multiple of the BDP
-  // ---- shared rate-to-window conversion ----
-  double base_rtt_us = 40.0;     // τ: fabric base RTT estimate
-  // Fair-rate controller: window = fair_rate · τ · margin. The margin buys
-  // headroom for τ underestimating the true RTT; the clamp still only ever
-  // lowers the VM's own window.
-  double fair_window_rtts = 1.5;
+  // Fabric base-RTT estimate (µs): the τ fallback used until the flow's own
+  // RFC 6298 estimator has a sample (VccEvent::base_rtt_us).
+  double base_rtt_us = 40.0;
+  // ---- per-kind ----
+  DctcpConfig dctcp;
+  PowerTcpConfig powertcp;
+  FairRateConfig fair;
 };
 
 class VirtualCc {
@@ -56,34 +80,38 @@ class VirtualCc {
   virtual ~VirtualCc() = default;
   virtual std::string_view name() const = 0;
 
-  // Prepares a fresh entry (initial window etc.).
-  void init(SenderFlowState& s, const VccConfig& cfg) const;
+  // Prepares a fresh hot record (initial window, zeroed CC aux state).
+  void init(FlowHot& s, const VccConfig& cfg) const;
 
   // Updates s.cwnd_bytes from one ACK's worth of evidence. Fig. 5 flow:
-  // congestion? loss? -> reduce (at most once per window) else grow.
-  virtual void on_ack(SenderFlowState& s, const FlowPolicy& policy,
-                      const VccConfig& cfg, const VccEvent& ev) const = 0;
+  // congestion? loss? -> reduce (at most once per window) else grow. The
+  // Eq. 1 QoS priority comes from the hot record's policy copy (s.beta).
+  virtual void on_ack(FlowHot& s, const VccConfig& cfg,
+                      const VccEvent& ev) const = 0;
 
-  // Inferred retransmission timeout (§3.1 inactivity timer).
-  virtual void on_timeout(SenderFlowState& s, const VccConfig& cfg) const;
+  // Inferred retransmission timeout (§3.1, now RFC 6298-driven).
+  virtual void on_timeout(FlowHot& s, const VccConfig& cfg) const;
 
  protected:
   // Shared helpers -------------------------------------------------------
   // True when snd_una has passed the recorded window boundary; rolls the
   // window forward (one boundary per RTT worth of data).
-  static bool window_rolled(SenderFlowState& s);
+  static bool window_rolled(FlowHot& s);
   // Reno-style growth in bytes (slow start + congestion avoidance), used by
   // DCTCP and NewReno.
-  static void reno_grow(SenderFlowState& s, std::int64_t acked_bytes);
-  static double min_cwnd_bytes(const SenderFlowState& s);
+  static void reno_grow(FlowHot& s, std::int64_t acked_bytes);
+  static double min_cwnd_bytes(const FlowHot& s);
+  // τ for rate-to-window conversion: the flow's measured base RTT when the
+  // estimator has one, else the configured fabric estimate.
+  static double tau_us(const VccConfig& cfg, const VccEvent& ev);
 };
 
 class VirtualDctcp : public VirtualCc {
  public:
   std::string_view name() const override { return "vdctcp"; }
-  void on_ack(SenderFlowState& s, const FlowPolicy& policy,
-              const VccConfig& cfg, const VccEvent& ev) const override;
-  void on_timeout(SenderFlowState& s, const VccConfig& cfg) const override;
+  void on_ack(FlowHot& s, const VccConfig& cfg,
+              const VccEvent& ev) const override;
+  void on_timeout(FlowHot& s, const VccConfig& cfg) const override;
 
   // Eq. 1: w *= 1 - (alpha - alpha*beta/2); beta = 1 is plain DCTCP.
   static double reduction_factor(double alpha, double beta);
@@ -92,22 +120,22 @@ class VirtualDctcp : public VirtualCc {
 class VirtualReno : public VirtualCc {
  public:
   std::string_view name() const override { return "vreno"; }
-  void on_ack(SenderFlowState& s, const FlowPolicy& policy,
-              const VccConfig& cfg, const VccEvent& ev) const override;
+  void on_ack(FlowHot& s, const VccConfig& cfg,
+              const VccEvent& ev) const override;
 };
 
 class VirtualCubic : public VirtualCc {
  public:
   std::string_view name() const override { return "vcubic"; }
-  void on_ack(SenderFlowState& s, const FlowPolicy& policy,
-              const VccConfig& cfg, const VccEvent& ev) const override;
-  void on_timeout(SenderFlowState& s, const VccConfig& cfg) const override;
+  void on_ack(FlowHot& s, const VccConfig& cfg,
+              const VccEvent& ev) const override;
+  void on_timeout(FlowHot& s, const VccConfig& cfg) const override;
 
  private:
   static constexpr double kC = 0.4;
   static constexpr double kBeta = 0.7;
-  void cut(SenderFlowState& s) const;
-  void grow(SenderFlowState& s, const VccEvent& ev) const;
+  void cut(FlowHot& s) const;
+  void grow(FlowHot& s, const VccEvent& ev) const;
 };
 
 // Virtual PowerTCP (arxiv 2112.14309): per-ACK window control driven by
@@ -120,12 +148,13 @@ class VirtualCubic : public VirtualCc {
 class VirtualPowerTcp : public VirtualCc {
  public:
   std::string_view name() const override { return "vpowertcp"; }
-  void on_ack(SenderFlowState& s, const FlowPolicy& policy,
-              const VccConfig& cfg, const VccEvent& ev) const override;
-  void on_timeout(SenderFlowState& s, const VccConfig& cfg) const override;
+  void on_ack(FlowHot& s, const VccConfig& cfg,
+              const VccEvent& ev) const override;
+  void on_timeout(FlowHot& s, const VccConfig& cfg) const override;
 
-  // BDP in bytes implied by one telemetry sample (exposed for tests).
-  static double bdp_bytes(const VccConfig& cfg, std::uint32_t tx_bytes_per_ms);
+  // BDP in bytes implied by one telemetry sample at base RTT τ (exposed for
+  // tests).
+  static double bdp_bytes(double tau_us, std::uint32_t tx_bytes_per_ms);
 };
 
 // Switch-assisted fair-rate enforcement (arxiv 2106.14100): the switch
@@ -134,11 +163,11 @@ class VirtualPowerTcp : public VirtualCc {
 class VirtualFairRate : public VirtualCc {
  public:
   std::string_view name() const override { return "vfairrate"; }
-  void on_ack(SenderFlowState& s, const FlowPolicy& policy,
-              const VccConfig& cfg, const VccEvent& ev) const override;
+  void on_ack(FlowHot& s, const VccConfig& cfg,
+              const VccEvent& ev) const override;
 
   // The window a fair-share sample converts to (exposed for tests).
-  static double window_bytes(const VccConfig& cfg,
+  static double window_bytes(double tau_us, double window_rtts,
                              std::uint32_t fair_bytes_per_ms);
 };
 

@@ -7,12 +7,18 @@
 //   ingress: [receiver] count + strip ECN            ->
 //            [sender] feedback, virtual CC, RWND enforcement -> VM
 //
+// Ingress additionally has a burst path (process_burst): when the NIC
+// coalesces an rx batch, a prefetch pass warms the flow-table lines for the
+// whole burst before per-packet processing runs — same semantics, fewer
+// stalls (DESIGN.md §14).
+//
 // Also hosts the periodic inactivity scan (timeout inference, §3.1), the
 // flow-table garbage collector (§4) and the §3.3 flexibility features
 // (vSwitch-generated window updates and duplicate ACKs).
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <memory>
 #include <string>
 
@@ -33,6 +39,13 @@ class AcdcVswitch : public net::DuplexFilter {
   PolicyEngine& policy() { return core_.policy; }
   FlowTable& flows() { return core_.table; }
   const AcdcStats& stats() const { return core_.stats; }
+
+  // Ingress burst entry point: processes `count` packets in arrival order
+  // after one table-prefetch pass over the whole burst. Byte-for-byte
+  // equivalent to `count` single-packet deliveries — the prefetches are the
+  // only difference. The NIC's rx coalescer is the normal caller (through
+  // ingress_in()'s burst adapter); benches drive it directly.
+  void process_burst(net::PacketPtr* packets, std::size_t count);
 
   // Bundled observability wiring. One call replaces the old set_trace /
   // register_metrics / set_window_observer trio so a vSwitch is instrumented
@@ -69,16 +82,28 @@ class AcdcVswitch : public net::DuplexFilter {
  protected:
   void handle_egress(net::PacketPtr packet) override;
   void handle_ingress(net::PacketPtr packet) override;
+  void handle_egress_burst(net::PacketPtr* packets,
+                           std::size_t count) override;
+  void handle_ingress_burst(net::PacketPtr* packets,
+                            std::size_t count) override;
 
  private:
   void ensure_timers();
+  // Two-stage prefetch pipeline of both burst paths (DESIGN.md §14),
+  // direction-agnostic because both directions probe the same two keys —
+  // the packet's own for data tracking, the reversed one for ACK
+  // processing. Stage 1 (issued furthest ahead) warms the ctrl bytes both
+  // keys will probe; stage 2 scans them to the resolved slot and warms the
+  // key/gen lane and hot record there (FlowTable::prefetch).
+  void prefetch_stage1(const net::Packet& p) const;
+  void prefetch_stage2(const net::Packet& p) const;
   void run_inactivity_scan();
   void run_gc();
   // Absorbs AcdcStats plus a live flow-table-size gauge into the registry
   // as `prefix.*` (attach_observability's metrics half).
   void register_metrics(obs::MetricsRegistry& registry,
                         const std::string& prefix) const;
-  net::PacketPtr craft_ack_toward_vm(const FlowEntry& entry) const;
+  net::PacketPtr craft_ack_toward_vm(const FlowRef& f) const;
 
   AcdcCore core_;
   SenderModule sender_;

@@ -28,6 +28,21 @@ class DuplexFilter {
   virtual void handle_egress(PacketPtr packet) { send_down(std::move(packet)); }
   virtual void handle_ingress(PacketPtr packet) { send_up(std::move(packet)); }
 
+  // Burst analogues, reached through egress_in()/ingress_in() when the
+  // upstream sink delivers a coalesced batch (e.g. the NIC's rx path). The
+  // defaults unroll to the per-packet handlers in order, so overriding is
+  // purely an optimization — never a semantic change.
+  virtual void handle_egress_burst(PacketPtr* packets, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      handle_egress(std::move(packets[i]));
+    }
+  }
+  virtual void handle_ingress_burst(PacketPtr* packets, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      handle_ingress(std::move(packets[i]));
+    }
+  }
+
   void send_down(PacketPtr packet) {
     if (down_ != nullptr) down_->receive(std::move(packet));
   }
@@ -44,6 +59,13 @@ class DuplexFilter {
         owner_->handle_egress(std::move(packet));
       } else {
         owner_->handle_ingress(std::move(packet));
+      }
+    }
+    void receive_burst(PacketPtr* packets, std::size_t count) override {
+      if (egress_) {
+        owner_->handle_egress_burst(packets, count);
+      } else {
+        owner_->handle_ingress_burst(packets, count);
       }
     }
 

@@ -10,10 +10,12 @@
 // checksums; it backs the datapath microbenchmarks and codec tests.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "net/small_vec.h"
 #include "sim/time.h"
@@ -229,6 +231,15 @@ class PacketSink {
  public:
   virtual ~PacketSink() = default;
   virtual void receive(PacketPtr packet) = 0;
+
+  // Burst delivery: `count` packets handed over in arrival order, DPDK
+  // rx-burst style. Semantically identical to `count` receive() calls — the
+  // default does exactly that — but sinks with per-packet lookup costs
+  // (the AC/DC vSwitch) override it to amortize across the burst. Callers
+  // must treat the array's PacketPtrs as consumed.
+  virtual void receive_burst(PacketPtr* packets, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) receive(std::move(packets[i]));
+  }
 };
 
 }  // namespace acdc::net

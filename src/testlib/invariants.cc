@@ -422,11 +422,11 @@ void InvariantChecker::on_vm_ingress(const std::string& host,
 
 void InvariantChecker::check_flow_table(const std::string& name,
                                         vswitch::AcdcVswitch& vs) {
-  vs.flows().for_each([&](vswitch::FlowEntry& entry) {
-    const vswitch::SenderFlowState& s = entry.snd;
+  vs.flows().for_each([&](const vswitch::FlowRef& f) {
+    const vswitch::FlowHot& s = *f.hot;
     std::ostringstream msg;
-    msg << name << " flow " << entry.key.src_port << "->"
-        << entry.key.dst_port << ": ";
+    msg << name << " flow " << f.key->src_port << "->" << f.key->dst_port
+        << ": ";
     if (s.seq_valid && !tcp::seq_le(s.snd_una, s.snd_nxt)) {
       fail(msg.str() + "snd_una " + std::to_string(s.snd_una) +
            " beyond snd_nxt " + std::to_string(s.snd_nxt));
@@ -448,10 +448,17 @@ void InvariantChecker::check_flow_table(const std::string& name,
     }
     // Running feedback counters wrap mod 2^32 in principle; our scenarios
     // stay far below 4GB per flow, so marked <= total must hold.
-    if (entry.rcv.marked_bytes > entry.rcv.total_bytes) {
-      fail(msg.str() + "marked bytes " +
-           std::to_string(entry.rcv.marked_bytes) + " > total " +
-           std::to_string(entry.rcv.total_bytes));
+    if (s.rcv_marked_bytes > s.rcv_total_bytes) {
+      fail(msg.str() + "marked bytes " + std::to_string(s.rcv_marked_bytes) +
+           " > total " + std::to_string(s.rcv_total_bytes));
+    }
+    // RTT estimator internal consistency: a valid estimator implies a
+    // nonzero min, and min can never exceed the smoothed value.
+    if (s.rtt.valid() &&
+        (s.rtt.min_rtt_us == 0 || s.rtt.min_rtt_us > s.rtt.srtt_us() * 8)) {
+      fail(msg.str() + "rtt estimator inconsistent (min " +
+           std::to_string(s.rtt.min_rtt_us) + "us, srtt " +
+           std::to_string(s.rtt.srtt_us()) + "us)");
     }
   });
 

@@ -45,8 +45,8 @@ class SenderModuleTest : public ::testing::Test {
  protected:
   SenderModuleTest() : sender_(core_) { core_.sim = &sim_; }
 
-  FlowEntry& entry() {
-    return *core_.entry(data_key(), AcdcCore::kCacheSndEgress);
+  FlowHot& entry() {
+    return *core_.entry(data_key(), AcdcCore::kCacheSndEgress).hot;
   }
 
   // Lvalue helper for one-shot egress packets.
@@ -66,12 +66,12 @@ TEST_F(SenderModuleTest, EgressSynLearnsMssAndSetsNsBit) {
   syn.tcp.options.mss = 8960;
   ASSERT_TRUE(sender_.process_egress(syn));
   EXPECT_TRUE(syn.tcp.reserved_vm_ecn) << "NS bit carries VM's ECN intent";
-  EXPECT_EQ(entry().snd.mss, 8960u);
-  EXPECT_TRUE(entry().snd.vm_requested_ecn);
+  EXPECT_EQ(entry().mss, 8960u);
+  EXPECT_TRUE(entry().vm_requested_ecn);
   // Initial window: 10 packets of the learned MSS (§3.1).
-  EXPECT_DOUBLE_EQ(entry().snd.cwnd_bytes, 10.0 * 8960);
+  EXPECT_DOUBLE_EQ(entry().cwnd_bytes, 10.0 * 8960);
   // SYN consumes one sequence number.
-  EXPECT_EQ(entry().snd.snd_nxt, 101u);
+  EXPECT_EQ(entry().snd_nxt, 101u);
 }
 
 TEST_F(SenderModuleTest, TracksSndNxtMonotonically) {
@@ -79,12 +79,12 @@ TEST_F(SenderModuleTest, TracksSndNxtMonotonically) {
   net::Packet b = data_packet(1500, 500);
   ASSERT_TRUE(sender_.process_egress(a));
   ASSERT_TRUE(sender_.process_egress(b));
-  EXPECT_EQ(entry().snd.snd_nxt, 2000u);
+  EXPECT_EQ(entry().snd_nxt, 2000u);
   // A retransmission must not move snd_nxt backwards.
   net::Packet retx = data_packet(1000, 500);
   ASSERT_TRUE(sender_.process_egress(retx));
-  EXPECT_EQ(entry().snd.snd_nxt, 2000u);
-  EXPECT_EQ(entry().snd.snd_una, 1000u);
+  EXPECT_EQ(entry().snd_nxt, 2000u);
+  EXPECT_EQ(entry().snd_una, 1000u);
 }
 
 TEST_F(SenderModuleTest, IngressSynAckLearnsPeerWscale) {
@@ -97,34 +97,34 @@ TEST_F(SenderModuleTest, IngressSynAckLearnsPeerWscale) {
   synack.tcp.options.window_scale = 9;
   synack.tcp.options.mss = 1460;
   ASSERT_TRUE(sender_.process_ingress_ack(synack));
-  EXPECT_TRUE(entry().snd.peer_wscale_valid);
-  EXPECT_EQ(entry().snd.peer_wscale, 9);
-  EXPECT_EQ(entry().snd.mss, 1460u) << "MSS is the minimum of both sides";
+  EXPECT_TRUE(entry().peer_wscale_valid);
+  EXPECT_EQ(entry().peer_wscale, 9);
+  EXPECT_EQ(entry().mss, 1460u) << "MSS is the minimum of both sides";
 }
 
 TEST_F(SenderModuleTest, AckAdvancesAndCountsDupacks) {
   ASSERT_TRUE(egress(data_packet(1000, 3000)));
   net::Packet ack1 = ack_packet(2000, 1000);
   ASSERT_TRUE(sender_.process_ingress_ack(ack1));
-  EXPECT_EQ(entry().snd.snd_una, 2000u);
-  EXPECT_EQ(entry().snd.dupacks, 0u);
+  EXPECT_EQ(entry().snd_una, 2000u);
+  EXPECT_EQ(entry().dupacks, 0u);
   // Three identical pure ACKs: dupACK counter rises.
   for (int i = 0; i < 3; ++i) {
     net::Packet dup = ack_packet(2000, 1000);
     ASSERT_TRUE(sender_.process_ingress_ack(dup));
   }
-  EXPECT_EQ(entry().snd.dupacks, 3u);
+  EXPECT_EQ(entry().dupacks, 3u);
   // A fresh advance resets it.
   net::Packet ack2 = ack_packet(4000, 1000);
   ASSERT_TRUE(sender_.process_ingress_ack(ack2));
-  EXPECT_EQ(entry().snd.dupacks, 0u);
+  EXPECT_EQ(entry().dupacks, 0u);
 }
 
 TEST_F(SenderModuleTest, EnforcementOnlyLowersAndRoundsUp) {
   ASSERT_TRUE(egress(data_packet(1000, 1448)));
-  entry().snd.peer_wscale = 9;
-  entry().snd.peer_wscale_valid = true;
-  entry().snd.cwnd_bytes = 20'000;
+  entry().peer_wscale = 9;
+  entry().peer_wscale_valid = true;
+  entry().cwnd_bytes = 20'000;
 
   // Advertised (60 << 9 = 30720) above the computed window: lowered. The
   // ACK itself first grows the virtual window by its 1448 acked bytes
@@ -142,21 +142,56 @@ TEST_F(SenderModuleTest, EnforcementOnlyLowersAndRoundsUp) {
 
 TEST_F(SenderModuleTest, FeedbackDeltasDriveVirtualDctcp) {
   ASSERT_TRUE(egress(data_packet(1000, 10'000)));
-  const double w0 = entry().snd.cwnd_bytes;
+  const double w0 = entry().cwnd_bytes;
   // Clean feedback: growth.
   net::Packet a1 = ack_packet(3000, 60'000);
   a1.tcp.options.acdc = net::AcdcFeedback{2'000, 0};
   ASSERT_TRUE(sender_.process_ingress_ack(a1));
-  EXPECT_GT(entry().snd.cwnd_bytes, w0);
+  EXPECT_GT(entry().cwnd_bytes, w0);
   EXPECT_FALSE(a1.tcp.options.acdc.has_value()) << "PACK stripped";
   // Marked feedback: cut.
-  const double w1 = entry().snd.cwnd_bytes;
+  const double w1 = entry().cwnd_bytes;
   net::Packet a2 = ack_packet(5000, 60'000);
   a2.tcp.options.acdc = net::AcdcFeedback{4'000, 2'000};
   ASSERT_TRUE(sender_.process_ingress_ack(a2));
-  EXPECT_LT(entry().snd.cwnd_bytes, w1);
-  EXPECT_EQ(entry().snd.fb_total, 4'000u);
-  EXPECT_EQ(entry().snd.fb_marked, 2'000u);
+  EXPECT_LT(entry().cwnd_bytes, w1);
+  EXPECT_EQ(entry().fb_total, 4'000u);
+  EXPECT_EQ(entry().fb_marked, 2'000u);
+}
+
+TEST_F(SenderModuleTest, FeedbackBaselineResyncClampsMarkedDelta) {
+  // The receiver's running totals restart when its vSwitch evicts the flow
+  // entry under cap pressure (§4). Until the new incarnation's totals pass
+  // our recorded baseline the serial test calls them stale; the first
+  // accepted feedback afterwards straddles the restart, so the marked delta
+  // can exceed the total delta. Unclamped, that inconsistency accumulates
+  // into the DCTCP window counters and drives alpha above 1.
+  ASSERT_TRUE(egress(data_packet(1000, 50'000)));
+  net::Packet a1 = ack_packet(11'000, 60'000);
+  a1.tcp.options.acdc = net::AcdcFeedback{10'000, 0};  // clean baseline
+  ASSERT_TRUE(sender_.process_ingress_ack(a1));
+  // Receiver entry evicted + recreated; its totals restarted from zero and
+  // have just overtaken the old baseline, with every new byte CE-marked.
+  net::Packet a2 = ack_packet(21'200, 60'000);
+  a2.tcp.options.acdc = net::AcdcFeedback{10'200, 10'200};
+  ASSERT_TRUE(sender_.process_ingress_ack(a2));
+  EXPECT_EQ(core_.stats.feedback_resyncs, 1);
+  EXPECT_EQ(entry().fb_total, 10'200u) << "baseline adopts the new totals";
+  EXPECT_EQ(entry().fb_marked, 10'200u);
+  EXPECT_LE(entry().win_marked, entry().win_total)
+      << "window accumulators must stay consistent";
+  // Keep acking fully-marked coherent feedback: alpha converges toward 1
+  // but must never cross it.
+  std::uint32_t total = 10'200;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(egress(data_packet(21'200 + 1'448 * i, 1'448)));
+    total += 1'448;
+    net::Packet a = ack_packet(22'648 + 1'448 * i, 60'000);
+    a.tcp.options.acdc = net::AcdcFeedback{total, total};
+    ASSERT_TRUE(sender_.process_ingress_ack(a));
+    ASSERT_GE(entry().alpha, 0.0);
+    ASSERT_LE(entry().alpha, 1.0);
+  }
 }
 
 TEST_F(SenderModuleTest, FackConsumedAndNeverForwarded) {
@@ -166,7 +201,7 @@ TEST_F(SenderModuleTest, FackConsumedAndNeverForwarded) {
   fack.tcp.options.acdc = net::AcdcFeedback{1'448, 0};
   EXPECT_FALSE(sender_.process_ingress_ack(fack));
   EXPECT_EQ(core_.stats.facks_consumed, 1);
-  EXPECT_EQ(entry().snd.snd_una, 2448u) << "state still updated";
+  EXPECT_EQ(entry().snd_una, 2448u) << "state still updated";
 }
 
 TEST_F(SenderModuleTest, HidesEcnEcho) {
@@ -181,9 +216,9 @@ TEST_F(SenderModuleTest, MidFlowAdoptionBootstrapsFromAck) {
   // No SYN ever seen: the first ACK primes snd_una (§3.1's defaults).
   net::Packet ack = ack_packet(50'000, 1000);
   ASSERT_TRUE(sender_.process_ingress_ack(ack));
-  EXPECT_TRUE(entry().snd.seq_valid);
-  EXPECT_EQ(entry().snd.snd_una, 50'000u);
-  EXPECT_EQ(entry().snd.mss, 1460u) << "default MSS when no SYN observed";
+  EXPECT_TRUE(entry().seq_valid);
+  EXPECT_EQ(entry().snd_una, 50'000u);
+  EXPECT_EQ(entry().mss, 1460u) << "default MSS when no SYN observed";
 }
 
 TEST_F(SenderModuleTest, PolicingAllowsRetransmissionsAlways) {
@@ -191,7 +226,7 @@ TEST_F(SenderModuleTest, PolicingAllowsRetransmissionsAlways) {
   police.police = true;
   core_.policy.set_default(police);
   ASSERT_TRUE(egress(data_packet(1000, 1448)));
-  entry().snd.cwnd_bytes = 1448;  // tiny window
+  entry().cwnd_bytes = 1448;  // tiny window
   // Retransmission of already-admitted bytes passes.
   net::Packet retx = data_packet(1000, 1448);
   EXPECT_TRUE(sender_.process_egress(retx));
@@ -203,12 +238,12 @@ TEST_F(SenderModuleTest, PolicingAllowsRetransmissionsAlways) {
 
 TEST_F(SenderModuleTest, InactivityScanFiresOncePerStall) {
   ASSERT_TRUE(egress(data_packet(1000, 10'000)));
-  entry().snd.cwnd_bytes = 500'000;
+  entry().cwnd_bytes = 500'000;
   // No ACKs arrive; jump past the inactivity timeout.
   sim_.run_until(core_.config.inactivity_timeout + sim::milliseconds(1));
   EXPECT_EQ(sender_.infer_timeouts(sim_.now()), 1);
-  EXPECT_DOUBLE_EQ(entry().snd.cwnd_bytes,
-                   static_cast<double>(entry().snd.mss));
+  EXPECT_DOUBLE_EQ(entry().cwnd_bytes,
+                   static_cast<double>(entry().mss));
   // Same stall: no second firing.
   EXPECT_EQ(sender_.infer_timeouts(sim_.now() + sim::milliseconds(50)), 0);
 }
@@ -232,10 +267,10 @@ TEST_F(ReceiverModuleTest, CountsTotalsAndStripsCe) {
   d2.ip.ecn = net::Ecn::kCe;
   receiver_.process_ingress_data(d2);
 
-  FlowEntry* e = core_.table.find(data_key());
-  ASSERT_NE(e, nullptr);
-  EXPECT_EQ(e->rcv.total_bytes, 1500u);
-  EXPECT_EQ(e->rcv.marked_bytes, 500u);
+  FlowRef e = core_.table.find(data_key());
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e.hot->rcv_total_bytes, 1500u);
+  EXPECT_EQ(e.hot->rcv_marked_bytes, 500u);
   // Non-ECN VM: all ECN bits cleared before delivery.
   EXPECT_EQ(d1.ip.ecn, net::Ecn::kNotEct);
   EXPECT_EQ(d2.ip.ecn, net::Ecn::kNotEct);

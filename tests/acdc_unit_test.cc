@@ -38,15 +38,17 @@ TEST(FlowKeyTest, FromPacket) {
 
 TEST(FlowTableTest, CreateFindErase) {
   FlowTable table;
-  EXPECT_EQ(table.find(key_ab()), nullptr);
-  auto [e, created] = table.find_or_create(key_ab(), 100);
-  EXPECT_TRUE(created);
-  EXPECT_EQ(e->created_at, 100);
+  EXPECT_FALSE(table.find(key_ab()));
+  FlowRef e = table.find_or_create(key_ab(), 100);
+  ASSERT_TRUE(e);
+  EXPECT_TRUE(e.created);
+  EXPECT_EQ(e.cold->created_at, 100);
+  EXPECT_EQ(e.hot->last_activity, 100);
   EXPECT_EQ(table.size(), 1u);
-  EXPECT_EQ(table.find(key_ab()), e);
-  // Same key -> same entry, not re-created.
-  auto again = table.find_or_create(key_ab(), 200);
-  EXPECT_EQ(again.entry, e);
+  EXPECT_EQ(table.find(key_ab()).handle, e.handle);
+  // Same key -> same record, not re-created.
+  FlowRef again = table.find_or_create(key_ab(), 200);
+  EXPECT_EQ(again.handle, e.handle);
   EXPECT_FALSE(again.created);
   EXPECT_EQ(table.size(), 1u);
   EXPECT_TRUE(table.erase(key_ab()));
@@ -64,38 +66,40 @@ TEST(FlowTableTest, StatsCountLookups) {
   EXPECT_EQ(table.stats().hits, 1);
 }
 
-TEST(FlowTableTest, VersionTracksMembershipChanges) {
+TEST(FlowTableTest, HandleGenerationsTrackMembership) {
   FlowTable table;
-  const std::uint64_t v0 = table.version();
-  EXPECT_GE(v0, 1u);  // never 0: a zero-initialised cache stamp can't match
-  table.find_or_create(key_ab(), 0);
-  const std::uint64_t v1 = table.version();
-  EXPECT_GT(v1, v0);
-  // Pure lookups leave the version alone.
-  table.find(key_ab());
-  table.find_or_create(key_ab(), 5);
-  EXPECT_EQ(table.version(), v1);
+  // A default handle is invalid and never derefs (gen 0 can't match).
+  EXPECT_FALSE(FlowHandle{}.valid());
+  EXPECT_FALSE(table.deref(FlowHandle{}));
+
+  const FlowHandle h1 = table.find_or_create(key_ab(), 0).handle;
+  EXPECT_TRUE(h1.valid());
+  // Pure lookups return the same generation.
+  EXPECT_EQ(table.find(key_ab()).handle, h1);
+  EXPECT_EQ(table.find_or_create(key_ab(), 5).handle, h1);
+  EXPECT_TRUE(table.deref(h1));
   table.erase(key_ab());
-  EXPECT_GT(table.version(), v1);
-  // A failed erase is not a membership change.
-  const std::uint64_t v2 = table.version();
-  table.erase(key_ab());
-  EXPECT_EQ(table.version(), v2);
+  EXPECT_FALSE(table.deref(h1));
+  // Re-creation mints a fresh generation; the old handle stays dead.
+  const FlowHandle h2 = table.find_or_create(key_ab(), 9).handle;
+  EXPECT_NE(h2.gen, h1.gen);
+  EXPECT_FALSE(table.deref(h1));
+  EXPECT_TRUE(table.deref(h2));
 }
 
 TEST(FlowTableTest, GarbageCollectsIdleAndFin) {
   FlowTable table;
-  FlowEntry& idle = *table.find_or_create(key_ab(), 0).entry;
-  idle.last_activity = 0;
+  FlowRef idle = table.find_or_create(key_ab(), 0);
+  idle.hot->last_activity = 0;
   FlowKey k2 = key_ab();
   k2.src_port = 40'001;
-  FlowEntry& finished = *table.find_or_create(k2, 0).entry;
-  finished.fin_seen = true;
-  finished.last_activity = sim::seconds(5);
+  FlowRef finished = table.find_or_create(k2, 0);
+  finished.hot->fin_seen = true;
+  finished.hot->last_activity = sim::seconds(5);
   FlowKey k3 = key_ab();
   k3.src_port = 40'002;
-  FlowEntry& live = *table.find_or_create(k3, 0).entry;
-  live.last_activity = sim::seconds(15);
+  FlowRef live = table.find_or_create(k3, 0);
+  live.hot->last_activity = sim::seconds(15);
 
   // At t=10s with 60s idle timeout and 1s FIN linger: only `finished` goes.
   EXPECT_EQ(table.collect_garbage(sim::seconds(10), sim::seconds(60),
@@ -106,7 +110,7 @@ TEST(FlowTableTest, GarbageCollectsIdleAndFin) {
   EXPECT_EQ(table.collect_garbage(sim::seconds(70), sim::seconds(60),
                                   sim::seconds(1)),
             1u);
-  EXPECT_NE(table.find(k3), nullptr);
+  EXPECT_TRUE(table.find(k3));
 }
 
 TEST(FeedbackTest, AttachPackFitsAndStrips) {
@@ -197,13 +201,12 @@ class VirtualDctcpTest : public ::testing::Test {
     ev.acked_bytes = bytes;
     ev.fb_total_delta = bytes;
     ev.fb_marked_delta = marked ? bytes : 0;
-    cc().on_ack(state_, policy_, cfg_, ev);
+    cc().on_ack(state_, cfg_, ev);
   }
   void clean_ack(std::int64_t bytes) { ack(bytes, false); }
   void marked_ack(std::int64_t bytes) { ack(bytes, true); }
 
-  SenderFlowState state_;
-  FlowPolicy policy_;
+  FlowHot state_;
   VccConfig cfg_;
 };
 
@@ -258,7 +261,7 @@ TEST_F(VirtualDctcpTest, LossSetsAlphaMaxAndCuts) {
   VccEvent ev;
   ev.dupack = true;
   ev.dupacks = 3;
-  cc().on_ack(state_, policy_, cfg_, ev);
+  cc().on_ack(state_, cfg_, ev);
   EXPECT_DOUBLE_EQ(state_.alpha, 1.0);
   EXPECT_NEAR(state_.cwnd_bytes, before * 0.5, 1.0);
 }
@@ -268,7 +271,7 @@ TEST_F(VirtualDctcpTest, FewerThanThreeDupacksDoNothing) {
   VccEvent ev;
   ev.dupack = true;
   ev.dupacks = 2;
-  cc().on_ack(state_, policy_, cfg_, ev);
+  cc().on_ack(state_, cfg_, ev);
   EXPECT_DOUBLE_EQ(state_.cwnd_bytes, before);
 }
 
@@ -279,7 +282,7 @@ TEST_F(VirtualDctcpTest, TimeoutCollapsesToOneMss) {
 }
 
 TEST_F(VirtualDctcpTest, WindowNeverBelowOneMss) {
-  policy_.beta = 0.0;  // most aggressive backoff
+  state_.beta = 0.0;  // most aggressive backoff
   for (int i = 0; i < 10; ++i) marked_ack(10 * state_.mss);
   EXPECT_GE(state_.cwnd_bytes, static_cast<double>(state_.mss));
 }
@@ -297,23 +300,21 @@ TEST(VirtualDctcpEq1Test, ReductionFactor) {
 }
 
 TEST(VirtualRenoTest, HalvesOnCongestion) {
-  SenderFlowState s;
+  FlowHot s;
   s.mss = 1448;
-  FlowPolicy policy;
   VccConfig cfg;
   const VirtualCc& reno = virtual_cc_for(VccKind::kReno);
   reno.init(s, cfg);
   const double before = s.cwnd_bytes;
   VccEvent ev;
   ev.fb_marked_delta = 100;
-  reno.on_ack(s, policy, cfg, ev);
+  reno.on_ack(s, cfg, ev);
   EXPECT_NEAR(s.cwnd_bytes, before / 2, 1.0);
 }
 
 TEST(VirtualCubicTest, GrowsTowardOriginAfterCut) {
-  SenderFlowState s;
+  FlowHot s;
   s.mss = 1448;
-  FlowPolicy policy;
   VccConfig cfg;
   const VirtualCc& cubic = virtual_cc_for(VccKind::kCubic);
   cubic.init(s, cfg);
@@ -324,7 +325,7 @@ TEST(VirtualCubicTest, GrowsTowardOriginAfterCut) {
   const double start = s.cwnd_bytes;
   for (int i = 0; i < 100; ++i) {
     ev.now += sim::milliseconds(1);
-    cubic.on_ack(s, policy, cfg, ev);
+    cubic.on_ack(s, cfg, ev);
   }
   EXPECT_GT(s.cwnd_bytes, start);
   // A congestion event cuts by the CUBIC beta (0.7).
@@ -332,7 +333,7 @@ TEST(VirtualCubicTest, GrowsTowardOriginAfterCut) {
   VccEvent mark;
   mark.fb_marked_delta = 1;
   mark.now = ev.now;
-  cubic.on_ack(s, policy, cfg, mark);
+  cubic.on_ack(s, cfg, mark);
   EXPECT_NEAR(s.cwnd_bytes, before * 0.7, before * 0.02);
 }
 

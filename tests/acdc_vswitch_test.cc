@@ -232,9 +232,10 @@ TEST(AcdcVswitchTest, PerFlowPolicyAssignsAlgorithm) {
   net.sim.run_until(sim::milliseconds(200));
   const FlowKey key{net.a->ip(), net.b->ip(),
                     net.a->connections()[0]->local().port, 80};
-  auto* entry = net.vs_a->flows().find(key);
-  ASSERT_NE(entry, nullptr);
-  EXPECT_EQ(entry->policy.kind, vswitch::VccKind::kCubic);
+  vswitch::FlowRef entry = net.vs_a->flows().find(key);
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry.cold->policy.kind, vswitch::VccKind::kCubic);
+  EXPECT_EQ(entry.hot->cc_kind, vswitch::VccKind::kCubic);
 }
 
 TEST(AcdcVswitchTest, RwndCapBoundsFlow) {
@@ -266,9 +267,9 @@ TEST(AcdcVswitchTest, InfersTimeoutsOnStall) {
   net.sim.run_until(sim::milliseconds(150));
   EXPECT_GT(net.vs_a->stats().inferred_timeouts, 0);
   const FlowKey key{net.a->ip(), net.b->ip(), c->local().port, 80};
-  auto* entry = net.vs_a->flows().find(key);
-  ASSERT_NE(entry, nullptr);
-  EXPECT_LE(entry->snd.cwnd_bytes, 2.0 * entry->snd.mss)
+  vswitch::FlowRef entry = net.vs_a->flows().find(key);
+  ASSERT_TRUE(entry);
+  EXPECT_LE(entry.hot->cwnd_bytes, 2.0 * entry.hot->mss)
       << "virtual window collapses on inferred RTO";
 }
 

@@ -1,6 +1,8 @@
-// Per-direction flow-lookup cache tests: hits must return the same entry
-// the table would, and every membership change (erase, GC, new insert)
-// must invalidate cached pointers — including cached negative results.
+// Per-direction flow-lookup cache tests: hits must return the same record
+// the table would, and every membership change (erase, GC) must invalidate
+// cached handles via the generation check. Negative results are never
+// cached — with no whole-table version counter there is nothing to stamp
+// them against, so every miss goes to the table.
 #include <gtest/gtest.h>
 
 #include "acdc/core.h"
@@ -24,10 +26,11 @@ class FlowCacheTest : public ::testing::Test {
 
 TEST_F(FlowCacheTest, RepeatLookupHitsCache) {
   const FlowKey k = key_n(40'000);
-  FlowEntry& e1 = *core_.entry(k, AcdcCore::kCacheSndEgress);
+  FlowRef e1 = core_.entry(k, AcdcCore::kCacheSndEgress);
   const std::int64_t misses = core_.stats.flow_cache_misses;
-  FlowEntry& e2 = *core_.entry(k, AcdcCore::kCacheSndEgress);
-  EXPECT_EQ(&e1, &e2);
+  FlowRef e2 = core_.entry(k, AcdcCore::kCacheSndEgress);
+  EXPECT_EQ(e1.handle, e2.handle);
+  EXPECT_EQ(e1.hot, e2.hot);
   EXPECT_EQ(core_.stats.flow_cache_misses, misses);
   EXPECT_GE(core_.stats.flow_cache_hits, 1);
 }
@@ -35,10 +38,6 @@ TEST_F(FlowCacheTest, RepeatLookupHitsCache) {
 TEST_F(FlowCacheTest, SlotsAreIndependentPerDirection) {
   const FlowKey data = key_n(40'000);
   const FlowKey ack = data.reversed();
-  core_.entry(data, AcdcCore::kCacheSndEgress);
-  core_.entry(ack, AcdcCore::kCacheSndIngressAck);
-  // Creating the ack flow bumped the table version, so re-stamp both slots
-  // before measuring steady state.
   core_.entry(data, AcdcCore::kCacheSndEgress);
   core_.entry(ack, AcdcCore::kCacheSndIngressAck);
   const std::int64_t misses = core_.stats.flow_cache_misses;
@@ -55,17 +54,19 @@ TEST_F(FlowCacheTest, EraseInvalidatesCachedEntry) {
   core_.entry(k, AcdcCore::kCacheSndEgress);
   core_.entry(k, AcdcCore::kCacheSndEgress);  // now cached
   ASSERT_TRUE(core_.table.erase(k));
-  // The cached pointer is dangling; the version bump must force a re-lookup
-  // which re-creates the entry rather than returning stale memory.
-  FlowEntry& fresh = *core_.entry(k, AcdcCore::kCacheSndEgress);
+  // The cached handle is dead; the generation check must force a re-lookup
+  // which re-creates the entry rather than returning the old record.
+  FlowRef fresh = core_.entry(k, AcdcCore::kCacheSndEgress);
+  ASSERT_TRUE(fresh);
+  EXPECT_TRUE(fresh.created);
   EXPECT_EQ(core_.table.size(), 1u);
-  EXPECT_EQ(core_.table.find(k), &fresh);
+  EXPECT_EQ(core_.table.find(k).handle, fresh.handle);
 }
 
 TEST_F(FlowCacheTest, GcInvalidatesCachedEntry) {
   const FlowKey k = key_n(40'000);
-  FlowEntry& e = *core_.entry(k, AcdcCore::kCacheSndEgress);
-  e.last_activity = 0;
+  FlowRef e = core_.entry(k, AcdcCore::kCacheSndEgress);
+  e.hot->last_activity = 0;
   core_.entry(k, AcdcCore::kCacheSndEgress);  // cached
   ASSERT_EQ(core_.table.collect_garbage(sim::seconds(120), sim::seconds(60),
                                         sim::seconds(1)),
@@ -78,16 +79,23 @@ TEST_F(FlowCacheTest, GcInvalidatesCachedEntry) {
   EXPECT_EQ(core_.table.size(), 1u);
 }
 
-TEST_F(FlowCacheTest, NegativeResultIsCachedAndInvalidatedByInsert) {
+TEST_F(FlowCacheTest, FindNeverCachesANegativeResult) {
   const FlowKey k = key_n(40'000);
-  EXPECT_EQ(core_.find(k, AcdcCore::kCacheRcvEgressAck), nullptr);
+  EXPECT_FALSE(core_.find(k, AcdcCore::kCacheRcvEgressAck));
   const std::int64_t misses = core_.stats.flow_cache_misses;
-  EXPECT_EQ(core_.find(k, AcdcCore::kCacheRcvEgressAck), nullptr);
-  EXPECT_EQ(core_.stats.flow_cache_misses, misses) << "miss should be cached";
+  EXPECT_FALSE(core_.find(k, AcdcCore::kCacheRcvEgressAck));
+  EXPECT_GT(core_.stats.flow_cache_misses, misses)
+      << "absent flows must re-probe the table every time";
 
-  // Creating the flow bumps the version; the cached nullptr must die.
-  FlowEntry& e = *core_.entry(k, AcdcCore::kCacheSndEgress);
-  EXPECT_EQ(core_.find(k, AcdcCore::kCacheRcvEgressAck), &e);
+  // After the flow is created through another slot, find() through this
+  // slot must see it immediately (nothing stale to invalidate).
+  FlowRef e = core_.entry(k, AcdcCore::kCacheSndEgress);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(core_.find(k, AcdcCore::kCacheRcvEgressAck).handle, e.handle);
+  // And now it is cached: a repeat find is a pure hit.
+  const std::int64_t misses2 = core_.stats.flow_cache_misses;
+  EXPECT_EQ(core_.find(k, AcdcCore::kCacheRcvEgressAck).handle, e.handle);
+  EXPECT_EQ(core_.stats.flow_cache_misses, misses2);
 }
 
 TEST_F(FlowCacheTest, CreationStillInitialisesPolicyAndVcc) {
@@ -96,9 +104,11 @@ TEST_F(FlowCacheTest, CreationStillInitialisesPolicyAndVcc) {
   FlowPolicy p;
   p.kind = VccKind::kDctcp;
   core_.policy.set_default(p);
-  FlowEntry& e = *core_.entry(key_n(40'000), AcdcCore::kCacheSndEgress);
-  EXPECT_EQ(e.policy.kind, VccKind::kDctcp);
-  EXPECT_GT(e.snd.cwnd_bytes, 0.0);
+  FlowRef e = core_.entry(key_n(40'000), AcdcCore::kCacheSndEgress);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e.cold->policy.kind, VccKind::kDctcp);
+  EXPECT_EQ(e.hot->cc_kind, VccKind::kDctcp);
+  EXPECT_GT(e.hot->cwnd_bytes, 0.0);
 }
 
 }  // namespace

@@ -1,14 +1,14 @@
 // Property tests for the flow table's removal machinery: GC expiry
-// boundaries (fin_linger vs idle_timeout are strict), the version counter
-// bumping on every removal path (erase, GC, cap-eviction), LRU eviction
-// always picking the oldest-idle entry (checked against a shadow model
-// under a randomized op mix), and the AcdcCore per-direction lookup caches
-// never serving a stale pointer after GC or cap-eviction.
+// boundaries (fin_linger vs idle_timeout are strict), generation handles
+// never resurrecting a removed flow (erase, GC, cap-eviction, rehash), LRU
+// eviction always picking the oldest-idle entry (checked against a shadow
+// model under a randomized op mix), and the AcdcCore per-direction lookup
+// caches never serving a stale record after GC or cap-eviction.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <map>
-#include <set>
+#include <vector>
 
 #include "acdc/core.h"
 #include "acdc/flow_table.h"
@@ -32,31 +32,31 @@ TEST(FlowTableGc, FinLingerAndIdleTimeoutBoundariesAreStrict) {
   const sim::Time now = sim::seconds(100);
 
   // Exactly at the boundary an entry survives; one nanosecond past it dies.
-  FlowEntry& fin_at = *t.find_or_create(key_n(1), 0).entry;
-  fin_at.fin_seen = true;
-  fin_at.last_activity = now - kFinLinger;  // idle == fin_linger: keep
+  FlowRef fin_at = t.find_or_create(key_n(1), 0);
+  fin_at.hot->fin_seen = true;
+  fin_at.hot->last_activity = now - kFinLinger;  // idle == fin_linger: keep
 
-  FlowEntry& fin_past = *t.find_or_create(key_n(2), 0).entry;
-  fin_past.fin_seen = true;
-  fin_past.last_activity = now - kFinLinger - 1;  // idle > fin_linger: drop
+  FlowRef fin_past = t.find_or_create(key_n(2), 0);
+  fin_past.hot->fin_seen = true;
+  fin_past.hot->last_activity = now - kFinLinger - 1;  // idle > linger: drop
 
-  FlowEntry& live_at = *t.find_or_create(key_n(3), 0).entry;
-  live_at.last_activity = now - kIdleTimeout;  // idle == idle_timeout: keep
+  FlowRef live_at = t.find_or_create(key_n(3), 0);
+  live_at.hot->last_activity = now - kIdleTimeout;  // idle == timeout: keep
 
-  FlowEntry& live_past = *t.find_or_create(key_n(4), 0).entry;
-  live_past.last_activity = now - kIdleTimeout - 1;  // drop
+  FlowRef live_past = t.find_or_create(key_n(4), 0);
+  live_past.hot->last_activity = now - kIdleTimeout - 1;  // drop
 
   // A FIN-marked entry past idle_timeout dies even if fin_linger were huge.
-  FlowEntry& fin_ancient = *t.find_or_create(key_n(5), 0).entry;
-  fin_ancient.fin_seen = true;
-  fin_ancient.last_activity = now - kIdleTimeout - 1;
+  FlowRef fin_ancient = t.find_or_create(key_n(5), 0);
+  fin_ancient.hot->fin_seen = true;
+  fin_ancient.hot->last_activity = now - kIdleTimeout - 1;
 
   EXPECT_EQ(t.collect_garbage(now, kIdleTimeout, kFinLinger), 3u);
-  EXPECT_NE(t.find(key_n(1)), nullptr) << "idle == fin_linger must survive";
-  EXPECT_EQ(t.find(key_n(2)), nullptr);
-  EXPECT_NE(t.find(key_n(3)), nullptr) << "idle == idle_timeout must survive";
-  EXPECT_EQ(t.find(key_n(4)), nullptr);
-  EXPECT_EQ(t.find(key_n(5)), nullptr);
+  EXPECT_TRUE(t.find(key_n(1))) << "idle == fin_linger must survive";
+  EXPECT_FALSE(t.find(key_n(2)));
+  EXPECT_TRUE(t.find(key_n(3))) << "idle == idle_timeout must survive";
+  EXPECT_FALSE(t.find(key_n(4)));
+  EXPECT_FALSE(t.find(key_n(5)));
   EXPECT_EQ(t.stats().gc_removed, 3);
   EXPECT_EQ(t.stats().removals, 3);
 }
@@ -64,77 +64,119 @@ TEST(FlowTableGc, FinLingerAndIdleTimeoutBoundariesAreStrict) {
 TEST(FlowTableGc, LiveEntryIgnoresFinLinger) {
   FlowTable t;
   const sim::Time now = sim::seconds(100);
-  FlowEntry& live = *t.find_or_create(key_n(1), 0).entry;
-  live.last_activity = now - kFinLinger - 1;  // way past fin_linger, no FIN
+  FlowRef live = t.find_or_create(key_n(1), 0);
+  live.hot->last_activity = now - kFinLinger - 1;  // past linger, no FIN
   EXPECT_EQ(t.collect_garbage(now, kIdleTimeout, kFinLinger), 0u);
-  EXPECT_NE(t.find(key_n(1)), nullptr);
+  EXPECT_TRUE(t.find(key_n(1)));
 }
 
-TEST(FlowTableVersion, EveryRemovalPathBumpsTheVersion) {
+// The generation contract that replaced the whole-table version counter:
+// a handle issued for a flow deref()s successfully for exactly as long as
+// that flow lives, and every removal path — erase, GC, cap-eviction — kills
+// it permanently. Re-creating the same key mints a new generation, so an
+// old handle can never alias the new incarnation.
+TEST(FlowTableHandles, EveryRemovalPathKillsTheHandleForever) {
   FlowTable t;
-  std::uint64_t v = t.version();
-  EXPECT_EQ(v, 1u) << "versions start at 1 so a zero stamp never matches";
 
-  // Insert bumps.
-  t.find_or_create(key_n(1), 0);
-  EXPECT_GT(t.version(), v);
-  v = t.version();
+  // erase().
+  FlowRef a = t.find_or_create(key_n(1), 0);
+  ASSERT_TRUE(a);
+  EXPECT_TRUE(a.handle.valid());
+  EXPECT_TRUE(t.deref(a.handle));
+  ASSERT_TRUE(t.erase(key_n(1)));
+  EXPECT_FALSE(t.deref(a.handle)) << "erase must invalidate the handle";
 
-  // Hit does not bump.
-  t.find_or_create(key_n(1), 0);
-  EXPECT_EQ(t.version(), v);
+  // Re-create the same key: new generation, old handle stays dead.
+  FlowRef a2 = t.find_or_create(key_n(1), 0);
+  ASSERT_TRUE(a2);
+  EXPECT_TRUE(a2.created);
+  EXPECT_NE(a2.handle.gen, a.handle.gen);
+  EXPECT_FALSE(t.deref(a.handle))
+      << "a stale handle must never resurrect onto the new incarnation";
+  EXPECT_TRUE(t.deref(a2.handle));
 
-  // touch() does not bump (membership is unchanged).
-  t.touch(*t.find(key_n(1)), sim::seconds(1));
-  EXPECT_EQ(t.version(), v);
+  // GC.
+  FlowRef b = t.find_or_create(key_n(2), 0);
+  const FlowHandle hb = b.handle;
+  b.hot->last_activity = 0;
+  EXPECT_GE(t.collect_garbage(sim::seconds(120), kIdleTimeout, kFinLinger),
+            1u);
+  EXPECT_FALSE(t.deref(hb)) << "GC must invalidate the handle";
 
-  // erase() bumps; failed erase does not.
-  EXPECT_TRUE(t.erase(key_n(1)));
-  EXPECT_GT(t.version(), v);
-  v = t.version();
-  EXPECT_FALSE(t.erase(key_n(1)));
-  EXPECT_EQ(t.version(), v);
+  // Cap-eviction.
+  FlowTable capped;
+  capped.set_limit(1);
+  const FlowHandle hv = capped.find_or_create(key_n(10), 0).handle;
+  FlowRef n = capped.find_or_create(key_n(11), sim::seconds(1));
+  ASSERT_TRUE(n);
+  EXPECT_TRUE(n.created);
+  EXPECT_EQ(capped.stats().evictions, 1);
+  EXPECT_FALSE(capped.deref(hv)) << "eviction must invalidate the handle";
+  EXPECT_TRUE(capped.deref(n.handle));
 
-  // GC with removals bumps exactly once, however many entries it sweeps.
-  for (std::uint16_t p = 10; p < 14; ++p) {
-    t.find_or_create(key_n(p), 0);
+  // A default-constructed handle never matches anything.
+  EXPECT_FALSE(t.deref(FlowHandle{}));
+}
+
+// Growth rehash relocates records across slots; every handle issued before
+// the rehash must either still deref() to its own key (same generation,
+// possibly a different slot internally) or — if the slot moved — fail
+// cleanly. With generation preservation the former holds for live flows
+// only when the handle's slot happens to survive; the contract the callers
+// rely on is weaker and is what we pin here: deref() never returns a
+// *different* flow's record, and removed flows stay dead across rehashes.
+TEST(FlowTableHandles, RehashNeverMisdirectsAHandle) {
+  FlowTable t;
+  std::vector<FlowHandle> handles;
+  std::vector<std::uint16_t> ports;
+  // Blow well past the initial capacity so several growth rehashes happen.
+  for (std::uint16_t p = 1; p <= 500; ++p) {
+    FlowRef f = t.find_or_create(key_n(p), p);
+    ASSERT_TRUE(f);
+    handles.push_back(f.handle);
+    ports.push_back(p);
   }
-  v = t.version();
-  EXPECT_EQ(t.collect_garbage(sim::seconds(120), kIdleTimeout, kFinLinger),
-            4u);
-  EXPECT_EQ(t.version(), v + 1);
-  v = t.version();
+  EXPECT_GT(t.stats().rehashes, 0);
+  EXPECT_EQ(t.size(), 500u);
 
-  // GC with nothing to remove does not bump.
-  EXPECT_EQ(t.collect_garbage(sim::seconds(120), kIdleTimeout, kFinLinger),
-            0u);
-  EXPECT_EQ(t.version(), v);
-
-  // Cap-eviction: one overflowing insert = one removal + one insert.
-  t.set_limit(1);
-  t.find_or_create(key_n(20), 0);
-  v = t.version();
-  const auto r = t.find_or_create(key_n(21), sim::seconds(1));
-  ASSERT_NE(r.entry, nullptr);
-  EXPECT_TRUE(r.created);
-  EXPECT_EQ(t.version(), v + 2) << "eviction and insert each bump";
-  EXPECT_EQ(t.stats().evictions, 1);
-  EXPECT_EQ(t.find(key_n(20)), nullptr);
-
-  // Rejected admission changes no membership and must not bump.
-  t.set_limit(1, FlowTable::OverflowPolicy::kReject);
-  v = t.version();
-  const auto rejected = t.find_or_create(key_n(22), sim::seconds(2));
-  EXPECT_EQ(rejected.entry, nullptr);
-  EXPECT_EQ(t.version(), v);
-  EXPECT_EQ(t.stats().admission_rejects, 1);
-  EXPECT_NE(t.find(key_n(21)), nullptr) << "resident entry must survive";
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    FlowRef f = t.deref(handles[i]);
+    if (f) {
+      ++live;
+      EXPECT_EQ(f.key->src_port, ports[i])
+          << "a surviving handle must point at its own flow";
+    }
+  }
+  // Every flow is still findable by key regardless of what the relocation
+  // did to retained handles.
+  for (std::uint16_t p = 1; p <= 500; ++p) {
+    EXPECT_TRUE(t.find(key_n(p)));
+  }
+  // Erase half, rehash again by inserting more, and confirm the erased
+  // handles stay dead.
+  std::vector<FlowHandle> erased;
+  for (std::uint16_t p = 1; p <= 250; ++p) {
+    erased.push_back(t.find(key_n(p)).handle);
+    ASSERT_TRUE(t.erase(key_n(p)));
+  }
+  for (std::uint16_t p = 501; p <= 900; ++p) {
+    ASSERT_TRUE(t.find_or_create(key_n(p), p));
+  }
+  for (const FlowHandle& h : erased) {
+    EXPECT_FALSE(t.deref(h)) << "an erased flow must stay dead across rehash";
+  }
+  (void)live;
 }
 
 // Randomized op mix against a shadow model: after every operation the
-// table's membership, size bound, eviction victims and oldest() pointer
-// must agree with the model, and the version counter must change exactly
-// when membership does.
+// table's membership, size bound, eviction victims and oldest() record
+// must agree with the model. A retained handle per resident flow either
+// derefs to exactly that flow or fails cleanly — removals relocate
+// neighboring records (backward-shift deletion), which retires the moved
+// record's slot the same way a rehash does, and the holder re-acquires by
+// key like the AcdcCore direction caches do. Once the model says a flow is
+// gone, its handle must never deref again.
 TEST(FlowTableProperty, RandomOpMixMatchesShadowModel) {
   constexpr std::size_t kCap = 8;
   constexpr std::uint16_t kPorts = 64;
@@ -145,16 +187,19 @@ TEST(FlowTableProperty, RandomOpMixMatchesShadowModel) {
   struct Shadow {
     sim::Time last = 0;
     bool fin = false;
+    FlowHandle handle{};
   };
   std::map<std::uint16_t, Shadow> model;
+  // Handles of flows the model has removed; they must never deref again.
+  std::vector<FlowHandle> graveyard;
 
   sim::Rng rng(testlib::test_seed(0xF70A));
   sim::Time now = 0;
   for (int step = 0; step < 4000; ++step) {
     now += rng.uniform_int(1, 4);  // strictly increasing: no idle ties
-    const auto port = static_cast<std::uint16_t>(rng.uniform_int(0, kPorts - 1));
+    const auto port =
+        static_cast<std::uint16_t>(rng.uniform_int(0, kPorts - 1));
     const FlowKey key = key_n(port);
-    const std::uint64_t version_before = t.version();
     const std::int64_t op = rng.uniform_int(0, 99);
 
     if (op < 45) {  // find_or_create
@@ -169,43 +214,39 @@ TEST(FlowTableProperty, RandomOpMixMatchesShadowModel) {
                                   })
                      ->first;
       }
-      const auto res = t.find_or_create(key, now);
-      ASSERT_NE(res.entry, nullptr);
+      FlowRef res = t.find_or_create(key, now);
+      ASSERT_TRUE(res);
       EXPECT_EQ(res.created, !existed);
       if (existed) {
-        EXPECT_EQ(t.version(), version_before);
+        EXPECT_EQ(res.handle, model[port].handle)
+            << "a hit must return the incumbent generation";
       } else {
-        if (evicts) model.erase(victim);
-        model[port] = Shadow{now, false};
-        EXPECT_GT(t.version(), version_before);
         if (evicts) {
-          EXPECT_EQ(t.find(key_n(victim)), nullptr)
+          graveyard.push_back(model[victim].handle);
+          model.erase(victim);
+          EXPECT_FALSE(t.find(key_n(victim)))
               << "eviction must pick the oldest-idle entry";
         }
+        model[port] = Shadow{now, false, res.handle};
       }
     } else if (op < 70) {  // touch
-      FlowEntry* e = t.find(key);
-      ASSERT_EQ(e != nullptr, model.count(port) > 0);
-      if (e != nullptr) {
-        t.touch(*e, now);
+      FlowRef e = t.find(key);
+      ASSERT_EQ(static_cast<bool>(e), model.count(port) > 0);
+      if (e) {
+        t.touch(e, now);
         model[port].last = now;
-        EXPECT_EQ(t.version(), version_before);
       }
     } else if (op < 80) {  // mark FIN
-      FlowEntry* e = t.find(key);
-      if (e != nullptr) {
-        e->fin_seen = true;
+      FlowRef e = t.find(key);
+      if (e) {
+        e.hot->fin_seen = true;
         model[port].fin = true;
       }
     } else if (op < 90) {  // erase
       const bool existed = model.count(port) > 0;
+      if (existed) graveyard.push_back(model[port].handle);
       EXPECT_EQ(t.erase(key), existed);
-      if (existed) {
-        model.erase(port);
-        EXPECT_GT(t.version(), version_before);
-      } else {
-        EXPECT_EQ(t.version(), version_before);
-      }
+      model.erase(port);
     } else {  // GC with a randomly tight horizon
       const sim::Time idle_timeout = rng.uniform_int(100, 300);
       const sim::Time fin_linger = rng.uniform_int(5, 30);
@@ -213,6 +254,7 @@ TEST(FlowTableProperty, RandomOpMixMatchesShadowModel) {
       for (auto it = model.begin(); it != model.end();) {
         const sim::Time idle = now - it->second.last;
         if ((it->second.fin && idle > fin_linger) || idle > idle_timeout) {
+          graveyard.push_back(it->second.handle);
           it = model.erase(it);
           ++expected;
         } else {
@@ -220,27 +262,42 @@ TEST(FlowTableProperty, RandomOpMixMatchesShadowModel) {
         }
       }
       EXPECT_EQ(t.collect_garbage(now, idle_timeout, fin_linger), expected);
-      if (expected > 0) {
-        EXPECT_EQ(t.version(), version_before + 1);
-      } else {
-        EXPECT_EQ(t.version(), version_before);
-      }
     }
 
     // Structural invariants after every op.
     ASSERT_EQ(t.size(), model.size());
     ASSERT_LE(t.size(), kCap);
+    for (auto& [p, shadow] : model) {
+      FlowRef f = t.deref(shadow.handle);
+      if (f) {
+        EXPECT_EQ(f.key->src_port, p)
+            << "a live handle must deref to its own flow, never another's";
+      } else {
+        // A removal back-shifted this record into a new slot; the handle
+        // dies (like across a rehash) and the holder re-probes by key.
+        FlowRef again = t.find(key_n(p));
+        ASSERT_TRUE(again) << "resident flow must stay findable by key";
+        shadow.handle = again.handle;
+      }
+    }
     if (!model.empty()) {
       const auto oldest = std::min_element(
           model.begin(), model.end(), [](const auto& a, const auto& b) {
             return a.second.last < b.second.last;
           });
-      ASSERT_NE(t.oldest(), nullptr);
-      EXPECT_EQ(t.oldest()->key.src_port, oldest->first)
+      FlowRef head = t.oldest();
+      ASSERT_TRUE(head);
+      EXPECT_EQ(head.key->src_port, oldest->first)
           << "LRU head must be the oldest-idle entry";
     } else {
-      EXPECT_EQ(t.oldest(), nullptr);
+      EXPECT_FALSE(t.oldest());
     }
+  }
+
+  // No removed flow ever resurrects — even after thousands of reuses of the
+  // same 64-key space (slots get recycled constantly at cap 8).
+  for (const FlowHandle& h : graveyard) {
+    ASSERT_FALSE(t.deref(h)) << "a removed flow's handle must stay dead";
   }
 
   // The mix must actually have exercised every removal path.
@@ -268,24 +325,25 @@ TEST_F(FlowCacheEvictionTest, CapEvictionInvalidatesCachedEntry) {
   core_.entry(key_n(2), AcdcCore::kCacheSndIngressAck);
   core_.entry(key_n(3), AcdcCore::kCacheSndIngressAck);
   ASSERT_EQ(core_.table.stats().evictions, 1);
-  ASSERT_EQ(core_.table.find(k1), nullptr);
+  ASSERT_FALSE(core_.table.find(k1));
 
-  // The egress slot still holds the dead pointer, but the version bump must
-  // force a re-lookup that re-creates the entry.
+  // The egress slot still holds the dead handle, but the generation check
+  // must force a re-lookup that re-creates the entry.
   const std::int64_t misses = core_.stats.flow_cache_misses;
-  FlowEntry* fresh = core_.entry(k1, AcdcCore::kCacheSndEgress);
-  ASSERT_NE(fresh, nullptr);
+  FlowRef fresh = core_.entry(k1, AcdcCore::kCacheSndEgress);
+  ASSERT_TRUE(fresh);
   EXPECT_GT(core_.stats.flow_cache_misses, misses)
       << "cap-eviction must invalidate the cache, not serve the dead entry";
-  EXPECT_EQ(core_.table.find(k1), fresh);
+  EXPECT_EQ(core_.table.find(k1).handle, fresh.handle);
   EXPECT_LE(core_.table.size(), 2u);
 }
 
 TEST_F(FlowCacheEvictionTest, GcNeverLeavesStaleCacheAcrossAllSlots) {
   // Stamp all four direction slots, GC everything, then verify each slot
-  // re-looks-up rather than serving freed memory.
+  // re-looks-up rather than serving a dead record.
   const FlowKey keys[] = {key_n(1), key_n(2), key_n(3), key_n(4)};
-  const int slots[] = {AcdcCore::kCacheSndEgress, AcdcCore::kCacheSndIngressAck,
+  const int slots[] = {AcdcCore::kCacheSndEgress,
+                       AcdcCore::kCacheSndIngressAck,
                        AcdcCore::kCacheRcvIngressData,
                        AcdcCore::kCacheRcvEgressAck};
   for (int i = 0; i < 4; ++i) core_.entry(keys[i], slots[i]);
@@ -295,33 +353,34 @@ TEST_F(FlowCacheEvictionTest, GcNeverLeavesStaleCacheAcrossAllSlots) {
             4u);
   const std::int64_t misses = core_.stats.flow_cache_misses;
   for (int i = 0; i < 4; ++i) {
-    FlowEntry* e = core_.entry(keys[i], slots[i]);
-    ASSERT_NE(e, nullptr);
-    EXPECT_EQ(core_.table.find(keys[i]), e);
+    FlowRef e = core_.entry(keys[i], slots[i]);
+    ASSERT_TRUE(e);
+    EXPECT_EQ(core_.table.find(keys[i]).handle, e.handle);
   }
   EXPECT_GE(core_.stats.flow_cache_misses - misses, 4);
 }
 
 TEST_F(FlowCacheEvictionTest, RejectedAdmissionIsNeverCached) {
   core_.table.set_limit(1, FlowTable::OverflowPolicy::kReject);
-  FlowEntry* resident = core_.entry(key_n(1), AcdcCore::kCacheSndEgress);
-  ASSERT_NE(resident, nullptr);
+  FlowRef resident = core_.entry(key_n(1), AcdcCore::kCacheSndEgress);
+  ASSERT_TRUE(resident);
+  const FlowHandle resident_handle = resident.handle;
 
-  // Every rejected lookup must go to the table (a cached nullptr would be
-  // wrong: the reject did not bump the version, so the stamp would go
-  // stale-positive the moment the resident flow leaves).
-  EXPECT_EQ(core_.entry(key_n(2), AcdcCore::kCacheSndIngressAck), nullptr);
-  EXPECT_EQ(core_.entry(key_n(2), AcdcCore::kCacheSndIngressAck), nullptr);
+  // Every rejected lookup must go to the table (caching the null result
+  // would go stale-positive the moment the resident flow leaves).
+  EXPECT_FALSE(core_.entry(key_n(2), AcdcCore::kCacheSndIngressAck));
+  EXPECT_FALSE(core_.entry(key_n(2), AcdcCore::kCacheSndIngressAck));
   EXPECT_EQ(core_.table.stats().admission_rejects, 2);
 
   // The resident flow stays served, including through the cache.
-  EXPECT_EQ(core_.entry(key_n(1), AcdcCore::kCacheSndEgress), resident);
+  EXPECT_EQ(core_.entry(key_n(1), AcdcCore::kCacheSndEgress).handle,
+            resident_handle);
 
   // Once the resident leaves, the previously rejected flow must be admitted.
   ASSERT_TRUE(core_.table.erase(key_n(1)));
-  FlowEntry* admitted = core_.entry(key_n(2), AcdcCore::kCacheSndIngressAck);
-  ASSERT_NE(admitted, nullptr);
-  EXPECT_EQ(core_.table.find(key_n(2)), admitted);
+  FlowRef admitted = core_.entry(key_n(2), AcdcCore::kCacheSndIngressAck);
+  ASSERT_TRUE(admitted);
+  EXPECT_EQ(core_.table.find(key_n(2)).handle, admitted.handle);
 }
 
 }  // namespace

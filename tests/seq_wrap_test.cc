@@ -99,9 +99,10 @@ class SeqWrapSenderTest : public ::testing::Test {
  protected:
   SeqWrapSenderTest() : sender_(core_) { core_.sim = &sim_; }
 
-  vswitch::FlowEntry& entry() {
+  vswitch::FlowHot& entry() {
     return *core_.entry(vswitch::FlowKey{kVm, kPeer, 1000, 80},
-                        vswitch::AcdcCore::kCacheSndEgress);
+                        vswitch::AcdcCore::kCacheSndEgress)
+                .hot;
   }
   bool egress(net::Packet p) { return sender_.process_egress(p); }
   bool ingress(net::Packet& p) { return sender_.process_ingress_ack(p); }
@@ -114,30 +115,30 @@ class SeqWrapSenderTest : public ::testing::Test {
 TEST_F(SeqWrapSenderTest, SndNxtAndSndUnaCrossTheWrap) {
   // Segment straddles 2^32: snd_nxt lands back near zero.
   ASSERT_TRUE(egress(data_packet(kMax - 999, 3'000)));
-  EXPECT_EQ(entry().snd.snd_nxt, 2'000u);
-  EXPECT_TRUE(tcp::seq_le(entry().snd.snd_una, entry().snd.snd_nxt));
+  EXPECT_EQ(entry().snd_nxt, 2'000u);
+  EXPECT_TRUE(tcp::seq_le(entry().snd_una, entry().snd_nxt));
 
   // Cumulative ACK past the wrap advances snd_una without confusion.
   net::Packet ack = ack_packet(2'000, 1'000);
   ASSERT_TRUE(ingress(ack));
-  EXPECT_EQ(entry().snd.snd_una, 2'000u);
-  EXPECT_EQ(entry().snd.dupacks, 0u);
+  EXPECT_EQ(entry().snd_una, 2'000u);
+  EXPECT_EQ(entry().dupacks, 0u);
 
   // A stale pre-wrap ACK (numerically huge) must not drag snd_una back.
   net::Packet stale = ack_packet(kMax - 500, 1'000);
   ASSERT_TRUE(ingress(stale));
-  EXPECT_EQ(entry().snd.snd_una, 2'000u);
+  EXPECT_EQ(entry().snd_una, 2'000u);
 
   // Retransmission of the pre-wrap segment leaves snd_nxt alone.
   ASSERT_TRUE(egress(data_packet(kMax - 999, 1'000)));
-  EXPECT_EQ(entry().snd.snd_nxt, 2'000u);
+  EXPECT_EQ(entry().snd_nxt, 2'000u);
 }
 
 TEST_F(SeqWrapSenderTest, EnforcementAtWindowScaleZero) {
   ASSERT_TRUE(egress(data_packet(1'000, 1'448)));
-  entry().snd.peer_wscale = 0;
-  entry().snd.peer_wscale_valid = true;
-  entry().snd.cwnd_bytes = 10'000;
+  entry().peer_wscale = 0;
+  entry().peer_wscale_valid = true;
+  entry().cwnd_bytes = 10'000;
 
   // Shift 0: the raw field IS the window. The ACK's 1448 acked bytes first
   // grow the virtual window (slow start), so enforcement writes 11448.
@@ -148,7 +149,7 @@ TEST_F(SeqWrapSenderTest, EnforcementAtWindowScaleZero) {
   // Computed window above the 16-bit ceiling: raw 65535 advertises LESS
   // than the computed window, so the header must pass through untouched —
   // truncating 70k into uint16 would advertise a tiny window.
-  entry().snd.cwnd_bytes = 70'000;
+  entry().cwnd_bytes = 70'000;
   net::Packet ceiling = ack_packet(2'448, 65'535);
   ASSERT_TRUE(ingress(ceiling));
   EXPECT_EQ(ceiling.tcp.window_raw, 65'535);
@@ -156,9 +157,9 @@ TEST_F(SeqWrapSenderTest, EnforcementAtWindowScaleZero) {
 
 TEST_F(SeqWrapSenderTest, EnforcementAtWindowScaleFourteen) {
   ASSERT_TRUE(egress(data_packet(1'000, 1'448)));
-  entry().snd.peer_wscale = 14;  // RFC 7323 maximum
-  entry().snd.peer_wscale_valid = true;
-  entry().snd.cwnd_bytes = 20'000;
+  entry().peer_wscale = 14;  // RFC 7323 maximum
+  entry().peer_wscale_valid = true;
+  entry().cwnd_bytes = 20'000;
 
   // Computed window 20000+1448 = 21448; one scale unit is 16384 bytes, so
   // the enforced raw value rounds UP to 2 (floor would strand the flow
@@ -169,13 +170,13 @@ TEST_F(SeqWrapSenderTest, EnforcementAtWindowScaleFourteen) {
 
   // Even a virtual window far below one scale unit never writes raw 0 —
   // that would freeze the connection permanently.
-  entry().snd.cwnd_bytes = 1.0;
+  entry().cwnd_bytes = 1.0;
   net::Packet tiny = ack_packet(2'448, 8);
   ASSERT_TRUE(ingress(tiny));
   EXPECT_EQ(tiny.tcp.window_raw, 1);
 
   // Advertised already below the computed window: untouched.
-  entry().snd.cwnd_bytes = 20'000;
+  entry().cwnd_bytes = 20'000;
   net::Packet small = ack_packet(2'448, 1);  // 1 << 14 = 16384 < 21448
   ASSERT_TRUE(ingress(small));
   EXPECT_EQ(small.tcp.window_raw, 1);

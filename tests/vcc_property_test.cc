@@ -24,9 +24,9 @@
 namespace acdc::vswitch {
 namespace {
 
-SenderFlowState make_state(const VccConfig& cfg, VccKind kind,
-                           std::uint32_t mss = 1448) {
-  SenderFlowState s;
+FlowHot make_state(const VccConfig& cfg, VccKind kind,
+                   std::uint32_t mss = 1448) {
+  FlowHot s;
   s.mss = mss;
   s.snd_una = 1'000;
   s.snd_nxt = 1'000;
@@ -51,10 +51,9 @@ VccEvent telemetry_ack(std::uint32_t qlen, std::uint32_t tx, std::uint32_t ts,
 TEST(PowerTcpProperty, WindowStaysWithinBoundsUnderAdversarialTelemetry) {
   const VccConfig cfg;
   const VirtualCc& cc = virtual_cc_for(VccKind::kPowerTcp);
-  const FlowPolicy policy;
   sim::Rng rng(testlib::test_seed(0x50E4ACD1));
   for (int flow = 0; flow < 50; ++flow) {
-    SenderFlowState s = make_state(cfg, VccKind::kPowerTcp);
+    FlowHot s = make_state(cfg, VccKind::kPowerTcp);
     std::uint32_t ts = static_cast<std::uint32_t>(
         rng.uniform_int(0, std::numeric_limits<std::uint32_t>::max()));
     for (int i = 0; i < 400; ++i) {
@@ -71,12 +70,12 @@ TEST(PowerTcpProperty, WindowStaysWithinBoundsUnderAdversarialTelemetry) {
       VccEvent ev = telemetry_ack(qlen, tx, ts);
       s.snd_una += ev.acked_bytes;
       s.snd_nxt = s.snd_una;
-      cc.on_ack(s, policy, cfg, ev);
+      cc.on_ack(s, cfg, ev);
 
       ASSERT_TRUE(std::isfinite(s.cwnd_bytes));
-      const double bdp = VirtualPowerTcp::bdp_bytes(cfg, tx);
+      const double bdp = VirtualPowerTcp::bdp_bytes(cfg.base_rtt_us, tx);
       const double cap =
-          std::max(static_cast<double>(s.mss), cfg.power_cap_bdps * bdp);
+          std::max(static_cast<double>(s.mss), cfg.powertcp.cap_bdps * bdp);
       EXPECT_GE(s.cwnd_bytes, static_cast<double>(s.mss));
       EXPECT_LE(s.cwnd_bytes, cap)
           << "flow " << flow << " step " << i << " qlen " << qlen << " tx "
@@ -88,32 +87,31 @@ TEST(PowerTcpProperty, WindowStaysWithinBoundsUnderAdversarialTelemetry) {
 TEST(PowerTcpProperty, EmptyQueueGrowsAndSaturatedQueueShrinks) {
   const VccConfig cfg;
   const VirtualCc& cc = virtual_cc_for(VccKind::kPowerTcp);
-  const FlowPolicy policy;
   // Line-rate 10G stamps: tx = 1.25e6 bytes/ms, BDP = tx · τ.
   const std::uint32_t tx = 1'250'000;
-  const double bdp = VirtualPowerTcp::bdp_bytes(cfg, tx);
+  const double bdp = VirtualPowerTcp::bdp_bytes(cfg.base_rtt_us, tx);
 
-  SenderFlowState idle = make_state(cfg, VccKind::kPowerTcp);
+  FlowHot idle = make_state(cfg, VccKind::kPowerTcp);
   std::uint32_t ts = 100;
   for (int i = 0; i < 2'000; ++i) {
     ts += 10;
     VccEvent ev = telemetry_ack(0, tx, ts);
     idle.snd_una += ev.acked_bytes;
     idle.snd_nxt = idle.snd_una;
-    cc.on_ack(idle, policy, cfg, ev);
+    cc.on_ack(idle, cfg, ev);
   }
   // Γ = 1 on an empty queue: the window must climb to the cap.
-  EXPECT_NEAR(idle.cwnd_bytes, cfg.power_cap_bdps * bdp,
+  EXPECT_NEAR(idle.cwnd_bytes, cfg.powertcp.cap_bdps * bdp,
               static_cast<double>(idle.mss));
 
-  SenderFlowState jammed = make_state(cfg, VccKind::kPowerTcp);
+  FlowHot jammed = make_state(cfg, VccKind::kPowerTcp);
   ts = 100;
   for (int i = 0; i < 2'000; ++i) {
     ts += 10;
     VccEvent ev = telemetry_ack(50 * 1'000'000, tx, ts);
     jammed.snd_una += ev.acked_bytes;
     jammed.snd_nxt = jammed.snd_una;
-    cc.on_ack(jammed, policy, cfg, ev);
+    cc.on_ack(jammed, cfg, ev);
   }
   // A 50MB standing queue: Γ >> 1, the window must fall to ~the floor.
   EXPECT_LE(jammed.cwnd_bytes, 2.0 * jammed.mss);
@@ -122,43 +120,42 @@ TEST(PowerTcpProperty, EmptyQueueGrowsAndSaturatedQueueShrinks) {
 TEST(PowerTcpProperty, TimeoutResetsGradientBaseline) {
   const VccConfig cfg;
   const VirtualCc& cc = virtual_cc_for(VccKind::kPowerTcp);
-  const FlowPolicy policy;
-  SenderFlowState s = make_state(cfg, VccKind::kPowerTcp);
+  FlowHot s = make_state(cfg, VccKind::kPowerTcp);
   VccEvent ev = telemetry_ack(1'000, 1'250'000, 500);
   s.snd_una += ev.acked_bytes;
-  cc.on_ack(s, policy, cfg, ev);
-  ASSERT_TRUE(s.pt_prev_valid);
+  cc.on_ack(s, cfg, ev);
+  ASSERT_TRUE(s.cc.pt.prev_valid);
   cc.on_timeout(s, cfg);
-  EXPECT_FALSE(s.pt_prev_valid);
+  EXPECT_FALSE(s.cc.pt.prev_valid);
   EXPECT_GE(s.cwnd_bytes, static_cast<double>(s.mss));
 }
 
 TEST(FairRateProperty, WindowMatchesFairShareConversion) {
   VccConfig cfg;
   cfg.base_rtt_us = 40.0;
-  cfg.fair_window_rtts = 1.5;
+  cfg.fair.window_rtts = 1.5;
   // 100 bytes/µs fair share · 40µs · 1.5 = 6000 bytes.
-  EXPECT_DOUBLE_EQ(VirtualFairRate::window_bytes(cfg, 100'000), 6'000.0);
+  EXPECT_DOUBLE_EQ(VirtualFairRate::window_bytes(40.0, 1.5, 100'000),
+                   6'000.0);
 
   const VirtualCc& cc = virtual_cc_for(VccKind::kFairRate);
-  const FlowPolicy policy;
-  SenderFlowState s = make_state(cfg, VccKind::kFairRate);
+  FlowHot s = make_state(cfg, VccKind::kFairRate);
   VccEvent ev = telemetry_ack(0, 1'250'000, 100);
   ev.fair_bytes_per_ms = 100'000;
   s.snd_una += ev.acked_bytes;
-  cc.on_ack(s, policy, cfg, ev);
+  cc.on_ack(s, cfg, ev);
   EXPECT_DOUBLE_EQ(s.cwnd_bytes, 6'000.0);
 
   // A fair share below one MSS still floors at one MSS.
   ev.fair_bytes_per_ms = 1;
-  cc.on_ack(s, policy, cfg, ev);
+  cc.on_ack(s, cfg, ev);
   EXPECT_DOUBLE_EQ(s.cwnd_bytes, static_cast<double>(s.mss));
 
   // Telemetry-blind ACKs fall back to growth, never collapse.
   const double before = s.cwnd_bytes;
   VccEvent blind;
   blind.acked_bytes = 1448;
-  cc.on_ack(s, policy, cfg, blind);
+  cc.on_ack(s, cfg, blind);
   EXPECT_GE(s.cwnd_bytes, before);
 }
 
