@@ -43,6 +43,7 @@
 #include "exp/leaf_spine.h"
 #include "forensics/delay_analyzer.h"
 #include "obs/merge.h"
+#include "sim/parallel/executor.h"
 #include "sim/simulator.h"
 
 namespace acdc {
@@ -194,18 +195,29 @@ Sample run_events(std::uint64_t iters) {
 }
 
 struct ParallelSample {
-  int threads = 0;
+  int threads = 0;  // 0 = serial engine (no partition), the speedup anchor
   double events_per_sec = 0;
   double wall_secs = 0;
   std::uint64_t events = 0;
   bool parallel = false;  // false when the partition fell back to serial
+  // Executor diagnostics (zero on the serial arm): how the wall time was
+  // spent. msgs = cross-shard handoffs; null windows = safe-time
+  // publications that executed nothing (pure sync traffic); barrier/idle ns
+  // are summed across worker threads.
+  std::uint64_t windows = 0;
+  std::uint64_t msgs = 0;
+  std::uint64_t null_msgs = 0;
+  std::uint64_t barrier_wait_ns = 0;
+  std::uint64_t idle_wait_ns = 0;
 };
 
 // End-to-end parallel workload: an 8-leaf/4-spine fabric partitioned into 8
 // shards (one leaf + its hosts per shard), with every host running a bulk
 // flow to its peer under the next leaf — all traffic crosses a shard cut.
 // The shard count is fixed so the event stream is identical at every thread
-// count; only wall time should change.
+// count; only wall time should change. threads == 0 runs the identical
+// workload on the serial engine — the anchor for the t1 overhead gate
+// (parallel at one thread must stay within 15% of serial).
 ParallelSample run_parallel_leaf_spine(int threads, sim::Time horizon) {
   exp::LeafSpineConfig cfg;
   cfg.leaves = 8;
@@ -214,7 +226,8 @@ ParallelSample run_parallel_leaf_spine(int threads, sim::Time horizon) {
   cfg.scenario.seed = 7;
   exp::LeafSpine fabric(cfg);
   exp::Scenario& sc = fabric.scenario();
-  const exp::PartitionReport report = sc.enable_parallel(8, threads);
+  exp::PartitionReport report;
+  if (threads > 0) report = sc.enable_parallel(8, threads);
 
   const tcp::TcpConfig tcp_cfg = sc.tcp_config(tcp::CcId::kCubic);
   int pair = 0;
@@ -237,6 +250,14 @@ ParallelSample run_parallel_leaf_spine(int threads, sim::Time horizon) {
   s.events = sc.executed_events();
   s.events_per_sec = static_cast<double>(s.events) / s.wall_secs;
   s.parallel = report.parallel;
+  if (sc.executor() != nullptr) {
+    const sim::par::ParallelExecutor::Stats st = sc.executor()->stats();
+    s.windows = st.epochs;
+    s.msgs = st.messages;
+    s.null_msgs = st.null_msgs;
+    s.barrier_wait_ns = st.barrier_wait_ns;
+    s.idle_wait_ns = st.idle_wait_ns;
+  }
   return s;
 }
 
@@ -392,14 +413,26 @@ int main(int argc, char** argv) {
 
   const unsigned hw_threads = std::thread::hardware_concurrency();
   std::vector<acdc::ParallelSample> sweep;
+  acdc::ParallelSample serial_arm;
   if (parallel_ms > 0) {
     const acdc::sim::Time horizon = acdc::sim::milliseconds(parallel_ms);
+    serial_arm = acdc::run_parallel_leaf_spine(0, horizon);
+    std::fprintf(stderr, "parallel serial-arm: %.2f Mev/s (%.0f ms wall)\n",
+                 serial_arm.events_per_sec / 1e6, serial_arm.wall_secs * 1e3);
     for (int t : {1, 2, 4, 8}) {
       sweep.push_back(acdc::run_parallel_leaf_spine(t, horizon));
       const acdc::ParallelSample& s = sweep.back();
-      std::fprintf(stderr, "parallel t%d: %.2f Mev/s (%.0f ms wall, %s)\n",
+      std::fprintf(stderr,
+                   "parallel t%d: %.2f Mev/s (%.0f ms wall, %s; "
+                   "%llu windows, %llu msgs, %llu null, "
+                   "barrier %.1f ms, idle %.1f ms)\n",
                    s.threads, s.events_per_sec / 1e6, s.wall_secs * 1e3,
-                   s.parallel ? "sharded" : "serial fallback");
+                   s.parallel ? "sharded" : "serial fallback",
+                   static_cast<unsigned long long>(s.windows),
+                   static_cast<unsigned long long>(s.msgs),
+                   static_cast<unsigned long long>(s.null_msgs),
+                   static_cast<double>(s.barrier_wait_ns) / 1e6,
+                   static_cast<double>(s.idle_wait_ns) / 1e6);
     }
   }
 
@@ -442,16 +475,36 @@ int main(int argc, char** argv) {
                  ",\n"
                  "  \"hw_threads\": %u,\n"
                  "  \"parallel_sim_ms\": %lld,\n"
-                 "  \"parallel_sharded\": %s",
+                 "  \"parallel_sharded\": %s,\n"
+                 "  \"parallel_events_per_sec_serial\": %.0f",
                  hw_threads, static_cast<long long>(parallel_ms),
-                 sweep[0].parallel ? "true" : "false");
+                 sweep[0].parallel ? "true" : "false",
+                 serial_arm.events_per_sec);
     for (const acdc::ParallelSample& s : sweep) {
+      const double msgs_per_window =
+          s.windows > 0
+              ? static_cast<double>(s.msgs) / static_cast<double>(s.windows)
+              : 0.0;
       std::fprintf(out,
-                   ",\n  \"parallel_events_per_sec_t%d\": %.0f", s.threads,
-                   s.events_per_sec);
+                   ",\n  \"parallel_events_per_sec_t%d\": %.0f"
+                   ",\n  \"parallel_windows_t%d\": %llu"
+                   ",\n  \"parallel_msgs_per_window_t%d\": %.3f"
+                   ",\n  \"parallel_null_msgs_t%d\": %llu"
+                   ",\n  \"parallel_barrier_wait_ms_t%d\": %.2f"
+                   ",\n  \"parallel_idle_wait_ms_t%d\": %.2f",
+                   s.threads, s.events_per_sec, s.threads,
+                   static_cast<unsigned long long>(s.windows), s.threads,
+                   msgs_per_window, s.threads,
+                   static_cast<unsigned long long>(s.null_msgs), s.threads,
+                   static_cast<double>(s.barrier_wait_ns) / 1e6, s.threads,
+                   static_cast<double>(s.idle_wait_ns) / 1e6);
     }
     std::fprintf(out, ",\n  \"parallel_speedup_t8\": %.3f",
                  sweep.back().events_per_sec / sweep.front().events_per_sec);
+    if (serial_arm.events_per_sec > 0) {
+      std::fprintf(out, ",\n  \"parallel_t1_vs_serial\": %.3f",
+                   sweep.front().events_per_sec / serial_arm.events_per_sec);
+    }
   }
   std::fprintf(out, "\n}\n");
   if (out != stdout) std::fclose(out);

@@ -117,4 +117,49 @@ PartitionResult partition_topology(const PartitionInput& input) {
   return out;
 }
 
+std::vector<PairLookahead> extract_lookahead(const PartitionInput& input,
+                                             const PartitionResult& assignment,
+                                             std::int64_t min_wire_bytes) {
+  std::vector<PairLookahead> out;
+  auto edge_shards = [&](const PartitionInput::Edge& e) {
+    const int a =
+        e.host_side
+            ? assignment.host_shard[static_cast<std::size_t>(e.host)]
+            : assignment.switch_shard[static_cast<std::size_t>(e.sw_a)];
+    const int b =
+        e.host_side
+            ? assignment.switch_shard[static_cast<std::size_t>(e.sw_a)]
+            : assignment.switch_shard[static_cast<std::size_t>(e.sw_b)];
+    return std::pair<int, int>{a, b};
+  };
+  auto fold = [&](int src, int dst, sim::Time la) {
+    if (la < 1) la = 1;  // a zero-delay cut still needs a nonempty window
+    for (PairLookahead& p : out) {
+      if (p.src == src && p.dst == dst) {
+        p.lookahead = std::min(p.lookahead, la);
+        return;
+      }
+    }
+    out.push_back(PairLookahead{src, dst, la});
+  };
+  for (const PartitionInput::Edge& e : input.edges) {
+    const auto [a, b] = edge_shards(e);
+    if (a == b) continue;
+    // Minimum serialization delay of the smallest frame at the link rate;
+    // a message crossing this link is stamped now + tx + propagation at the
+    // sending port, so the per-pair slack is exact, not a heuristic.
+    const sim::Time slack =
+        e.delay +
+        (e.rate > 0 ? sim::transmission_time(min_wire_bytes, e.rate) : 0);
+    // Full-duplex: the link bounds both directions.
+    fold(a, b, slack);
+    fold(b, a, slack);
+  }
+  std::sort(out.begin(), out.end(), [](const PairLookahead& x,
+                                       const PairLookahead& y) {
+    return x.src != y.src ? x.src < y.src : x.dst < y.dst;
+  });
+  return out;
+}
+
 }  // namespace acdc::exp

@@ -8,7 +8,10 @@
 // on thread timing.
 #pragma once
 
+#include <cstdint>
 #include <vector>
+
+#include "sim/time.h"
 
 namespace acdc::exp {
 
@@ -17,12 +20,16 @@ struct PartitionInput {
   int switches = 0;
   int shards = 1;  // requested; clamped to [1, hosts + switches]
 
-  // One entry per full-duplex link.
+  // One entry per full-duplex link. Delay and rate are only consulted by
+  // the lookahead extraction pass; callers that only partition may leave
+  // them defaulted.
   struct Edge {
     bool host_side = false;  // host <-> switch when true, else trunk
     int host = -1;           // valid when host_side
     int sw_a = -1;           // the switch (host links) or trunk endpoint a
     int sw_b = -1;           // trunk endpoint b
+    sim::Time delay = 0;     // propagation delay (ns), symmetric
+    sim::Rate rate = 0;      // line rate (bits/s); 0 = unknown
   };
   std::vector<Edge> edges;
 };
@@ -43,5 +50,29 @@ struct PartitionResult {
 //      to keep local) under a ceil(hosts/shards) cap; overflow goes to the
 //      least host-loaded shard.
 PartitionResult partition_topology(const PartitionInput& input);
+
+// Extracted per-pair lookahead for one directed shard pair.
+struct PairLookahead {
+  int src = 0;
+  int dst = 0;
+  sim::Time lookahead = 0;
+};
+
+// Lookahead extraction pass: for every directed shard pair connected by at
+// least one cut link, the earliest a message emitted while `src` executes an
+// event at local time t can be delivered on `dst` is
+//
+//   t + propagation_delay + transmission_time(min_wire_bytes, rate)
+//
+// because a port dequeues at its local event time and stamps delivery at
+// now + serialization + propagation (net/port.cc). The pair lookahead is the
+// minimum of that slack over the pair's cut links; `min_wire_bytes` is the
+// smallest frame the caller's traffic can put on the wire (headers + Ethernet
+// overhead for a bare ACK). Links with rate 0 contribute propagation only.
+// Entries are sorted by (src, dst); every lookahead is >= 1 ns so a
+// zero-delay cut link still yields a usable (if tiny) window.
+std::vector<PairLookahead> extract_lookahead(const PartitionInput& input,
+                                             const PartitionResult& assignment,
+                                             std::int64_t min_wire_bytes);
 
 }  // namespace acdc::exp

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "exp/partition.h"
+#include "net/packet.h"
 #include "net/packet_pool.h"
 
 namespace acdc::exp {
@@ -107,6 +108,7 @@ void Scenario::attach(host::Host* h, net::Switch* sw, sim::Time delay) {
   rec.sw_a = switch_index_.at(sw);
   rec.sw_b = -1;
   rec.delay = d;
+  rec.rate = config_.link_rate;
   // Host -> switch direction.
   rec.a_to_b = &h->nic().tx_port();
   rec.a_to_b->set_propagation_delay(d);
@@ -131,6 +133,7 @@ std::pair<net::Port*, net::Port*> Scenario::trunk(net::Switch* a,
   rec.sw_a = switch_index_.at(a);
   rec.sw_b = switch_index_.at(b);
   rec.delay = config_.switch_link_delay;
+  rec.rate = r;
   rec.a_to_b = a->add_port(r, config_.switch_link_delay);
   rec.head_a_to_b = wrap_link(b, rec.inj_a_to_b);
   rec.a_to_b->set_peer(rec.head_a_to_b);
@@ -164,6 +167,15 @@ sim::par::Mailbox* Scenario::mailbox_for(int src_shard, int dst_shard) {
 }
 
 PartitionReport Scenario::enable_parallel(int shards, int threads) {
+  ParallelOptions options;
+  options.shards = shards;
+  options.threads = threads;
+  return enable_parallel(options);
+}
+
+PartitionReport Scenario::enable_parallel(const ParallelOptions& options) {
+  const int shards = options.shards;
+  const int threads = options.threads > 0 ? options.threads : options.shards;
   assert(executor_ == nullptr && shard_sims_.empty() &&
          "enable_parallel may only be called once");
   assert(shard_recorders_.empty() &&
@@ -185,7 +197,7 @@ PartitionReport Scenario::enable_parallel(int shards, int threads) {
   in.switches = static_cast<int>(switches_.size());
   in.shards = shards;
   for (const LinkRec& l : links_) {
-    in.edges.push_back({l.host_side, l.host, l.sw_a, l.sw_b});
+    in.edges.push_back({l.host_side, l.host, l.sw_a, l.sw_b, l.delay, l.rate});
   }
   const PartitionResult pr = partition_topology(in);
   report_.host_shard = pr.host_shard;
@@ -196,15 +208,32 @@ PartitionReport Scenario::enable_parallel(int shards, int threads) {
     report_.fallback_reason = "partition left no cut links";
     return report_;
   }
-  sim::Time lookahead = sim::kNoTime;
+  sim::Time min_prop = sim::kNoTime;
   for (const LinkRec& l : links_) {
     if (link_shard(l, true) == link_shard(l, false)) continue;
-    if (lookahead == sim::kNoTime || l.delay < lookahead) lookahead = l.delay;
+    if (min_prop == sim::kNoTime || l.delay < min_prop) min_prop = l.delay;
   }
-  if (lookahead <= 0) {
+  if (min_prop <= 0) {
     report_.fallback_reason = "zero lookahead on a cut link";
     return report_;
   }
+
+  // Extracted lookahead: propagation plus the serialization time of the
+  // smallest frame this traffic can emit — a bare ACK (IP + TCP headers)
+  // plus Ethernet framing overhead. Ports stamp cross-link deliveries at
+  // now + serialization + propagation (net/port.cc), so the per-pair slack
+  // is exact.
+  const std::int64_t min_wire_bytes = net::kIpv4HeaderBytes +
+                                      net::kTcpBaseHeaderBytes +
+                                      net::kEthernetOverheadBytes;
+  report_.pair_lookaheads = extract_lookahead(in, pr, min_wire_bytes);
+  sim::Time lookahead = sim::kNoTime;
+  for (const PairLookahead& pl : report_.pair_lookaheads) {
+    if (lookahead == sim::kNoTime || pl.lookahead < lookahead) {
+      lookahead = pl.lookahead;
+    }
+  }
+  assert(lookahead > 0);
 
   // Commit: per-shard simulators, component re-homing, mailbox rewiring.
   shard_sims_.reserve(static_cast<std::size_t>(pr.shards));
@@ -245,7 +274,12 @@ PartitionReport Scenario::enable_parallel(int shards, int threads) {
   for (const auto& s : shard_sims_) cfg.shards.push_back(s.get());
   for (const auto& mb : mailboxes_) cfg.mailboxes.push_back(mb.get());
   cfg.lookahead = lookahead;
+  for (const PairLookahead& pl : report_.pair_lookaheads) {
+    cfg.pair_lookaheads.push_back({pl.src, pl.dst, pl.lookahead});
+  }
   cfg.threads = threads;
+  cfg.per_neighbor_windows = options.per_neighbor_windows;
+  cfg.handoff_batch = options.handoff_batch;
   executor_ = std::make_unique<sim::par::ParallelExecutor>(std::move(cfg));
 
   report_.parallel = true;
@@ -424,6 +458,32 @@ obs::FlightRecorder& Scenario::enable_tracing(std::size_t ring_capacity,
                                       report_.switch_shard[j]);
       switches_[j]->set_trace(shard_recorders_[s].get());
       switches_[j]->register_metrics(*shard_metrics_[s]);
+    }
+    // Executor diagnostics ride the shard-0 registry (sampled on the
+    // shard-0 worker thread, which is the run_until caller). stats() is
+    // safe mid-run: every field is a relaxed atomic, so samples taken
+    // while workers execute are approximate and the final flush is exact.
+    if (executor_ != nullptr) {
+      sim::par::ParallelExecutor* ex = executor_.get();
+      obs::MetricsRegistry& reg = *shard_metrics_[0];
+      reg.register_gauge("parallel.epochs", [ex] {
+        return static_cast<double>(ex->stats().epochs);
+      });
+      reg.register_gauge("parallel.msgs_per_epoch", [ex] {
+        const auto st = ex->stats();
+        return st.epochs == 0 ? 0.0
+                              : static_cast<double>(st.messages) /
+                                    static_cast<double>(st.epochs);
+      });
+      reg.register_gauge("parallel.null_msgs", [ex] {
+        return static_cast<double>(ex->stats().null_msgs);
+      });
+      reg.register_gauge("parallel.barrier_wait_ns", [ex] {
+        return static_cast<double>(ex->stats().barrier_wait_ns);
+      });
+      reg.register_gauge("parallel.idle_wait_ns", [ex] {
+        return static_cast<double>(ex->stats().idle_wait_ns);
+      });
     }
     // vSwitches only exist before enable_parallel in serial scenarios
     // (enable_parallel asserts no filters), so shard 0 is always right.

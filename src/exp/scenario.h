@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "acdc/vswitch.h"
+#include "exp/partition.h"
 #include "host/bulk_app.h"
 #include "net/fault.h"
 #include "host/echo_app.h"
@@ -85,10 +86,25 @@ struct PartitionReport {
   int shards = 1;   // effective shard count (1 when serial)
   int threads = 1;  // worker threads actually used
   int cut_links = 0;
-  sim::Time lookahead = 0;       // min propagation delay over cut links
+  // Global minimum extracted lookahead over cut links (propagation plus
+  // minimum-frame serialization); per-pair values in pair_lookaheads.
+  sim::Time lookahead = 0;
+  // Extracted per-directed-shard-pair lookaheads (exp/partition.h).
+  std::vector<PairLookahead> pair_lookaheads;
   std::string fallback_reason;   // set when parallel == false
   std::vector<int> host_shard;   // by host creation index
   std::vector<int> switch_shard; // by switch creation index
+};
+
+// Knobs for enable_parallel. Defaults give the fast path: per-neighbor
+// safe-time windows with batched cross-shard handoffs. The legacy global
+// barrier loop and unbatched sends remain reachable for A/B testing —
+// every combination produces bit-identical event streams.
+struct ParallelOptions {
+  int shards = 1;
+  int threads = 0;  // 0 = one per shard
+  bool per_neighbor_windows = true;
+  int handoff_batch = 64;  // producer-side sends per mailbox flush (>= 1)
 };
 
 class Scenario {
@@ -133,6 +149,7 @@ class Scenario {
   // simulators. Falls back to the serial engine (report.parallel == false)
   // when the partition yields no cut links or zero lookahead.
   PartitionReport enable_parallel(int shards, int threads);
+  PartitionReport enable_parallel(const ParallelOptions& options);
   const PartitionReport& partition() const { return report_; }
   sim::par::ParallelExecutor* executor() { return executor_.get(); }
 
@@ -251,6 +268,7 @@ class Scenario {
     net::FaultInjector* inj_a_to_b;
     net::FaultInjector* inj_b_to_a;
     sim::Time delay;
+    sim::Rate rate;  // line rate, for lookahead extraction
   };
 
   sim::par::Mailbox* mailbox_for(int src_shard, int dst_shard);

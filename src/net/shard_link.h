@@ -4,6 +4,14 @@
 // replays the message on the destination shard, where the trampoline
 // reconstructs the PacketPtr and feeds the real sink — an ingress
 // FaultInjector, a Switch, or a host NIC.
+//
+// Handoffs coalesce: Mailbox::send buffers producer-side up to the
+// executor's handoff batch depth, and every send made inside one safe-time
+// window is published in a single burst (one release-store per ring node)
+// when the executor flushes the shard's outboxes before publishing its
+// clock. Delivery order and timestamps are unchanged — each message keeps
+// the (at, key, seq) it was stamped with at deliver() time — so batching
+// is invisible to the simulation and to the digest contract.
 #pragma once
 
 #include "net/packet.h"

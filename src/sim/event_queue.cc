@@ -86,11 +86,16 @@ EventId EventQueue::schedule(Time at, EventAction action) {
 }
 
 EventId EventQueue::schedule(Time at, std::uint64_t key, EventAction action) {
+  return schedule(at, key, next_seq_++, std::move(action));
+}
+
+EventId EventQueue::schedule(Time at, std::uint64_t key, std::uint64_t tie_seq,
+                             EventAction action) {
   const std::uint32_t index = acquire_slot();
   Slot& slot = slots_[index];
   slot.action = std::move(action);
   slot.armed = true;
-  heap_.push_back(Entry{at, key, next_seq_++, index});
+  heap_.push_back(Entry{at, key, tie_seq, index});
   sift_up(heap_.size() - 1);
   ++live_count_;
   return pack_id(slot.generation, index);

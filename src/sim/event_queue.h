@@ -39,6 +39,22 @@ inline constexpr EventId kInvalidEventId = 0;
 // Tie key for events scheduled without one; sorts after every real key.
 inline constexpr std::uint64_t kUnkeyedTieKey = ~std::uint64_t{0};
 
+// Explicit tie sequences (schedule(at, key, tie_seq, action)) occupy the
+// upper half of the sequence space so they sort after every locally-inserted
+// event with the same (at, key). Cross-shard mail uses
+// mail_tie_seq(src_shard, mailbox_seq): the resulting order for (at, key)
+// collisions is a pure function of simulation content — (src_shard,
+// per-mailbox seq) — independent of when each executor thread happened to
+// drain its inboxes. Local insertion counters stay below this bit for the
+// lifetime of any feasible run (2^63 events).
+inline constexpr std::uint64_t kExplicitTieSeqBit = std::uint64_t{1} << 63;
+
+inline constexpr std::uint64_t mail_tie_seq(std::uint32_t src_shard,
+                                            std::uint64_t mailbox_seq) {
+  return kExplicitTieSeqBit | (static_cast<std::uint64_t>(src_shard) << 48) |
+         (mailbox_seq & ((std::uint64_t{1} << 48) - 1));
+}
+
 class EventQueue {
  public:
   // Schedules `action` at absolute time `at`. Ties are broken by insertion
@@ -48,6 +64,13 @@ class EventQueue {
   // As above with an explicit tie key: same-time events order by key before
   // insertion order, and before any unkeyed event at that time.
   EventId schedule(Time at, std::uint64_t key, EventAction action);
+
+  // As above, but with a caller-supplied tie sequence instead of the
+  // insertion counter. Used for cross-shard mail so (at, key) collisions
+  // order deterministically regardless of drain timing; `tie_seq` must have
+  // kExplicitTieSeqBit set (see mail_tie_seq) and be unique per (at, key).
+  EventId schedule(Time at, std::uint64_t key, std::uint64_t tie_seq,
+                   EventAction action);
 
   // Cancels a pending event. Cancelling an already-fired, already-cancelled
   // or invalid id is a no-op, which keeps timer bookkeeping in callers

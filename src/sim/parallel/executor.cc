@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace acdc::sim::par {
 
@@ -14,6 +15,19 @@ Time merge_min(Time a, Time b) {
   return a < b ? a : b;
 }
 
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+// Consecutive no-progress sweeps before a thread declares itself stalled.
+// Low: a no-progress sweep is a handful of atomic reads per shard, and the
+// sooner every thread is flagged, the sooner the rendezvous can jump the
+// clocks over an idle stretch instead of null-message-creeping through it.
+constexpr int kStallSweeps = 2;
+
 }  // namespace
 
 ParallelExecutor::ParallelExecutor(Config config)
@@ -22,20 +36,52 @@ ParallelExecutor::ParallelExecutor(Config config)
       lookahead_(config.lookahead),
       thread_count_(std::max(
           1, std::min(config.threads, static_cast<int>(shards_.size())))),
+      per_neighbor_windows_(config.per_neighbor_windows),
       barrier_(thread_count_) {
   assert(lookahead_ > 0);
   assert(!shards_.empty());
 
-  inboxes_.resize(shards_.size());
-  scratch_.resize(shards_.size());
-  for (Mailbox* mb : mailboxes_) {
-    assert(mb->dst_shard() >= 0 &&
-           mb->dst_shard() < static_cast<int>(shards_.size()));
-    inboxes_[static_cast<std::size_t>(mb->dst_shard())].push_back(mb);
-  }
+  const std::size_t n = shards_.size();
+  inboxes_.resize(n);
+  outboxes_.resize(n);
+  in_neighbors_.resize(n);
+  scratch_.resize(n);
+  shard_done_.assign(n, 0);
+  clocks_ = std::vector<ShardClock>(n);
+  thread_stats_ = std::vector<ThreadStats>(
+      static_cast<std::size_t>(thread_count_));
   mins_.resize(static_cast<std::size_t>(thread_count_));
-  epochs_.resize(1);
-  messages_.resize(static_cast<std::size_t>(thread_count_));
+
+  const int batch = config.handoff_batch;
+  for (Mailbox* mb : mailboxes_) {
+    assert(mb->dst_shard() >= 0 && mb->dst_shard() < static_cast<int>(n));
+    assert(mb->src_shard() >= 0 && mb->src_shard() < static_cast<int>(n));
+    mb->set_batch_depth(batch);
+    inboxes_[static_cast<std::size_t>(mb->dst_shard())].push_back(mb);
+    outboxes_[static_cast<std::size_t>(mb->src_shard())].push_back(mb);
+
+    // Per-pair extracted lookahead, falling back to the global minimum for
+    // pairs the analysis pass did not cover.
+    Time la = lookahead_;
+    for (const PairLookahead& pl : config.pair_lookaheads) {
+      if (pl.src == mb->src_shard() && pl.dst == mb->dst_shard()) {
+        assert(pl.lookahead > 0);
+        la = pl.lookahead;
+        break;
+      }
+    }
+    auto& nbs = in_neighbors_[static_cast<std::size_t>(mb->dst_shard())];
+    bool found = false;
+    for (InNeighbor& nb : nbs) {
+      if (nb.src == mb->src_shard()) {
+        // Two channels for the same pair: the promise must cover both.
+        nb.lookahead = std::min(nb.lookahead, la);
+        found = true;
+        break;
+      }
+    }
+    if (!found) nbs.push_back(InNeighbor{mb->src_shard(), la});
+  }
 
   workers_.reserve(static_cast<std::size_t>(thread_count_ - 1));
   for (int tid = 1; tid < thread_count_; ++tid) {
@@ -62,7 +108,11 @@ void ParallelExecutor::run_until(Time deadline) {
   // The caller's thread is worker 0; when it leaves the loop every other
   // worker has passed the final barrier of this round, so all shard state
   // is safe to read until the next run_until.
-  epoch_loop(0, deadline);
+  if (per_neighbor_windows_) {
+    round_loop(0, deadline);
+  } else {
+    epoch_loop(0, deadline);
+  }
 }
 
 void ParallelExecutor::worker_main(int tid) {
@@ -76,62 +126,268 @@ void ParallelExecutor::worker_main(int tid) {
       seen = round_;
       deadline = deadline_;
     }
-    epoch_loop(tid, deadline);
+    if (per_neighbor_windows_) {
+      round_loop(tid, deadline);
+    } else {
+      epoch_loop(tid, deadline);
+    }
   }
 }
 
-void ParallelExecutor::drain_shard(int shard) {
+std::size_t ParallelExecutor::drain_shard(int shard) {
   const auto s = static_cast<std::size_t>(shard);
-  std::vector<InMsg>& merged = scratch_[s];
-  merged.clear();
-  for (Mailbox* mb : inboxes_[s]) {
-    // Adapter so SpscQueue::drain can annotate each message with its
-    // source shard for the deterministic merge key.
-    struct Tagger {
-      std::vector<InMsg>* out;
-      int src;
-      void push_back(const CrossShardMsg& m) {
-        out->push_back(InMsg{m, src});
-      }
-    } tagger{&merged, mb->src_shard()};
-    mb->drain(tagger);
-  }
-  if (merged.empty()) return;
-  std::sort(merged.begin(), merged.end(), [](const InMsg& a, const InMsg& b) {
-    if (a.msg.at != b.msg.at) return a.msg.at < b.msg.at;
-    if (a.msg.key != b.msg.key) return a.msg.key < b.msg.key;
-    if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
-    return a.msg.seq < b.msg.seq;
-  });
   Simulator* sim = shards_[s];
-  for (const InMsg& in : merged) {
-    // Safety invariant of the epoch protocol: mail is always in the
-    // receiver's future.
-    assert(in.msg.at >= sim->now());
-    // 24 captured bytes — fits EventAction's inline storage, so merging
-    // mail stays allocation-free. Scheduling with the producer's tie key
-    // makes same-tick arrivals order exactly as on the serial engine.
-    sim->schedule_at_keyed(
-        in.msg.at, in.msg.key,
-        [deliver = in.msg.deliver, ctx = in.msg.ctx,
-         payload = in.msg.payload] { deliver(ctx, payload); });
+  std::vector<CrossShardMsg>& batch = scratch_[s];
+  std::size_t drained = 0;
+  for (Mailbox* mb : inboxes_[s]) {
+    batch.clear();
+    mb->drain(batch);
+    if (batch.empty()) continue;
+    const auto src = static_cast<std::uint32_t>(mb->src_shard());
+    for (const CrossShardMsg& m : batch) {
+      // Safety invariant of the window protocol: mail is always in the
+      // receiver's future.
+      assert(m.at >= sim->now());
+      // 24 captured bytes — fits EventAction's inline storage, so merging
+      // mail stays allocation-free. The content tie key plus the explicit
+      // (src_shard, seq) tie sequence make the merged order across inboxes
+      // a pure function of simulation state: no sort, no dependence on
+      // drain boundaries or thread count.
+      sim->schedule_at_keyed_seq(
+          m.at, m.key, mail_tie_seq(src, m.seq),
+          [deliver = m.deliver, ctx = m.ctx, payload = m.payload] {
+            deliver(ctx, payload);
+          });
+    }
+    drained += batch.size();
+  }
+  return drained;
+}
+
+void ParallelExecutor::flush_outboxes(int shard) {
+  for (Mailbox* mb : outboxes_[static_cast<std::size_t>(shard)]) mb->flush();
+}
+
+bool ParallelExecutor::advance_shard(int shard, Time deadline) {
+  const auto s = static_cast<std::size_t>(shard);
+  Simulator* sim = shards_[s];
+  ShardClock& clk = clocks_[s];
+  ThreadStats& ts = thread_stats_[static_cast<std::size_t>(shard %
+                                                           thread_count_)];
+
+  // Window bound from the in-neighbors' promises. The acquire loads pair
+  // with the producers' release stores: every message flushed before a
+  // promise we read is visible to the drain below.
+  Time limit = deadline + 1;
+  for (const InNeighbor& nb : in_neighbors_[s]) {
+    const Time b =
+        clocks_[static_cast<std::size_t>(nb.src)].pub.load(
+            std::memory_order_acquire) +
+        nb.lookahead;
+    if (b < limit) limit = b;
+  }
+
+  const std::size_t drained = drain_shard(shard);
+  if (drained > 0) {
+    ts.messages.fetch_add(drained, std::memory_order_relaxed);
+  }
+
+  const std::uint64_t before = sim->executed_events();
+  sim->run_before(limit);
+  const std::uint64_t executed = sim->executed_events() - before;
+
+  // Publish sends, then the new promise: the queue is empty below `limit`,
+  // future mail lands at or above the current bound, so `limit` bounds
+  // every future execution of this shard. The release store pairs with the
+  // neighbors' acquire loads above.
+  flush_outboxes(shard);
+  const Time old_pub = clk.pub.load(std::memory_order_relaxed);
+  if (limit > old_pub) {
+    clk.pub.store(limit, std::memory_order_release);
+    ts.windows.fetch_add(1, std::memory_order_relaxed);
+    if (executed == 0) {
+      // CMB null message: an idle promise advance, no event behind it.
+      ts.null_msgs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (executed > 0) {
+    clk.executed.store(sim->executed_events(), std::memory_order_relaxed);
+  }
+
+  const Time nxt = sim->next_event_time();
+  if (limit == deadline + 1 && (nxt == kNoTime || nxt > deadline)) {
+    // Every in-neighbor promised to stay past the deadline and the local
+    // queue is drained past it: this shard's round is over.
+    sim->advance_to(deadline);
+    clk.executed.store(sim->executed_events(), std::memory_order_relaxed);
+    shard_done_[s] = 1;
+  }
+  return executed > 0 || drained > 0;
+}
+
+bool ParallelExecutor::rendezvous(int tid, Time deadline,
+                                  bool* stalled_flagged) {
+  const auto t = static_cast<std::size_t>(tid);
+  ThreadStats& ts = thread_stats_[t];
+  std::uint64_t wait_ns = 0;
+  barrier_.arrive_and_wait_timed(&wait_ns);
+
+  // Every thread is between visits: nothing executes, nothing is buffered
+  // (outboxes flush at the end of every visit). Drain residual mail, then
+  // publish the exact minimum pending event time over my shards.
+  const int n_shards = static_cast<int>(shards_.size());
+  Time local = kNoTime;
+  for (int s = tid; s < n_shards; s += thread_count_) {
+    const std::size_t drained = drain_shard(s);
+    if (drained > 0) ts.messages.fetch_add(drained, std::memory_order_relaxed);
+    local = merge_min(local,
+                      shards_[static_cast<std::size_t>(s)]->next_event_time());
+  }
+  mins_[t].v = local;
+  barrier_.arrive_and_wait_timed(&wait_ns);
+
+  // Every thread computes the identical global minimum.
+  Time global = kNoTime;
+  for (const PaddedTime& m : mins_) global = merge_min(global, m.v);
+
+  if (global == kNoTime || global > deadline) {
+    for (int s = tid; s < n_shards; s += thread_count_) {
+      Simulator* sim = shards_[static_cast<std::size_t>(s)];
+      sim->advance_to(deadline);
+      clocks_[static_cast<std::size_t>(s)].executed.store(
+          sim->executed_events(), std::memory_order_relaxed);
+    }
+    barrier_.arrive_and_wait_timed(&wait_ns);
+    ts.barrier_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Not done — jump every promise to the global floor. With all mail
+  // drained and no thread executing, every future event in the system is
+  // >= global, so raising a promise to it is sound; this skips the
+  // O(gap / lookahead) null-message creep across an idle stretch.
+  for (int s = tid; s < n_shards; s += thread_count_) {
+    const auto si = static_cast<std::size_t>(s);
+    if (shard_done_[si]) continue;
+    ShardClock& clk = clocks_[si];
+    if (clk.pub.load(std::memory_order_relaxed) < global) {
+      clk.pub.store(global, std::memory_order_release);
+    }
+  }
+  if (*stalled_flagged) {
+    *stalled_flagged = false;
+    stalled_threads_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  barrier_.arrive_and_wait_timed(&wait_ns);
+  ts.barrier_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+  return false;
+}
+
+void ParallelExecutor::round_loop(int tid, Time deadline) {
+  const auto t = static_cast<std::size_t>(tid);
+  const int n_shards = static_cast<int>(shards_.size());
+  ThreadStats& ts = thread_stats_[t];
+
+  // Round start: promises reset to the shard clocks (equal across shards —
+  // every round ends with advance_to(deadline)), rendezvous bookkeeping
+  // cleared. The barrier publishes all of it before the first sweep.
+  int my_shards = 0;
+  for (int s = tid; s < n_shards; s += thread_count_) {
+    const auto si = static_cast<std::size_t>(s);
+    clocks_[si].pub.store(shards_[si]->now(), std::memory_order_relaxed);
+    shard_done_[si] = 0;
+    ++my_shards;
+  }
+  if (tid == 0) {
+    done_threads_.store(0, std::memory_order_relaxed);
+    stalled_threads_.store(0, std::memory_order_relaxed);
+  }
+  {
+    std::uint64_t wait_ns = 0;
+    barrier_.arrive_and_wait_timed(&wait_ns);
+    ts.barrier_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+  }
+
+  bool done_flagged = false;
+  bool stalled_flagged = false;
+  int no_progress_sweeps = 0;
+  for (;;) {
+    bool progress = false;
+    int done_now = 0;
+    for (int s = tid; s < n_shards; s += thread_count_) {
+      if (shard_done_[static_cast<std::size_t>(s)] != 0) {
+        ++done_now;
+        continue;
+      }
+      if (advance_shard(s, deadline)) progress = true;
+      if (shard_done_[static_cast<std::size_t>(s)] != 0) ++done_now;
+    }
+
+    if (done_now == my_shards) {
+      if (!done_flagged) {
+        done_flagged = true;
+        done_threads_.fetch_add(1, std::memory_order_acq_rel);
+        if (stalled_flagged) {
+          stalled_flagged = false;
+          stalled_threads_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+      }
+    } else if (progress) {
+      no_progress_sweeps = 0;
+      if (stalled_flagged) {
+        stalled_flagged = false;
+        stalled_threads_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    } else if (!stalled_flagged && ++no_progress_sweeps >= kStallSweeps) {
+      // Progress means events executed or mail drained; promise creep
+      // alone does not count, so an idle stretch flags quickly and the
+      // rendezvous below can jump over it.
+      stalled_flagged = true;
+      stalled_threads_.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    if (done_flagged || stalled_flagged) {
+      if (done_threads_.load(std::memory_order_acquire) +
+              stalled_threads_.load(std::memory_order_acquire) ==
+          thread_count_) {
+        if (rendezvous(tid, deadline, &stalled_flagged)) return;
+        no_progress_sweeps = 0;
+        continue;
+      }
+    }
+
+    if (!progress) {
+      // Nothing executable yet: yield so the neighbor that must move next
+      // gets the core (essential on oversubscribed boxes).
+      const auto t0 = std::chrono::steady_clock::now();
+#if defined(__unix__) || defined(__APPLE__)
+      sched_yield();
+#else
+      cpu_relax();
+#endif
+      ts.idle_ns.fetch_add(elapsed_ns(t0), std::memory_order_relaxed);
+    }
   }
 }
 
 void ParallelExecutor::epoch_loop(int tid, Time deadline) {
   const auto t = static_cast<std::size_t>(tid);
   const int n_shards = static_cast<int>(shards_.size());
+  ThreadStats& ts = thread_stats_[t];
+  std::uint64_t wait_ns = 0;
   for (;;) {
     // Drain phase: merge inbound mail, publish my earliest pending event.
     Time local = kNoTime;
     for (int s = tid; s < n_shards; s += thread_count_) {
-      drain_shard(s);
-      messages_[t].v += scratch_[static_cast<std::size_t>(s)].size();
+      const std::size_t drained = drain_shard(s);
+      if (drained > 0) {
+        ts.messages.fetch_add(drained, std::memory_order_relaxed);
+      }
       local = merge_min(local,
                         shards_[static_cast<std::size_t>(s)]->next_event_time());
     }
     mins_[t].v = local;
-    barrier_.arrive_and_wait();
+    barrier_.arrive_and_wait_timed(&wait_ns);
 
     // Every thread computes the identical global minimum.
     Time global = kNoTime;
@@ -143,7 +399,8 @@ void ParallelExecutor::epoch_loop(int tid, Time deadline) {
       for (int s = tid; s < n_shards; s += thread_count_) {
         shards_[static_cast<std::size_t>(s)]->advance_to(deadline);
       }
-      barrier_.arrive_and_wait();
+      barrier_.arrive_and_wait_timed(&wait_ns);
+      ts.barrier_ns.fetch_add(wait_ns, std::memory_order_relaxed);
       return;
     }
 
@@ -152,19 +409,36 @@ void ParallelExecutor::epoch_loop(int tid, Time deadline) {
     Time window = global + lookahead_;
     if (window > deadline) window = deadline + 1;
     for (int s = tid; s < n_shards; s += thread_count_) {
-      shards_[static_cast<std::size_t>(s)]->run_before(window);
+      Simulator* sim = shards_[static_cast<std::size_t>(s)];
+      sim->run_before(window);
+      // Sends buffered during the window must be visible to the next
+      // drain phase, which begins after the barrier below.
+      flush_outboxes(s);
+      clocks_[static_cast<std::size_t>(s)].executed.store(
+          sim->executed_events(), std::memory_order_relaxed);
     }
-    if (tid == 0) ++epochs_[0].v;
-    barrier_.arrive_and_wait();
+    if (tid == 0) ts.windows.fetch_add(1, std::memory_order_relaxed);
+    barrier_.arrive_and_wait_timed(&wait_ns);
   }
 }
 
 ParallelExecutor::Stats ParallelExecutor::stats() const {
   Stats st;
-  st.epochs = epochs_[0].v;
-  for (const PaddedCount& c : messages_) st.messages += c.v;
-  for (const Simulator* sim : shards_) {
-    st.executed_events += sim->executed_events();
+  st.per_thread_barrier_ns.reserve(thread_stats_.size());
+  st.per_thread_idle_ns.reserve(thread_stats_.size());
+  for (const ThreadStats& ts : thread_stats_) {
+    const std::uint64_t b = ts.barrier_ns.load(std::memory_order_relaxed);
+    const std::uint64_t i = ts.idle_ns.load(std::memory_order_relaxed);
+    st.epochs += ts.windows.load(std::memory_order_relaxed);
+    st.messages += ts.messages.load(std::memory_order_relaxed);
+    st.null_msgs += ts.null_msgs.load(std::memory_order_relaxed);
+    st.barrier_wait_ns += b;
+    st.idle_wait_ns += i;
+    st.per_thread_barrier_ns.push_back(b);
+    st.per_thread_idle_ns.push_back(i);
+  }
+  for (const ShardClock& clk : clocks_) {
+    st.executed_events += clk.executed.load(std::memory_order_relaxed);
   }
   return st;
 }

@@ -9,17 +9,26 @@
 // message).
 //
 // Determinism: each mailbox stamps messages with a producer-side sequence
-// number. The consumer sorts the union of its inboxes by
-// (deliver_time, tie_key, source_shard, seq) before inserting into the
-// shard's event queue, so the merged order is a pure function of the
-// simulation state — never of thread timing. The tie key (see
-// sim/event_queue.h) additionally makes the merged order match what the
+// number at send() time (before any batching), and the executor schedules
+// each drained message with the explicit tie sequence
+// mail_tie_seq(src_shard, seq), so the merged order across inboxes is
+// (deliver_time, tie_key, source_shard, seq) — a pure function of the
+// simulation state, never of thread timing or drain boundaries. The tie key
+// (see sim/event_queue.h) additionally makes the merged order match what the
 // serial engine would have produced for the same same-tick deliveries.
+//
+// Batching: set_batch_depth(n) buffers up to n messages producer-side and
+// publishes them with push_burst — one release-store per ring node instead
+// of one per message. flush() force-publishes the pending tail; the executor
+// flushes every outbox before publishing its safe-time clock (per-neighbor
+// mode) or before the end-of-epoch barrier (legacy mode), so batching never
+// changes which messages are visible at a synchronization point.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -79,6 +88,34 @@ class SpscQueue {
     t->write.store(w + 1, std::memory_order_release);
   }
 
+  // Producer side only: appends `n` messages with one release-store per ring
+  // node touched (at most ceil(n / kNodeCapacity) + 1 stores), instead of one
+  // per message. Messages become visible to the consumer atomically per
+  // node segment, in order.
+  void push_burst(const CrossShardMsg* msgs, std::size_t n) {
+    while (n > 0) {
+      Node* t = tail_;
+      std::size_t w = t->write.load(std::memory_order_relaxed);
+      if (w == kNodeCapacity) {
+        Node* fresh = new Node();
+        const std::size_t take = n < kNodeCapacity ? n : kNodeCapacity;
+        for (std::size_t i = 0; i < take; ++i) fresh->items[i] = msgs[i];
+        fresh->write.store(take, std::memory_order_release);
+        t->next.store(fresh, std::memory_order_release);
+        tail_ = fresh;
+        msgs += take;
+        n -= take;
+        continue;
+      }
+      const std::size_t room = kNodeCapacity - w;
+      const std::size_t take = n < room ? n : room;
+      for (std::size_t i = 0; i < take; ++i) t->items[w + i] = msgs[i];
+      t->write.store(w + take, std::memory_order_release);
+      msgs += take;
+      n -= take;
+    }
+  }
+
   // Consumer side only: appends every currently visible message to `out`
   // and removes it from the queue. Returns the number drained.
   template <typename Vec>
@@ -135,12 +172,34 @@ class Mailbox {
     CrossShardMsg msg;
     msg.at = at;
     msg.key = key;
-    msg.seq = next_seq_++;
+    msg.seq = next_seq_++;  // stamped before batching: order is send order
     msg.deliver = deliver;
     msg.dispose = dispose;
     msg.ctx = ctx;
     msg.payload = payload;
-    queue_.push(msg);
+    if (batch_depth_ <= 1) {
+      queue_.push(msg);
+      return;
+    }
+    pending_.push_back(msg);
+    if (pending_.size() >= batch_depth_) flush();
+  }
+
+  // Producer side only: sets the handoff batch depth. Depth 1 publishes each
+  // send immediately (the pre-batching behavior); depth n buffers up to n
+  // messages and publishes them as one burst. Must be called before traffic.
+  void set_batch_depth(int depth) {
+    batch_depth_ = depth < 1 ? 1 : static_cast<std::size_t>(depth);
+    if (batch_depth_ > 1) pending_.reserve(batch_depth_);
+  }
+
+  // Producer side only: publishes any buffered sends. The executor calls
+  // this before every safe-time publication / barrier so consumers always
+  // see the complete mail stream up to the producer's clock.
+  void flush() {
+    if (pending_.empty()) return;
+    queue_.push_burst(pending_.data(), pending_.size());
+    pending_.clear();
   }
 
   template <typename Vec>
@@ -149,13 +208,15 @@ class Mailbox {
   }
 
   // Reclaims payloads that were produced but never delivered (the scenario
-  // was destroyed with packets still crossing a shard boundary).
+  // was destroyed with packets still crossing a shard boundary), including
+  // sends still sitting in the producer-side batch buffer.
   ~Mailbox() {
     struct Sink {
       void push_back(const CrossShardMsg& m) {
         if (m.dispose != nullptr) m.dispose(m.ctx, m.payload);
       }
     } sink;
+    for (const CrossShardMsg& m : pending_) sink.push_back(m);
     queue_.drain(sink);
   }
 
@@ -163,6 +224,8 @@ class Mailbox {
   int src_shard_;
   int dst_shard_;
   std::uint64_t next_seq_ = 0;  // producer-private
+  std::size_t batch_depth_ = 1;
+  std::vector<CrossShardMsg> pending_;  // producer-private batch buffer
   SpscQueue queue_;
 };
 

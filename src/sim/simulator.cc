@@ -27,6 +27,14 @@ EventId Simulator::schedule_at_keyed(Time at, std::uint64_t key,
   return queue_.schedule(at, key, std::move(action));
 }
 
+EventId Simulator::schedule_at_keyed_seq(Time at, std::uint64_t key,
+                                         std::uint64_t tie_seq,
+                                         EventAction action) {
+  assert(at >= now_);
+  assert(tie_seq & kExplicitTieSeqBit);
+  return queue_.schedule(at, key, tie_seq, std::move(action));
+}
+
 void Simulator::run() {
   while (step()) {
   }

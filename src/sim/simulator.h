@@ -35,6 +35,13 @@ class Simulator {
   EventId schedule_keyed(Time delay, std::uint64_t key, EventAction action);
   EventId schedule_at_keyed(Time at, std::uint64_t key, EventAction action);
 
+  // Keyed variant with an explicit tie sequence (see mail_tie_seq): the
+  // parallel executor schedules drained cross-shard mail with
+  // (src_shard, mailbox_seq) as the tie-break so (at, key) collisions order
+  // identically at any thread count and drain timing.
+  EventId schedule_at_keyed_seq(Time at, std::uint64_t key,
+                                std::uint64_t tie_seq, EventAction action);
+
   void cancel(EventId id) { queue_.cancel(id); }
 
   // Runs events until the queue drains.

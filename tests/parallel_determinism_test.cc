@@ -78,5 +78,66 @@ TEST(ParallelDeterminism, SameSeedSameStreamAtOneTwoAndEightThreads) {
   EXPECT_EQ(parallel_runs, kSeeds * 3);
 }
 
+// The sync knobs — per-neighbor windows vs the legacy global barrier, and
+// the cross-shard handoff batch depth — change only wall-clock scheduling,
+// never simulation content. Every cell of the sweep must reproduce the
+// reference event stream bit-for-bit (same shard count throughout) and the
+// serial engine's application results.
+TEST(ParallelDeterminism, KnobSweepMatchesReferenceAndSerial) {
+  struct Knobs {
+    bool per_neighbor_windows;
+    int handoff_batch;
+  };
+  // Batch depth 1 is the unbatched path; 8 forces mid-window flushes; 64
+  // (the engine default) coalesces whole windows. The legacy-barrier arm
+  // runs the same depths at its extremes.
+  const Knobs kCells[] = {
+      {true, 1}, {true, 8}, {true, 64}, {false, 1}, {false, 8}, {false, 64},
+  };
+
+  for (int i = 0; i < kSeeds; ++i) {
+    const ScenarioPlan plan = shrink(make_plan(test_seed(100 + i)));
+    SCOPED_TRACE(plan.summary());
+
+    RunOptions base;
+    base.horizon = sim::milliseconds(300);
+    base.shards = kShards;
+
+    RunOptions serial = base;
+    serial.shards = 0;
+    const RunOutcome s = run_plan(plan, serial);
+    EXPECT_TRUE(s.ok());
+
+    // Reference cell: default knobs, single thread.
+    RunOptions ref = base;
+    ref.threads = 1;
+    const RunOutcome a = run_plan(plan, ref);
+    EXPECT_TRUE(a.ok()) << (a.violations.empty() ? "did not quiesce"
+                                                 : a.violations[0]);
+    EXPECT_EQ(a.app_digest, s.app_digest)
+        << "sharded deliveries diverged from the serial engine";
+
+    for (const Knobs& k : kCells) {
+      for (int threads : {1, 2, 8}) {
+        RunOptions tn = base;
+        tn.threads = threads;
+        tn.per_neighbor_windows = k.per_neighbor_windows;
+        tn.handoff_batch = k.handoff_batch;
+        const RunOutcome b = run_plan(plan, tn);
+        SCOPED_TRACE(std::string("windows=") +
+                     (k.per_neighbor_windows ? "per-neighbor" : "legacy") +
+                     " batch=" + std::to_string(k.handoff_batch) +
+                     " threads=" + std::to_string(threads));
+        EXPECT_EQ(a.event_digest, b.event_digest)
+            << "event streams diverged from the reference cell";
+        EXPECT_EQ(a.app_digest, b.app_digest);
+        EXPECT_EQ(a.events, b.events);
+        EXPECT_EQ(a.end_time, b.end_time);
+        EXPECT_EQ(a.violation_count, b.violation_count);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace acdc::testlib

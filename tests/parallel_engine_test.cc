@@ -4,7 +4,9 @@
 // end to end (including the serial fallbacks).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -147,6 +149,57 @@ TEST(PartitionTest, DeterministicAndClamped) {
   EXPECT_EQ(a.host_shard, b.host_shard);
   EXPECT_EQ(a.switch_shard, b.switch_shard);
   EXPECT_EQ(a.cut_links, b.cut_links);
+}
+
+// Extracted lookahead: per shard pair, the minimum over cut links of
+// propagation delay plus the serialization time of the smallest frame the
+// link can carry. A message can only cross the cut after both, so the pair
+// window is exact, and tighter than any global minimum when link speeds or
+// delays differ.
+TEST(PartitionTest, ExtractsPerPairLookaheadFromCutLinks) {
+  constexpr std::int64_t kMinWire = 78;  // bare ACK on the wire
+  exp::PartitionInput in;
+  in.switches = 2;
+  in.hosts = 2;
+  in.shards = 2;
+  const sim::Time host_delay = sim::microseconds(1);
+  const sim::Rate fast = 40'000'000'000;  // 40 Gbps trunk
+  const sim::Rate slow = 10'000'000'000;  // 10 Gbps trunk
+  const sim::Time d_fast = sim::microseconds(5);
+  const sim::Time d_slow = sim::microseconds(2);
+  in.edges.push_back({true, 0, 0, -1, host_delay, slow});
+  in.edges.push_back({true, 1, 1, -1, host_delay, slow});
+  // Two parallel trunks across the cut; the smaller total slack must win.
+  in.edges.push_back({false, -1, 0, 1, d_fast, fast});
+  in.edges.push_back({false, -1, 0, 1, d_slow, slow});
+
+  const exp::PartitionResult r = exp::partition_topology(in);
+  ASSERT_EQ(r.shards, 2);
+  ASSERT_EQ(r.cut_links, 2);
+
+  const auto las = exp::extract_lookahead(in, r, kMinWire);
+  ASSERT_EQ(las.size(), 2u);  // both directions of the one cut pair
+  const sim::Time slack_fast = d_fast + sim::transmission_time(kMinWire, fast);
+  const sim::Time slack_slow = d_slow + sim::transmission_time(kMinWire, slow);
+  const sim::Time expect = std::min(slack_fast, slack_slow);
+  for (const exp::PairLookahead& pl : las) {
+    EXPECT_EQ(pl.lookahead, expect);
+    EXPECT_NE(pl.src, pl.dst);
+  }
+  // Sorted by (src, dst) so downstream consumers can binary-search.
+  EXPECT_TRUE(las[0].src < las[1].src ||
+              (las[0].src == las[1].src && las[0].dst < las[1].dst));
+
+  // A rate-less cut link contributes only its propagation delay; a cut link
+  // with zero total slack is clamped to the 1ns floor instead of producing
+  // a zero window.
+  exp::PartitionInput degenerate = in;
+  degenerate.edges[2] = {false, -1, 0, 1, d_slow, 0};
+  degenerate.edges[3] = {false, -1, 0, 1, 0, 0};
+  const exp::PartitionResult r2 = exp::partition_topology(degenerate);
+  const auto las2 = exp::extract_lookahead(degenerate, r2, kMinWire);
+  ASSERT_EQ(las2.size(), 2u);
+  for (const exp::PairLookahead& pl : las2) EXPECT_EQ(pl.lookahead, 1);
 }
 
 // Two hand-built shards ping-ponging timed messages through mailboxes: the
